@@ -1,0 +1,43 @@
+"""Fig. 4 — Keras, B-Seq, PyTorch and B-Par batch time vs CPU core count.
+
+Paper shape: B-Seq cannot use more than ~mbs cores, so it flattens at 8
+cores and B-Seq ≈ Keras on 8-16 cores; Keras/PyTorch stop improving (and
+degrade with NUMA) beyond 16-24 cores; B-Par keeps scaling and is the
+fastest engine from 16 cores up, with its best time at 48 cores.
+"""
+
+from benchmarks.common import full_grids, run_once
+from repro.analysis.report import format_table
+from repro.harness.figures import fig4_core_scaling
+
+
+def test_fig4_core_scaling(benchmark):
+    core_counts = (1, 2, 4, 8, 16, 24, 32, 48) if full_grids() else (1, 8, 16, 24, 48)
+    s = run_once(
+        benchmark, lambda: fig4_core_scaling(layers=8, core_counts=core_counts)
+    )
+    print()
+    rows = [
+        ["Keras"] + [round(v, 3) for v in s.keras],
+        ["B-Seq mbs:8"] + [round(v, 3) for v in s.bseq],
+        ["PyTorch"] + [round(v, 3) for v in s.pytorch],
+        ["B-Par mbs:8"] + [round(v, 3) for v in s.bpar],
+    ]
+    print(format_table(
+        ["engine"] + [f"{c}c" for c in core_counts], rows,
+        title="Fig. 4 (reproduced): batch training time (s) vs cores, 8-layer BLSTM",
+    ))
+
+    idx = {c: i for i, c in enumerate(core_counts)}
+    # B-Par's best time is at the maximum core count (paper: 0.44 s @ 48c)
+    assert min(s.bpar) == s.bpar[idx[48]]
+    # B-Seq saturates: at most 10% further gain beyond 8 cores
+    assert min(s.bseq) > 0.9 * s.bseq[idx[8]]
+    # B-Seq ~ Keras in the 8-16 core regime (paper observation)
+    assert 0.5 < s.bseq[idx[8]] / s.keras[idx[8]] < 2.0
+    # beyond 16 cores B-Par clearly beats Keras and PyTorch
+    assert s.bpar[idx[48]] < s.keras[idx[48]] / 1.5
+    assert s.bpar[idx[48]] < s.pytorch[idx[48]] / 2.0
+    # PyTorch is the slowest CPU engine throughout (paper)
+    assert all(p >= k for p, k in zip(s.pytorch, s.keras))
+    benchmark.extra_info["bpar_best_s"] = min(s.bpar)

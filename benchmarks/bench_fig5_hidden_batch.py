@@ -1,0 +1,39 @@
+"""Fig. 5 — best batch-training time across batch sizes and hidden sizes.
+
+Paper shape: B-Par beats Keras-CPU and PyTorch-CPU on every (layers,
+hidden, batch) combination, with speed-ups in the 1.58-6.40x band across
+the grid; PyTorch is the slowest engine everywhere.
+"""
+
+from benchmarks.common import full_grids, run_once
+from repro.analysis.report import format_table
+from repro.harness.figures import fig5_hidden_batch
+
+
+def test_fig5_hidden_batch(benchmark):
+    if full_grids():
+        kwargs = dict(layers_list=(8, 12), batches=(128, 256, 512, 1024), hiddens=(128, 256))
+    else:
+        kwargs = dict(layers_list=(8,), batches=(128, 512), hiddens=(128, 256))
+    rows = run_once(benchmark, lambda: fig5_hidden_batch(**kwargs))
+    print()
+    print(format_table(
+        ["L", "hidden", "batch", "Keras s", "PyTorch s", "B-Seq s", "B-Par s", "K/BP", "P/BP"],
+        [
+            [r["layers"], r["hidden"], r["batch"],
+             round(r["keras"], 3), round(r["pytorch"], 3),
+             round(r["bseq"], 3), round(r["bpar"], 3),
+             round(r["keras"] / r["bpar"], 2), round(r["pytorch"] / r["bpar"], 2)]
+            for r in rows
+        ],
+        title="Fig. 5 (reproduced): batch/hidden sweep, training time",
+    ))
+
+    for r in rows:
+        cfg = (r["layers"], r["hidden"], r["batch"])
+        assert r["bpar"] < r["keras"], f"{cfg}: B-Par lost to Keras"
+        assert r["bpar"] < r["pytorch"], f"{cfg}: B-Par lost to PyTorch"
+        speedup_k = r["keras"] / r["bpar"]
+        assert 1.0 < speedup_k < 7.0, f"{cfg}: speed-up {speedup_k} out of band"
+        assert r["pytorch"] >= r["keras"], f"{cfg}: PyTorch should be slowest"
+    benchmark.extra_info["max_speedup"] = max(r["keras"] / r["bpar"] for r in rows)

@@ -1,0 +1,41 @@
+"""Fig. 6 — training AND inference batch time vs layer count.
+
+Paper shape: B-Par scales best with depth (more layers = more barrier-free
+pipeline parallelism); at 12 layers it reaches ~5.89x (inference) and
+~6.40x (training) over the frameworks, and the gap *widens* with depth
+because per-layer barriers cost more the deeper the network.
+"""
+
+from benchmarks.common import full_grids, run_once
+from repro.analysis.report import format_table
+from repro.harness.figures import fig6_layers
+
+
+def test_fig6_layers(benchmark):
+    layer_counts = (2, 4, 8, 12) if full_grids() else (2, 8, 12)
+    rows = run_once(benchmark, lambda: fig6_layers(layer_counts=layer_counts))
+    print()
+    print(format_table(
+        ["L", "K train", "P train", "BSeq train", "BPar train",
+         "K infer", "P infer", "BSeq infer", "BPar infer", "K/BP train"],
+        [
+            [r["layers"],
+             round(r["keras_train"], 3), round(r["pytorch_train"], 3),
+             round(r["bseq_train"], 3), round(r["bpar_train"], 3),
+             round(r["keras_infer"], 3), round(r["pytorch_infer"], 3),
+             round(r["bseq_infer"], 3), round(r["bpar_infer"], 3),
+             round(r["keras_train"] / r["bpar_train"], 2)]
+            for r in rows
+        ],
+        title="Fig. 6 (reproduced): layer-count sweep, seconds/batch",
+    ))
+
+    for r in rows:
+        assert r["bpar_train"] < r["keras_train"]
+        assert r["bpar_train"] < r["pytorch_train"]
+        assert r["bpar_infer"] < r["keras_infer"]
+        assert r["bpar_infer"] < r["bpar_train"]
+    # the B-Par advantage grows with depth (barrier cost scales with layers)
+    speedups = [r["keras_train"] / r["bpar_train"] for r in rows]
+    assert speedups[-1] > speedups[0]
+    benchmark.extra_info["speedup_12_layers"] = speedups[-1]

@@ -1,0 +1,50 @@
+"""Fig. 8 — many-to-many next-character prediction: B-Par vs Keras.
+
+Paper shape: B-Par beats Keras-CPU on every (layers, hidden, batch)
+configuration of the Wikipedia next-character task, with the maximum
+speed-up growing with depth: 1.54x (2 layers), 2.17x (4), 2.38x (8),
+2.44x (12).
+"""
+
+from benchmarks.common import full_grids, run_once
+from repro.analysis.report import format_table
+from repro.harness.figures import fig8_next_char
+
+
+def test_fig8_next_char(benchmark):
+    if full_grids():
+        kwargs = dict(layer_counts=(2, 4, 8, 12), batches=(128, 256), hiddens=(128, 256))
+    else:
+        kwargs = dict(layer_counts=(2, 8, 12), batches=(128,), hiddens=(128, 256))
+
+    def run():
+        return {
+            "lstm": fig8_next_char(cell="lstm", **kwargs),
+            "gru": fig8_next_char(cell="gru", **kwargs),
+        }
+
+    results = run_once(benchmark, run)
+    print()
+    for cell, rows in results.items():
+        print(format_table(
+            ["L", "hidden", "batch", "Keras s", "B-Par s", "speed-up"],
+            [
+                [r["layers"], r["hidden"], r["batch"],
+                 round(r["keras"], 3), round(r["bpar"], 3), round(r["speedup"], 2)]
+                for r in rows
+            ],
+            title=f"Fig. 8 (reproduced): next-char m2m, B{cell.upper()}",
+        ))
+
+    for cell, rows in results.items():
+        for r in rows:
+            cfg = (cell, r["layers"], r["hidden"], r["batch"])
+            assert r["speedup"] > 1.0, f"{cfg}: B-Par lost to Keras"
+            assert r["speedup"] < 5.0, f"{cfg}: speed-up implausibly high"
+        # max speed-up grows with layer count (paper: 1.54 -> 2.44)
+        by_layer = {}
+        for r in rows:
+            by_layer.setdefault(r["layers"], []).append(r["speedup"])
+        layer_counts = sorted(by_layer)
+        assert max(by_layer[layer_counts[-1]]) > max(by_layer[layer_counts[0]])
+    benchmark.extra_info["max_speedup_lstm"] = max(r["speedup"] for r in results["lstm"])

@@ -1,0 +1,46 @@
+"""§IV-B "Task-granularity" — counts, durations, working sets, overhead.
+
+Paper figures for a 6-layer BLSTM (seq 100, batch 128, input 64, hidden
+512): 368,240 tasks per epoch, LSTM-cell working set ≈ 4.71 MB (exactly
+the fused weight matrix), durations 272.8 µs - 315 ms with mean 13.05 ms,
+merge tasks far smaller than cell tasks, and runtime overhead ≥10x smaller
+than in-task time.
+"""
+
+import pytest
+
+from benchmarks.common import run_once
+from repro.harness.figures import granularity_study
+from repro.models.spec import BRNNSpec
+
+
+def test_granularity(benchmark):
+    stats, per_epoch = run_once(benchmark, lambda: granularity_study())
+    spec = BRNNSpec(cell="lstm", input_size=64, hidden_size=512, num_layers=6,
+                    merge_mode="sum", num_classes=11)
+    # layer 0 fuses (input 64 + hidden 512) x 4·512 weights = 4.72 MB —
+    # exactly the paper's reported average LSTM-cell working set
+    w_shape, b_shape = spec.cell_param_shapes(0)
+    weight_bytes = (w_shape[0] * w_shape[1] + b_shape[0]) * 4
+
+    print()
+    print("§IV-B granularity (reproduced), BLSTM seq100/batch128/in64/hid512:")
+    for label, value in stats.rows():
+        print(f"  {label:24s} {value}")
+    print(f"  {'tasks per epoch':24s} {per_epoch}  (paper: 368,240)")
+    print(f"  {'layer weight matrix':24s} {weight_bytes / 1e6:.2f} MB  (paper cell WSS: 4.71 MB)")
+
+    # per-epoch task count within 25% of the paper's 368,240
+    assert 0.75 * 368_240 < per_epoch < 1.25 * 368_240
+    # the weight matrix is the paper's 4.71 MB working set
+    assert weight_bytes == pytest.approx(4.71e6, rel=0.01)
+    # duration spread: sub-millisecond to tens of milliseconds
+    assert stats.duration_min_s < 1e-3
+    assert stats.duration_max_s > 5e-3
+    assert 1e-3 < stats.duration_mean_s < 50e-3  # paper mean 13.05 ms
+    # merge tasks have much smaller working sets than cell tasks (paper)
+    assert stats.merge_wss_mean_bytes < stats.cell_wss_mean_bytes / 10
+    # runtime overhead at least 10x smaller than in-task time (paper)
+    assert stats.overhead_ratio < 0.1
+    benchmark.extra_info["tasks_per_epoch"] = per_epoch
+    benchmark.extra_info["mean_task_ms"] = stats.duration_mean_s * 1e3

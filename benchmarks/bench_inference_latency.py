@@ -1,0 +1,63 @@
+"""Inference latency at batch 1: CPU (B-Par) vs GPU frameworks.
+
+The paper's introduction motivates CPU inference with "the low latency
+[CPUs] display for small batch sizes" (real-time inference, FBLearner,
+edge/space deployments).  This bench quantifies that claim on the model
+side of Tables III/IV: single-sample inference latency across sequence
+lengths.  Shape criterion: B-Par on the CPU wins at short sequences
+(GPU time is all kernel-launch latency there) and the GPU catches up as
+sequences grow and kernels fatten — the same crossover the training
+tables show.
+"""
+
+from benchmarks.common import full_grids, run_once
+from repro.analysis.report import format_table
+from repro.baselines import keras_gpu_model, pytorch_gpu_model
+from repro.harness.simtime import simulated_batch_time
+from repro.harness.tables import make_spec
+
+
+def test_inference_latency_batch1(benchmark):
+    seq_lens = (2, 5, 10, 25, 50, 100) if full_grids() else (2, 10, 100)
+    spec = make_spec("lstm", 256, 256)
+    k_gpu = keras_gpu_model()
+    p_gpu = pytorch_gpu_model()
+
+    def run():
+        rows = []
+        for seq in seq_lens:
+            bpar = simulated_batch_time(
+                spec, seq, 1, mbs=1, n_cores=48, training=False
+            ).seconds
+            rows.append(
+                {
+                    "seq": seq,
+                    "bpar_ms": bpar * 1e3,
+                    "k_gpu_ms": k_gpu.batch_time(spec, seq, 1, training=False) * 1e3,
+                    "p_gpu_ms": p_gpu.batch_time(spec, seq, 1, training=False) * 1e3,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(
+        ["seq len", "B-Par CPU ms", "Keras-GPU ms", "PyTorch-GPU ms"],
+        [[r["seq"], round(r["bpar_ms"], 2), round(r["k_gpu_ms"], 2),
+          round(r["p_gpu_ms"], 2)] for r in rows],
+        title="Batch-1 inference latency (6-layer BLSTM 256/256)",
+    ))
+
+    shortest, longest = rows[0], rows[-1]
+    # short sequences: CPU beats both GPU frameworks (launch-latency bound)
+    assert shortest["bpar_ms"] < shortest["k_gpu_ms"]
+    assert shortest["bpar_ms"] < shortest["p_gpu_ms"]
+    # PyTorch-GPU's eager per-timestep dispatch loses to Keras-GPU once the
+    # kernel count grows (short sequences are dominated by Keras's larger
+    # fixed session cost — as in the paper's seq-2 rows)
+    assert all(r["p_gpu_ms"] >= r["k_gpu_ms"] for r in rows if r["seq"] >= 50)
+    # the GPU's *relative* position improves with sequence length
+    assert (longest["k_gpu_ms"] / longest["bpar_ms"]) < (
+        shortest["k_gpu_ms"] / shortest["bpar_ms"]
+    )
+    benchmark.extra_info["crossover_observed"] = longest["k_gpu_ms"] < longest["bpar_ms"]

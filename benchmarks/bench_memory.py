@@ -1,0 +1,33 @@
+"""§IV-B "Memory Consumption" — working set with vs without barriers.
+
+Paper: an 8-layer BLSTM at mbs:6 keeps on average 16 tasks in flight
+barrier-free (75.36 MB live working set) but only 6 with per-layer
+synchronisation (28.26 MB) — i.e. the barrier-free speed-up is bought
+with a ~2.7x larger in-flight working set, with no accuracy difference.
+"""
+
+from benchmarks.common import run_once
+from repro.harness.figures import memory_study
+
+
+def test_memory_consumption(benchmark):
+    free, barred = run_once(benchmark, lambda: memory_study(mbs=6))
+    print()
+    print("§IV-B memory (reproduced), 8-layer BLSTM, mbs:6:")
+    print(f"  barrier-free : avg live tasks {free.mean_live_tasks:5.1f}  "
+          f"avg live WSS {free.mean_live_wss_bytes / 1e6:6.2f} MB   (paper: 16 / 75.36 MB)")
+    print(f"  with barriers: avg live tasks {barred.mean_live_tasks:5.1f}  "
+          f"avg live WSS {barred.mean_live_wss_bytes / 1e6:6.2f} MB   (paper:  6 / 28.26 MB)")
+    ratio_tasks = free.mean_live_tasks / barred.mean_live_tasks
+    ratio_wss = free.mean_live_wss_bytes / barred.mean_live_wss_bytes
+    print(f"  ratios       : live tasks {ratio_tasks:.2f}x, WSS {ratio_wss:.2f}x   "
+          f"(paper: 2.67x / 2.67x)")
+
+    # with per-layer synchronisation ~mbs tasks are live (paper: 6 at mbs:6)
+    assert 4.0 < barred.mean_live_tasks < 9.0
+    # barrier-free runs ~2-3x more tasks (paper: 16 vs 6)
+    assert 1.5 < ratio_tasks < 3.5
+    # and a correspondingly larger live working set
+    assert 1.5 < ratio_wss < 3.5
+    benchmark.extra_info["live_tasks_free"] = free.mean_live_tasks
+    benchmark.extra_info["live_tasks_barriered"] = barred.mean_live_tasks

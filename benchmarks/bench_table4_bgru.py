@@ -1,0 +1,39 @@
+"""Table IV — BGRU single-batch training times and B-Par speed-ups.
+
+Same structure as Table III with GRU cells.  Paper bands: B-Par beats
+K-CPU by 1.56-2.34x and P-CPU by 2.15-7.49x; the parameter counts are
+~25% smaller than the BLSTM rows (3 gates instead of 4).
+"""
+
+from benchmarks.common import full_grids, run_once
+from repro.analysis.report import format_table
+from repro.harness.tables import (
+    HEADERS,
+    TABLE_CONFIGS,
+    TABLE_CONFIGS_SMOKE,
+    make_spec,
+    run_table,
+)
+
+
+def test_table4_bgru(benchmark):
+    configs = TABLE_CONFIGS if full_grids() else TABLE_CONFIGS_SMOKE
+    rows = run_once(benchmark, lambda: run_table("gru", configs))
+    print()
+    print(format_table(HEADERS, [r.as_list() for r in rows],
+                       title="Table IV (reproduced): BGRU training, ms/batch"))
+
+    for row in rows:
+        cfg = f"{row.input_size}/{row.hidden_size}/{row.batch}/{row.seq_len}"
+        assert row.speedup_k_cpu > 1.0, f"{cfg}: B-Par lost to Keras-CPU"
+        assert row.speedup_p_cpu > 1.0, f"{cfg}: B-Par lost to PyTorch-CPU"
+        assert 1.0 < row.speedup_k_cpu < 3.5, cfg
+        assert row.bseq_ms >= row.bpar_ms, cfg
+        if row.params_m > 90:
+            assert row.p_gpu_ms is None, cfg
+
+    # GRU rows are cheaper than the equivalent LSTM rows (3 vs 4 gates)
+    lstm_spec = make_spec("lstm", 256, 256)
+    gru_spec = make_spec("gru", 256, 256)
+    assert gru_spec.num_parameters() < lstm_spec.num_parameters()
+    benchmark.extra_info["max_speedup_vs_keras"] = max(r.speedup_k_cpu for r in rows)

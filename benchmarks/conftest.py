@@ -1,0 +1,5 @@
+import sys
+from pathlib import Path
+
+# make `benchmarks.common` importable when pytest rootdir differs
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))

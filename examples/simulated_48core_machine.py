@@ -1,0 +1,67 @@
+"""Drive the simulated dual-socket 48-core Xeon from the paper's evaluation.
+
+Shows the modelled-hardware side of the library: one Table-III-style row
+(B-Par vs B-Seq vs Keras-like vs PyTorch-like vs GPU models), B-Par core
+scaling, and the working-set cost of removing barriers.  Everything here
+is deterministic discrete-event simulation — no multicore host required.
+
+    python examples/simulated_48core_machine.py
+"""
+
+from repro import BRNNSpec, xeon_8160_2s
+from repro.analysis.memory import working_set_stats
+from repro.baselines import (
+    KerasCPUEngine,
+    PyTorchCPUEngine,
+    keras_gpu_model,
+    pytorch_gpu_model,
+)
+from repro.harness.simtime import simulated_batch_time
+
+
+def main():
+    machine = xeon_8160_2s()
+    print(f"machine: {machine.name} ({machine.n_cores} cores, "
+          f"{machine.l3_bytes >> 20} MiB L3/socket)")
+
+    spec = BRNNSpec(cell="lstm", input_size=256, hidden_size=256, num_layers=6,
+                    merge_mode="sum", head="many_to_one", num_classes=11)
+    seq_len, batch = 100, 128
+    print(f"model  : {spec.describe()}, seq {seq_len}, batch {batch}\n")
+
+    bpar = simulated_batch_time(spec, seq_len, batch, mbs=8, n_cores=48)
+    bseq = simulated_batch_time(spec, seq_len, batch, mbs=8, n_cores=48,
+                                serialize_chunks=True)
+    keras_t, _ = KerasCPUEngine(spec, machine).batch_time(seq_len, batch, 48)
+    pytorch_t, _ = PyTorchCPUEngine(spec, machine).batch_time(seq_len, batch, 48)
+    k_gpu = keras_gpu_model().batch_time(spec, seq_len, batch)
+    p_gpu = pytorch_gpu_model().batch_time(spec, seq_len, batch)
+
+    print("single-batch training time (simulated, paper Table III row 256/256/128/100):")
+    for name, seconds in [
+        ("Keras-CPU", keras_t), ("PyTorch-CPU", pytorch_t),
+        ("Keras-GPU", k_gpu), ("PyTorch-GPU", p_gpu),
+        ("B-Seq mbs:8", bseq.seconds), ("B-Par mbs:8", bpar.seconds),
+    ]:
+        print(f"  {name:12s} {seconds * 1e3:9.1f} ms")
+    print(f"  -> B-Par speed-up vs Keras-CPU: {keras_t / bpar.seconds:.2f}x "
+          f"(paper: 1.90x), vs PyTorch-CPU: {pytorch_t / bpar.seconds:.2f}x "
+          f"(paper: 4.24x)")
+
+    print("\nB-Par core scaling (same batch):")
+    for cores in (1, 8, 16, 24, 48):
+        t = simulated_batch_time(spec, seq_len, batch, mbs=8, n_cores=cores)
+        print(f"  {cores:2d} cores: {t.seconds * 1e3:9.1f} ms")
+
+    print("\nworking-set cost of barrier-free execution (paper §IV-B):")
+    for barrier_free, label in ((True, "barrier-free"), (False, "per-layer barriers")):
+        t = simulated_batch_time(spec, seq_len, batch, mbs=6, n_cores=48,
+                                 barrier_free=barrier_free)
+        ws = working_set_stats(t.trace)
+        print(f"  {label:20s}: {t.seconds * 1e3:8.1f} ms, "
+              f"avg {ws.mean_live_tasks:4.1f} live tasks, "
+              f"{ws.mean_live_wss_bytes / 1e6:6.1f} MB live working set")
+
+
+if __name__ == "__main__":
+    main()

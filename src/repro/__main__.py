@@ -1,0 +1,163 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+    python -m repro describe                # model/machine inventory
+    python -m repro table3 [--full]         # Table III (BLSTM)
+    python -m repro table4 [--full]         # Table IV (BGRU)
+    python -m repro fig3|fig4|fig5|fig6|fig7|fig8
+    python -m repro granularity|memory
+
+``--full`` runs the paper's complete configuration grids (minutes); the
+default grids cover every regime in seconds.  The same drivers back the
+pytest-benchmark suite in ``benchmarks/``, which additionally asserts each
+experiment's shape criteria.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+from repro.harness import figures
+from repro.harness.tables import HEADERS, TABLE_CONFIGS, TABLE_CONFIGS_SMOKE, run_table
+from repro.models.spec import BRNNSpec
+from repro.simarch.presets import tesla_v100, xeon_8160_2s
+
+
+def _cmd_describe(args) -> None:
+    machine = xeon_8160_2s()
+    gpu = tesla_v100()
+    print(f"simulated CPU : {machine.name} — {machine.n_cores} cores "
+          f"({machine.n_sockets}x{machine.cores_per_socket}) @ {machine.freq_ghz} GHz, "
+          f"L2 {machine.l2_bytes >> 10} KiB/core, L3 {machine.l3_bytes >> 20} MiB/socket")
+    print(f"simulated GPU : {gpu.name} — {gpu.peak_gflops / 1000:.1f} Tflop/s fp32 peak")
+    print("\nTable III/IV model configurations (6-layer, many-to-one):")
+    for inp, hid, batch, seq in TABLE_CONFIGS:
+        spec = BRNNSpec(cell="lstm", input_size=inp, hidden_size=hid,
+                        num_layers=6, merge_mode="sum", num_classes=11)
+        print(f"  in={inp:5d} hidden={hid:5d} batch={batch:4d} seq={seq:4d} "
+              f"-> {spec.num_parameters() / 1e6:6.1f}M parameters")
+
+
+def _cmd_table(cell: str, title: str, args) -> None:
+    configs = TABLE_CONFIGS if args.full else TABLE_CONFIGS_SMOKE
+    rows = run_table(cell, configs)
+    print(format_table(HEADERS, [r.as_list() for r in rows], title=title))
+
+
+def _cmd_fig3(args) -> None:
+    series = figures.fig3_minibatch_scaling()
+    cores = figures.CORE_COUNTS
+    print(format_table(
+        ["mbs"] + [f"{c}c" for c in cores],
+        [[f"mbs:{m}"] + [round(v, 2) for v in series[m]] for m in sorted(series)],
+        title="Fig. 3: B-Par speed-up vs mbs:1 @ 1 core",
+    ))
+
+
+def _cmd_fig4(args) -> None:
+    s = figures.fig4_core_scaling()
+    print(format_table(
+        ["engine"] + [f"{c}c" for c in s.core_counts],
+        [
+            ["Keras"] + [round(v, 3) for v in s.keras],
+            ["B-Seq"] + [round(v, 3) for v in s.bseq],
+            ["PyTorch"] + [round(v, 3) for v in s.pytorch],
+            ["B-Par"] + [round(v, 3) for v in s.bpar],
+        ],
+        title="Fig. 4: batch time (s) vs cores",
+    ))
+
+
+def _cmd_fig5(args) -> None:
+    rows = figures.fig5_hidden_batch()
+    print(format_table(
+        ["L", "hidden", "batch", "Keras", "PyTorch", "B-Seq", "B-Par", "K/BP"],
+        [[r["layers"], r["hidden"], r["batch"], round(r["keras"], 3),
+          round(r["pytorch"], 3), round(r["bseq"], 3), round(r["bpar"], 3),
+          round(r["keras"] / r["bpar"], 2)] for r in rows],
+        title="Fig. 5: batch/hidden sweep (s)",
+    ))
+
+
+def _cmd_fig6(args) -> None:
+    rows = figures.fig6_layers()
+    print(format_table(
+        ["L", "K train", "BPar train", "K infer", "BPar infer"],
+        [[r["layers"], round(r["keras_train"], 3), round(r["bpar_train"], 3),
+          round(r["keras_infer"], 3), round(r["bpar_infer"], 3)] for r in rows],
+        title="Fig. 6: layer sweep (s)",
+    ))
+
+
+def _cmd_fig7(args) -> None:
+    study = figures.fig7_locality(mbs=2)
+    print(f"locality-aware {study.time_aware_s:.3f}s vs oblivious "
+          f"{study.time_oblivious_s:.3f}s -> {100 * study.improvement:.1f}% faster")
+    print(format_table(
+        ["IPC band", "aware %", "oblivious %"],
+        [[lab, round(100 * fa, 1), round(100 * fo, 1)]
+         for (lab, fa), (_, fo) in zip(study.ipc_aware.rows(), study.ipc_oblivious.rows())],
+    ))
+    print(format_table(
+        ["MPKI band", "aware %", "oblivious %"],
+        [[lab, round(100 * fa, 1), round(100 * fo, 1)]
+         for (lab, fa), (_, fo) in zip(study.mpki_aware.rows(), study.mpki_oblivious.rows())],
+    ))
+
+
+def _cmd_fig8(args) -> None:
+    rows = figures.fig8_next_char()
+    print(format_table(
+        ["L", "hidden", "batch", "Keras s", "B-Par s", "speed-up"],
+        [[r["layers"], r["hidden"], r["batch"], round(r["keras"], 3),
+          round(r["bpar"], 3), round(r["speedup"], 2)] for r in rows],
+        title="Fig. 8: next-char m2m",
+    ))
+
+
+def _cmd_granularity(args) -> None:
+    stats, per_epoch = figures.granularity_study()
+    for label, value in stats.rows():
+        print(f"{label:24s} {value}")
+    print(f"{'tasks per epoch':24s} {per_epoch}  (paper: 368,240)")
+
+
+def _cmd_memory(args) -> None:
+    free, barred = figures.memory_study()
+    print(f"barrier-free : {free.mean_live_tasks:5.1f} live tasks, "
+          f"{free.mean_live_wss_bytes / 1e6:6.1f} MB live WSS")
+    print(f"with barriers: {barred.mean_live_tasks:5.1f} live tasks, "
+          f"{barred.mean_live_wss_bytes / 1e6:6.1f} MB live WSS")
+
+
+COMMANDS = {
+    "describe": _cmd_describe,
+    "table3": lambda a: _cmd_table("lstm", "Table III: BLSTM (ms)", a),
+    "table4": lambda a: _cmd_table("gru", "Table IV: BGRU (ms)", a),
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "granularity": _cmd_granularity,
+    "memory": _cmd_memory,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures on the simulated machine.",
+    )
+    parser.add_argument("command", choices=sorted(COMMANDS))
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's complete configuration grids")
+    args = parser.parse_args(argv)
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

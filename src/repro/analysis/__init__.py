@@ -1,0 +1,14 @@
+"""Measurement and reporting over execution traces (§IV-B analyses)."""
+
+from repro.analysis.granularity import GranularityStats, granularity_stats
+from repro.analysis.memory import WorkingSetStats, working_set_stats
+from repro.analysis.report import format_table, speedup
+
+__all__ = [
+    "GranularityStats",
+    "granularity_stats",
+    "WorkingSetStats",
+    "working_set_stats",
+    "format_table",
+    "speedup",
+]

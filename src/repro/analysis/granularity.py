@@ -1,0 +1,66 @@
+"""Task-granularity statistics (§IV-B "Task-granularity").
+
+The paper reports, for a BLSTM with seq 100 / batch 128 / input 64 /
+hidden 512: 368,240 tasks per epoch, an average LSTM-cell working set of
+4.71 MB, task durations from 272.8 µs to 315 ms (mean ≈ 13 ms), and
+task creation/scheduling/synchronisation overhead at least 10× smaller
+than the time spent inside tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.runtime.trace import ExecutionTrace
+
+
+@dataclass
+class GranularityStats:
+    """Summary of a trace's task-size distribution."""
+
+    num_tasks: int
+    tasks_by_kind: Dict[str, int]
+    duration_min_s: float
+    duration_max_s: float
+    duration_mean_s: float
+    cell_wss_mean_bytes: float
+    merge_wss_mean_bytes: float
+    overhead_ratio: float  # runtime overhead / in-task time
+
+    def rows(self):
+        return [
+            ("tasks", f"{self.num_tasks}"),
+            ("duration min", f"{self.duration_min_s * 1e6:.1f} us"),
+            ("duration max", f"{self.duration_max_s * 1e3:.2f} ms"),
+            ("duration mean", f"{self.duration_mean_s * 1e3:.2f} ms"),
+            ("cell task WSS", f"{self.cell_wss_mean_bytes / 1e6:.2f} MB"),
+            ("merge task WSS", f"{self.merge_wss_mean_bytes / 1e6:.2f} MB"),
+            ("overhead / task time", f"{self.overhead_ratio:.4f}"),
+        ]
+
+
+def granularity_stats(trace: ExecutionTrace) -> GranularityStats:
+    """Compute granularity statistics from one execution trace."""
+    if not trace.records:
+        raise ValueError("empty trace")
+    durations = np.asarray([r.duration for r in trace.records])
+    by_kind: Dict[str, int] = {}
+    for r in trace.records:
+        by_kind[r.kind] = by_kind.get(r.kind, 0) + 1
+    cell_wss = [r.wss_bytes for r in trace.records if r.kind in ("cell", "cell_bwd")]
+    merge_wss = [r.wss_bytes for r in trace.records if r.kind in ("merge", "merge_bwd")]
+    total_overhead = trace.total_overhead
+    in_task = trace.total_task_time - total_overhead
+    return GranularityStats(
+        num_tasks=len(trace.records),
+        tasks_by_kind=by_kind,
+        duration_min_s=float(durations.min()),
+        duration_max_s=float(durations.max()),
+        duration_mean_s=float(durations.mean()),
+        cell_wss_mean_bytes=float(np.mean(cell_wss)) if cell_wss else 0.0,
+        merge_wss_mean_bytes=float(np.mean(merge_wss)) if merge_wss else 0.0,
+        overhead_ratio=total_overhead / in_task if in_task > 0 else 0.0,
+    )

@@ -1,0 +1,46 @@
+"""Paper-style table formatting for benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def speedup(baseline: Optional[float], ours: Optional[float]) -> Optional[float]:
+    """``baseline / ours`` with None (hung/missing entries) propagated."""
+    if baseline is None or ours is None or ours <= 0:
+        return None
+    return baseline / ours
+
+
+def _fmt(value, width: int) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.1f}".rjust(width)
+        if value >= 10:
+            return f"{value:.1f}".rjust(width)
+        return f"{value:.2f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    min_width: int = 8,
+) -> str:
+    """Fixed-width text table (the benches print these to mirror the paper)."""
+    rows = [list(r) for r in rows]
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(_fmt(cell, 0).strip()))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(c, w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Trace export in Chrome trace-event format.
+
+``chrome://tracing`` / Perfetto can open the exported JSON: one row per
+core, one slice per task, coloured by task kind — the practical way to
+*see* the barrier-free schedule (or a framework baseline's barrier gaps).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.runtime.trace import ExecutionTrace
+
+
+def to_chrome_trace(trace: ExecutionTrace, process_name: str = "repro") -> Dict:
+    """Convert a trace to a Chrome trace-event ``dict`` (JSON-serialisable).
+
+    Timestamps/durations are microseconds, as the format requires; each
+    simulated/real core becomes a thread row.
+    """
+    events: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for core in range(trace.n_cores):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": core,
+                "args": {"name": f"core {core}"},
+            }
+        )
+    for r in trace.records:
+        events.append(
+            {
+                "name": r.name,
+                "cat": r.kind,
+                "ph": "X",  # complete event
+                "pid": 0,
+                "tid": r.core,
+                "ts": r.start * 1e6,
+                "dur": r.duration * 1e6,
+                "args": {
+                    "kind": r.kind,
+                    "flops": r.flops,
+                    "wss_bytes": r.wss_bytes,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(trace: ExecutionTrace, path, process_name: str = "repro") -> None:
+    """Write :func:`to_chrome_trace` output as JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(trace, process_name), fh)
+
+
+def ascii_timeline(
+    trace: ExecutionTrace,
+    width: int = 80,
+    max_cores: Optional[int] = 16,
+) -> str:
+    """Coarse per-core ASCII Gantt view of a trace (for terminals/logs).
+
+    Each column is a makespan/width time bucket; a core's cell shows ``#``
+    when the core is busy most of that bucket, ``.`` when partially busy.
+    """
+    span = trace.makespan
+    if span <= 0 or not trace.records:
+        return "(empty trace)"
+    cores = sorted({r.core for r in trace.records})
+    if max_cores is not None:
+        cores = cores[:max_cores]
+    busy = {c: [0.0] * width for c in cores}
+    for r in trace.records:
+        if r.core not in busy:
+            continue
+        lo = int(r.start / span * width)
+        hi = min(width - 1, int(r.end / span * width))
+        for col in range(lo, hi + 1):
+            bucket_start = col * span / width
+            bucket_end = bucket_start + span / width
+            overlap = min(r.end, bucket_end) - max(r.start, bucket_start)
+            if overlap > 0:
+                busy[r.core][col] += overlap
+    bucket = span / width
+    lines = []
+    for core in cores:
+        row = "".join(
+            "#" if frac > 0.5 * bucket else ("." if frac > 0 else " ")
+            for frac in busy[core]
+        )
+        lines.append(f"core {core:3d} |{row}|")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Baseline execution models of the paper's comparison frameworks.
+
+These are *execution-discipline* emulations, not reimplementations of
+TensorFlow/PyTorch: they run BRNN batches on the same simulated machine as
+B-Par but with the per-layer-barrier, intra-op-only parallel structure that
+§II attributes to the conventional frameworks, plus calibrated per-op
+overheads (DESIGN.md §2).  The GPU columns of Tables III/IV use a
+closed-form cuDNN-style cost model.
+"""
+
+from repro.baselines.framework import FrameworkCPUEngine, FrameworkProfile
+from repro.baselines.keras_like import keras_cpu_profile, KerasCPUEngine
+from repro.baselines.pytorch_like import pytorch_cpu_profile, PyTorchCPUEngine
+from repro.baselines.gpu_like import GPUFrameworkModel, keras_gpu_model, pytorch_gpu_model
+
+__all__ = [
+    "FrameworkProfile",
+    "FrameworkCPUEngine",
+    "keras_cpu_profile",
+    "KerasCPUEngine",
+    "pytorch_cpu_profile",
+    "PyTorchCPUEngine",
+    "GPUFrameworkModel",
+    "keras_gpu_model",
+    "pytorch_gpu_model",
+]

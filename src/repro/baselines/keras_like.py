@@ -1,0 +1,37 @@
+"""Keras-TensorFlow-2.3-CPU-like execution profile.
+
+TF with Intel optimisations (MKL-parallel + oneDNN, AVX512) runs fused-gate
+RNN GEMMs near full MKL efficiency but keeps the per-layer barrier
+discipline and a moderate per-op graph-dispatch cost.  Constants calibrated
+against the K-CPU columns of Tables III/IV (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.framework import FrameworkCPUEngine, FrameworkProfile
+from repro.models.spec import BRNNSpec
+from repro.simarch.machine import MachineSpec
+
+
+def keras_cpu_profile() -> FrameworkProfile:
+    return FrameworkProfile(
+        name="Keras-CPU",
+        op_overhead_s=15e-6,
+        gemm_eff_base=1.0,
+        gemm_eff_hidden_ref=0.0,  # fused oneDNN path: size-independent
+        sync_s=5e-6,
+        barrier_s=120e-6,
+        batch_fixed_s=10e-3,
+        min_intra_work=8.0e6,
+        max_intra=16,
+        intra_eff_alpha=0.06,
+    )
+
+
+class KerasCPUEngine(FrameworkCPUEngine):
+    """Per-layer-barrier engine with the Keras-TF CPU profile."""
+
+    def __init__(self, spec: BRNNSpec, machine: Optional[MachineSpec] = None) -> None:
+        super().__init__(spec, keras_cpu_profile(), machine)

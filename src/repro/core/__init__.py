@@ -1,0 +1,27 @@
+"""B-Par — the paper's contribution.
+
+Builds barrier-free task graphs for deep BRNN forward/backward propagation
+(:mod:`repro.core.graph_builder`, the role of Algorithms 1-3), and drives
+them through the runtime substrate via the engines:
+
+* :class:`~repro.core.bpar.BParEngine` — data + model parallelism, no
+  per-layer barriers (the B-Par execution model);
+* :class:`~repro.core.bseq.BSeqEngine` — data parallelism only, each
+  mini-batch processed sequentially (the paper's B-Seq baseline);
+* :class:`~repro.core.trainer.Trainer` — SGD training loop on top of
+  either engine.
+"""
+
+from repro.core.graph_builder import GraphBuildResult, build_brnn_graph
+from repro.core.bpar import BParEngine
+from repro.core.bseq import BSeqEngine
+from repro.core.trainer import Trainer, accuracy
+
+__all__ = [
+    "GraphBuildResult",
+    "build_brnn_graph",
+    "BParEngine",
+    "BSeqEngine",
+    "Trainer",
+    "accuracy",
+]

@@ -1,0 +1,137 @@
+"""The B-Par execution engine.
+
+Front-end over :func:`repro.core.graph_builder.build_brnn_graph` plus an
+executor: inference and single-batch training with hybrid data (``mbs``)
+and model (task-level) parallelism, no per-layer barriers.  Works with the
+threaded executor (real concurrency) or the simulated executor (modelled
+48-core machine); with ``mbs=1`` results are bit-identical to the
+sequential oracle under every schedule.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.core.graph_builder import GraphBuildResult, build_brnn_graph
+from repro.models.params import BRNNParams
+from repro.models.spec import BRNNSpec
+from repro.runtime.executor import ThreadedExecutor
+from repro.runtime.trace import ExecutionTrace
+
+
+def default_executor() -> ThreadedExecutor:
+    """Threaded executor sized to the host (capped: tasks are GEMM-bound)."""
+    return ThreadedExecutor(min(8, os.cpu_count() or 1))
+
+
+class BParEngine:
+    """Barrier-free task-parallel BRNN training and inference."""
+
+    #: builder flag distinguishing B-Par from B-Seq (overridden by BSeqEngine)
+    serialize_chunks = False
+    name = "B-Par"
+
+    def __init__(
+        self,
+        spec: BRNNSpec,
+        params: Optional[BRNNParams] = None,
+        executor=None,
+        mbs: int = 1,
+        barrier_free: bool = True,
+        momentum: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.params = params if params is not None else BRNNParams.initialize(spec, seed)
+        self.executor = executor if executor is not None else default_executor()
+        self.mbs = mbs
+        self.barrier_free = barrier_free
+        self.momentum = momentum
+        #: classical-momentum velocity buffers, allocated on first use
+        self.velocity = BRNNParams.zeros_like(spec) if momentum > 0.0 else None
+        self.last_trace: Optional[ExecutionTrace] = None
+        self.last_result: Optional[GraphBuildResult] = None
+
+    def _effective_mbs(self, batch: int) -> int:
+        """Chunk count for this batch: ``mbs`` clamped to the batch size.
+
+        The graph is rebuilt per batch (§III-B), so a trailing short batch
+        simply gets fewer data-parallel chunks.
+        """
+        return max(1, min(self.mbs, batch))
+
+    # -- functional execution ---------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Inference on one batch ``x (T, B, input_size)``; returns logits."""
+        result = build_brnn_graph(
+            self.spec,
+            x=x,
+            params=self.params,
+            training=False,
+            mbs=self._effective_mbs(x.shape[1]),
+            barrier_free=self.barrier_free,
+            serialize_chunks=self.serialize_chunks,
+        )
+        self.last_trace = self.executor.run(result.graph)
+        self.last_result = result
+        return result.logits()
+
+    def train_batch(self, x: np.ndarray, labels: np.ndarray, lr: float = 0.05) -> float:
+        """One SGD step on one batch; returns the batch mean loss.
+
+        Forward, backward, gradient reduction across mini-batch chunks, and
+        the weight update all run inside a single barrier-free task graph.
+        """
+        result = build_brnn_graph(
+            self.spec,
+            x=x,
+            labels=labels,
+            params=self.params,
+            training=True,
+            lr=lr,
+            mbs=self._effective_mbs(x.shape[1]),
+            barrier_free=self.barrier_free,
+            serialize_chunks=self.serialize_chunks,
+            momentum=self.momentum,
+            velocity=self.velocity,
+        )
+        self.last_trace = self.executor.run(result.graph)
+        self.last_result = result
+        return result.mean_loss()
+
+    def loss_and_grads(self, x: np.ndarray, labels: np.ndarray):
+        """Loss + combined gradients without updating weights (for tests)."""
+        result = build_brnn_graph(
+            self.spec,
+            x=x,
+            labels=labels,
+            params=self.params,
+            training=True,
+            mbs=self._effective_mbs(x.shape[1]),
+            barrier_free=self.barrier_free,
+            update_weights=False,
+            serialize_chunks=self.serialize_chunks,
+        )
+        self.last_trace = self.executor.run(result.graph)
+        self.last_result = result
+        return result.mean_loss(), result.logits(), result.combined_grads()
+
+    # -- cost-only graphs (simulated timing studies) ------------------------------
+
+    def build_cost_graph(
+        self, seq_len: int, batch: int, training: bool = True
+    ) -> GraphBuildResult:
+        """Annotation-only graph of one batch for the simulated executor."""
+        return build_brnn_graph(
+            self.spec,
+            seq_len=seq_len,
+            batch=batch,
+            training=training,
+            mbs=self.mbs,
+            barrier_free=self.barrier_free,
+            serialize_chunks=self.serialize_chunks,
+        )

@@ -1,0 +1,20 @@
+"""B-Seq — the paper's data-parallelism-only baseline (§IV-A).
+
+B-Seq splits a batch into ``mbs`` mini-batches processed in parallel, but
+each mini-batch is computed *sequentially* (no model parallelism).  It runs
+on the same runtime and unrolling as B-Par; the only difference is a
+serialisation token threaded through every task of a chunk, which collapses
+the chunk's task graph to a chain.  Consequently B-Seq can never exploit
+more than ``mbs`` cores — the saturation behaviour of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from repro.core.bpar import BParEngine
+
+
+class BSeqEngine(BParEngine):
+    """Data-parallel-only BRNN engine (each mini-batch runs sequentially)."""
+
+    serialize_chunks = True
+    name = "B-Seq"

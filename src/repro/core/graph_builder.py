@@ -1,0 +1,843 @@
+"""Barrier-free BRNN task-graph construction (Algorithms 1-3 of the paper).
+
+One call to :func:`build_brnn_graph` registers every task of a single-batch
+forward (and, when training, backward + weight update) pass: one task per
+RNN cell update per direction, one per merge (Eq. 11), head/loss tasks, and
+per-(layer, direction) gradient-update tasks whose dependences implement the
+data-parallel gradient synchronisation of §III-B.  Dependences are declared
+through :class:`~repro.runtime.task.Region` annotations exactly as the
+paper's ``#pragma omp task in(...) out(...)`` lines do; the runtime derives
+the DAG of Fig. 2 from them.
+
+Two modes:
+
+* **functional** (``x`` given) — payload closures execute the real NumPy
+  kernels against :class:`~repro.core.state.ChunkState` buffers.  Any
+  dependence-respecting schedule computes outputs bit-identical to the
+  sequential oracle (:mod:`repro.models.reference`).
+* **cost-only** (``x`` omitted, ``seq_len``/``batch`` given) — tasks carry
+  no payload, only region/flop annotations, for paper-scale simulated
+  timing studies without allocating hundred-megabyte models.
+
+``barrier_free=False`` inserts the per-layer barriers used by conventional
+frameworks — the knob behind the paper's working-set comparison (§IV-B) and
+our barrier ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.kernels.dense import dense_backward, dense_bwd_flops, dense_forward, dense_fwd_flops
+from repro.kernels.losses import softmax_cross_entropy
+from repro.kernels.merge import merge_backward, merge_flops, merge_forward
+from repro.models.cells import cell_backward, cell_bwd_flops, cell_forward, cell_fwd_flops
+from repro.models.params import BRNNParams
+from repro.models.spec import BRNNSpec
+from repro.core.state import ChunkState
+from repro.runtime.depgraph import TaskGraph
+from repro.runtime.task import INTERLEAVED_HOME, Region, RegionSpace
+
+
+@dataclass
+class GraphBuildResult:
+    """A built graph plus the handles needed to read results back."""
+
+    graph: TaskGraph
+    regions: RegionSpace
+    spec: BRNNSpec
+    seq_len: int
+    chunk_batches: List[int]
+    training: bool
+    functional: bool
+    chunks: Optional[List[ChunkState]] = None
+    params: Optional[BRNNParams] = None
+
+    @property
+    def total_batch(self) -> int:
+        return sum(self.chunk_batches)
+
+    @property
+    def mbs(self) -> int:
+        return len(self.chunk_batches)
+
+    def logits(self) -> np.ndarray:
+        """Batch logits, chunks re-concatenated along the batch axis."""
+        if not self.functional:
+            raise RuntimeError("cost-only graphs carry no data")
+        axis = 0 if self.spec.head == "many_to_one" else 1
+        return np.concatenate([c.stacked_logits() for c in self.chunks], axis=axis)
+
+    def mean_loss(self) -> float:
+        """Batch mean loss (over B for m2o, over T×B for m2m)."""
+        if not self.functional:
+            raise RuntimeError("cost-only graphs carry no data")
+        units = self.total_batch
+        if self.spec.head == "many_to_many":
+            units *= self.seq_len
+        return sum(sum(c.loss_sums) for c in self.chunks) / units
+
+    def combined_grads(self) -> BRNNParams:
+        """Sum of per-chunk gradients (the full-batch gradient)."""
+        total = BRNNParams.zeros_like(self.spec)
+        for chunk in self.chunks:
+            total.add_scaled_(chunk.grads, 1.0)
+        return total
+
+
+def _axpy(dst: np.ndarray, alpha: float, src: np.ndarray) -> None:
+    """``dst += alpha * src`` with the exact arithmetic of the oracle's SGD."""
+    dst += np.asarray(alpha, dtype=dst.dtype) * src
+
+
+class _Builder:
+    def __init__(
+        self,
+        spec: BRNNSpec,
+        seq_len: int,
+        chunk_batches: Sequence[int],
+        training: bool,
+        functional: bool,
+        barrier_free: bool,
+        update_weights: bool,
+        lr: float,
+        params: Optional[BRNNParams],
+        chunks: Optional[List[ChunkState]],
+        serialize_chunks: bool = False,
+        momentum: float = 0.0,
+        velocity: Optional[BRNNParams] = None,
+    ) -> None:
+        self.serialize_chunks = serialize_chunks
+        self.momentum = momentum
+        self.velocity = velocity
+        self.spec = spec
+        self.seq_len = seq_len
+        self.chunk_batches = list(chunk_batches)
+        self.training = training
+        self.functional = functional
+        self.barrier_free = barrier_free
+        self.update_weights = update_weights
+        self.lr = lr
+        self.params = params
+        self.chunks = chunks
+        self.graph = TaskGraph()
+        self.regions = RegionSpace()
+        self.isz = np.dtype(spec.dtype).itemsize
+        # state bytes per sample: h (+ c for LSTM)
+        self.state_mult = 2 if spec.cell == "lstm" else 1
+        self.cache_mult = {"lstm": 7, "gru": 5, "rnn": 2}[spec.cell]
+        units = self.total_batch * (seq_len if spec.head == "many_to_many" else 1)
+        self.grad_scale = 1.0 / units
+
+    @property
+    def total_batch(self) -> int:
+        return sum(self.chunk_batches)
+
+    # -- region accessors -------------------------------------------------------
+
+    def _gemm_reuse(self, mb: int) -> float:
+        """Operand sweep count of one cell GEMM: grows with the row count
+        (a blocked GEMM re-reads its weight panels once per row block)."""
+        return min(6.0, 1.0 + self.chunk_batches[mb] / 32.0)
+
+    def r_serial(self, mb: int) -> Region:
+        """Zero-byte token region serialising all tasks of chunk ``mb``.
+
+        B-Seq (data parallelism only) threads this region through every
+        task of a chunk as ``inout``, which forces the chunk's tasks to run
+        in registration order while distinct chunks stay independent.
+        """
+        return self.regions.get(("serial", mb), 0)
+
+    def _add(self, name, fn, *, ins=(), outs=(), inouts=(), flops=0.0, kind="task", meta=None, mb=None):
+        """add_task wrapper applying the chunk-serialisation token."""
+        inouts = list(inouts)
+        if self.serialize_chunks and mb is not None:
+            inouts.append(self.r_serial(mb))
+        return self.graph.add_task(
+            name, fn, ins=ins, outs=outs, inouts=inouts, flops=flops, kind=kind, meta=meta
+        )
+
+    def r_x(self, mb: int, t: int) -> Region:
+        bc = self.chunk_batches[mb]
+        return self.regions.get(("x", mb, t), bc * self.spec.input_size * self.isz, streaming=True)
+
+    def r_w(self, layer: int, direction: str) -> Region:
+        (wr, wc), (bn,) = self.spec.cell_param_shapes(layer)
+        region = self.regions.get(("W", layer, direction), (wr * wc + bn) * self.isz)
+        region.home = INTERLEAVED_HOME  # shared weights: page-interleaved
+        return region
+
+    def r_gw(self, mb: int, layer: int, direction: str) -> Region:
+        (wr, wc), (bn,) = self.spec.cell_param_shapes(layer)
+        return self.regions.get(("gW", mb, layer, direction), (wr * wc + bn) * self.isz)
+
+    def r_h(self, mb: int, layer: int, direction: str, step: int) -> Region:
+        bc = self.chunk_batches[mb]
+        nbytes = self.state_mult * bc * self.spec.hidden_size * self.isz
+        return self.regions.get(("h", mb, layer, direction, step), nbytes, streaming=True)
+
+    def r_cache(self, mb: int, layer: int, direction: str, step: int) -> Region:
+        bc = self.chunk_batches[mb]
+        nbytes = self.cache_mult * bc * self.spec.hidden_size * self.isz
+        return self.regions.get(("cache", mb, layer, direction, step), nbytes, streaming=True)
+
+    def r_m(self, mb: int, layer: int, t: int) -> Region:
+        bc = self.chunk_batches[mb]
+        return self.regions.get(("m", mb, layer, t), bc * self.spec.merged_size * self.isz, streaming=True)
+
+    def r_mlast(self, mb: int, slot: int) -> Region:
+        bc = self.chunk_batches[mb]
+        return self.regions.get(("mlast", mb, slot), bc * self.spec.merged_size * self.isz, streaming=True)
+
+    def r_wout(self) -> Region:
+        s = self.spec
+        region = self.regions.get(
+            ("Wout",), (s.head_input_size * s.num_classes + s.num_classes) * self.isz
+        )
+        region.home = INTERLEAVED_HOME
+        return region
+
+    def r_gwout(self, mb: int) -> Region:
+        s = self.spec
+        return self.regions.get(
+            ("gWout", mb), (s.head_input_size * s.num_classes + s.num_classes) * self.isz
+        )
+
+    def r_logits(self, mb: int, slot: int) -> Region:
+        bc = self.chunk_batches[mb]
+        return self.regions.get(("logits", mb, slot), bc * self.spec.num_classes * self.isz, streaming=True)
+
+    def r_dlogits(self, mb: int, slot: int) -> Region:
+        bc = self.chunk_batches[mb]
+        return self.regions.get(("dlogits", mb, slot), bc * self.spec.num_classes * self.isz, streaming=True)
+
+    def r_dh(self, mb: int, layer: int, direction: str, step: int) -> Region:
+        bc = self.chunk_batches[mb]
+        nbytes = self.state_mult * bc * self.spec.hidden_size * self.isz
+        return self.regions.get(("dh", mb, layer, direction, step), nbytes, streaming=True)
+
+    def r_dm(self, mb: int, layer: int, t: int) -> Region:
+        bc = self.chunk_batches[mb]
+        return self.regions.get(("dm", mb, layer, t), bc * self.spec.merged_size * self.isz, streaming=True)
+
+    def r_dmlast(self, mb: int, slot: int) -> Region:
+        bc = self.chunk_batches[mb]
+        return self.regions.get(("dmlast", mb, slot), bc * self.spec.merged_size * self.isz, streaming=True)
+
+    # -- payload factories (functional mode) ------------------------------------
+
+    def _fn_cell_fwd(self, mb, layer, direction, step):
+        if not self.functional:
+            return None
+        state, spec, params, T = self.chunks[mb], self.spec, self.params, self.seq_len
+
+        def fn():
+            dp = params.layers[layer].direction(direction)
+            if direction == "fwd":
+                pos = step
+                h_prev = state.h_f[layer][step - 1] if step > 0 else state.h0
+                c_prev = state.c_f[layer][step - 1] if step > 0 else state.c0
+            else:
+                pos = T - 1 - step
+                h_prev = state.h_r[layer][step - 1] if step > 0 else state.h0
+                c_prev = state.c_r[layer][step - 1] if step > 0 else state.c0
+            if spec.cell != "lstm":
+                c_prev = None
+            h, c, cache = cell_forward(
+                spec, state.layer_input(layer, pos), h_prev, c_prev, dp.W, dp.b
+            )
+            if direction == "fwd":
+                state.h_f[layer][step] = h
+                state.c_f[layer][step] = c
+                state.cache_f[layer][step] = cache
+            else:
+                state.h_r[layer][step] = h
+                state.c_r[layer][step] = c
+                state.cache_r[layer][step] = cache
+
+        return fn
+
+    def _fn_merge(self, mb, layer, t):
+        if not self.functional:
+            return None
+        state, spec, T = self.chunks[mb], self.spec, self.seq_len
+
+        def fn():
+            state.merged[layer][t] = merge_forward(
+                state.h_f[layer][t], state.h_r[layer][T - 1 - t], spec.merge_mode
+            )
+
+        return fn
+
+    def _fn_last_merge(self, mb, slot, t_fwd, u_rev):
+        if not self.functional:
+            return None
+        state, spec, last = self.chunks[mb], self.spec, self.spec.num_layers - 1
+
+        def fn():
+            state.last_merged[slot] = merge_forward(
+                state.h_f[last][t_fwd], state.h_r[last][u_rev], spec.merge_mode
+            )
+
+        return fn
+
+    def _fn_head_fwd(self, mb, slot):
+        if not self.functional:
+            return None
+        state, params = self.chunks[mb], self.params
+
+        def fn():
+            state.logits[slot] = dense_forward(
+                state.last_merged[slot], params.head.W, params.head.b
+            )
+
+        return fn
+
+    def _fn_loss(self, mb, slot, t_label):
+        if not self.functional:
+            return None
+        state, spec, scale = self.chunks[mb], self.spec, self.grad_scale
+
+        def fn():
+            labels = state.labels if spec.head == "many_to_one" else state.labels[t_label]
+            loss_sum, dl = softmax_cross_entropy(state.logits[slot], labels, grad_scale=scale)
+            state.loss_sums[slot] = loss_sum
+            state.dlogits[slot] = dl
+
+        return fn
+
+    def _fn_head_bwd(self, mb, slot):
+        if not self.functional:
+            return None
+        state, params = self.chunks[mb], self.params
+
+        def fn():
+            state.dlast_merged[slot] = dense_backward(
+                state.dlogits[slot],
+                state.last_merged[slot],
+                params.head.W,
+                state.grads.head.W,
+                state.grads.head.b,
+            )
+
+        return fn
+
+    def _fn_last_merge_bwd(self, mb, slot, t_fwd, u_rev):
+        if not self.functional:
+            return None
+        state, spec, last = self.chunks[mb], self.spec, self.spec.num_layers - 1
+
+        def fn():
+            da, db = merge_backward(
+                state.dlast_merged[slot],
+                state.h_f[last][t_fwd],
+                state.h_r[last][u_rev],
+                spec.merge_mode,
+            )
+            state.dh_f[last][t_fwd] += da
+            state.dh_r[last][u_rev] += db
+
+        return fn
+
+    def _fn_cell_bwd(self, mb, layer, direction, step):
+        if not self.functional:
+            return None
+        state, spec, params, T = self.chunks[mb], self.spec, self.params, self.seq_len
+
+        def fn():
+            dp = params.layers[layer].direction(direction)
+            gp = state.grads.layers[layer].direction(direction)
+            if direction == "fwd":
+                dh, dc = state.dh_f[layer][step], state.dc_f[layer][step]
+                cache = state.cache_f[layer][step]
+            else:
+                dh, dc = state.dh_r[layer][step], state.dc_r[layer][step]
+                cache = state.cache_r[layer][step]
+            dx, dh_prev, dc_prev = cell_backward(spec, dh, dc, cache, dp.W, gp.W, gp.b)
+            if step > 0:
+                if direction == "fwd":
+                    state.dh_f[layer][step - 1] += dh_prev
+                    if dc_prev is not None:
+                        state.dc_f[layer][step - 1] += dc_prev
+                else:
+                    state.dh_r[layer][step - 1] += dh_prev
+                    if dc_prev is not None:
+                        state.dc_r[layer][step - 1] += dc_prev
+            if layer > 0:
+                pos = step if direction == "fwd" else T - 1 - step
+                state.dmerged[layer - 1][pos] += dx
+
+        return fn
+
+    def _fn_merge_bwd(self, mb, layer, t):
+        if not self.functional:
+            return None
+        state, spec, T = self.chunks[mb], self.spec, self.seq_len
+
+        def fn():
+            da, db = merge_backward(
+                state.dmerged[layer][t],
+                state.h_f[layer][t],
+                state.h_r[layer][T - 1 - t],
+                spec.merge_mode,
+            )
+            state.dh_f[layer][t] += da
+            state.dh_r[layer][T - 1 - t] += db
+
+        return fn
+
+    def _fn_weight_update(self, layer, direction):
+        if not self.functional:
+            return None
+        chunks, params, lr = self.chunks, self.params, self.lr
+        momentum, velocity = self.momentum, self.velocity
+
+        if velocity is None:
+            def fn():
+                dp = params.layers[layer].direction(direction)
+                for chunk in chunks:
+                    gp = chunk.grads.layers[layer].direction(direction)
+                    _axpy(dp.W, -lr, gp.W)
+                    _axpy(dp.b, -lr, gp.b)
+        else:
+            # v ← µ·v − lr·Σ g_chunk ;  W ← W + v   (classical momentum)
+            def fn():
+                dp = params.layers[layer].direction(direction)
+                vp = velocity.layers[layer].direction(direction)
+                vp.W *= np.asarray(momentum, dtype=vp.W.dtype)
+                vp.b *= np.asarray(momentum, dtype=vp.b.dtype)
+                for chunk in chunks:
+                    gp = chunk.grads.layers[layer].direction(direction)
+                    _axpy(vp.W, -lr, gp.W)
+                    _axpy(vp.b, -lr, gp.b)
+                dp.W += vp.W
+                dp.b += vp.b
+
+        return fn
+
+    def _fn_head_update(self):
+        if not self.functional:
+            return None
+        chunks, params, lr = self.chunks, self.params, self.lr
+        momentum, velocity = self.momentum, self.velocity
+
+        if velocity is None:
+            def fn():
+                for chunk in chunks:
+                    _axpy(params.head.W, -lr, chunk.grads.head.W)
+                    _axpy(params.head.b, -lr, chunk.grads.head.b)
+        else:
+            def fn():
+                velocity.head.W *= np.asarray(momentum, dtype=velocity.head.W.dtype)
+                velocity.head.b *= np.asarray(momentum, dtype=velocity.head.b.dtype)
+                for chunk in chunks:
+                    _axpy(velocity.head.W, -lr, chunk.grads.head.W)
+                    _axpy(velocity.head.b, -lr, chunk.grads.head.b)
+                params.head.W += velocity.head.W
+                params.head.b += velocity.head.b
+
+        return fn
+
+    # -- graph assembly -----------------------------------------------------------
+
+    def build(self) -> GraphBuildResult:
+        n_chunks = len(self.chunk_batches)
+        if self.barrier_free:
+            for mb in range(n_chunks):
+                self._build_forward(mb)
+            if self.training:
+                for mb in range(n_chunks):
+                    self._build_backward(mb)
+                if self.update_weights:
+                    self._build_updates()
+        else:
+            # Per-layer-synchronised variant (§IV-B memory study / barrier
+            # ablation): layer-major construction with a global barrier per
+            # layer, and the two direction passes of a layer serialised —
+            # the execution discipline of the conventional frameworks.
+            # Dependences only ever get *added*, so results are unchanged.
+            for layer in range(self.spec.num_layers):
+                for mb in range(n_chunks):
+                    self._build_forward_layer(mb, layer, serial_dirs=True)
+                self.graph.barrier(f"fwd_layer_barrier.L{layer}")
+            if self.training:
+                for mb in range(n_chunks):
+                    self._build_backward_head(mb)
+                self.graph.barrier("bwd_head_barrier")
+                for layer in range(self.spec.num_layers - 1, -1, -1):
+                    for mb in range(n_chunks):
+                        self._build_backward_layer(mb, layer, serial_dirs=True)
+                    self.graph.barrier(f"bwd_layer_barrier.L{layer}")
+                if self.update_weights:
+                    self._build_updates()
+        return GraphBuildResult(
+            graph=self.graph,
+            regions=self.regions,
+            spec=self.spec,
+            seq_len=self.seq_len,
+            chunk_batches=self.chunk_batches,
+            training=self.training,
+            functional=self.functional,
+            chunks=self.chunks,
+            params=self.params,
+        )
+
+    def _build_forward(self, mb: int) -> None:
+        for layer in range(self.spec.num_layers):
+            self._build_forward_layer(mb, layer)
+
+    def _build_forward_layer(self, mb: int, layer: int, serial_dirs: bool = False) -> None:
+        spec, T = self.spec, self.seq_len
+        bc = self.chunk_batches[mb]
+        last = spec.num_layers - 1
+
+        fwd_flops = cell_fwd_flops(spec, bc, layer)
+        # Barrier-free mode interleaves the two chains' creation (purely a
+        # ready-queue fairness matter); serial_dirs mode creates chain-major
+        # so the reverse chain's first task can depend on the forward
+        # chain's last write (framework discipline).
+        if serial_dirs:
+            schedule = [(d, s) for d in ("fwd", "rev") for s in range(T)]
+        else:
+            schedule = [(d, s) for s in range(T) for d in ("fwd", "rev")]
+        for direction, step in schedule:
+                pos = step if direction == "fwd" else T - 1 - step
+                x_region = self.r_x(mb, pos) if layer == 0 else self.r_m(mb, layer - 1, pos)
+                ins = [x_region, self.r_w(layer, direction)]
+                if step > 0:
+                    ins.append(self.r_h(mb, layer, direction, step - 1))
+                if serial_dirs and direction == "rev" and step == 0:
+                    # framework discipline: reverse pass starts only after
+                    # the forward pass of this layer has finished
+                    ins.append(self.r_h(mb, layer, "fwd", T - 1))
+                self._add(
+                    f"{direction}[{mb}]L{layer}s{step}",
+                    self._fn_cell_fwd(mb, layer, direction, step),
+                    ins=ins,
+                    outs=[
+                        self.r_h(mb, layer, direction, step),
+                        self.r_cache(mb, layer, direction, step),
+                    ],
+                    flops=fwd_flops,
+                    kind="cell",
+                    meta={
+                        "mb": mb,
+                        "layer": layer,
+                        "dir": direction,
+                        "step": step,
+                        "reuse": self._gemm_reuse(mb),
+                    },
+                    mb=mb,
+                )
+        if layer < last:
+            mflops = merge_flops(spec.merge_mode, bc, spec.hidden_size)
+            for t in range(T):
+                self._add(
+                    f"merge[{mb}]L{layer}t{t}",
+                    self._fn_merge(mb, layer, t),
+                    ins=[
+                        self.r_h(mb, layer, "fwd", t),
+                        self.r_h(mb, layer, "rev", T - 1 - t),
+                    ],
+                    outs=[self.r_m(mb, layer, t)],
+                    flops=mflops,
+                    kind="merge",
+                    meta={"mb": mb, "layer": layer, "t": t},
+                    mb=mb,
+                )
+        else:
+            self._build_head(mb)
+
+    def _head_slots(self):
+        """(slot, t_fwd, u_rev, t_label) tuples for the last-layer merges."""
+        T = self.seq_len
+        if self.spec.head == "many_to_one":
+            return [(0, T - 1, T - 1, None)]
+        return [(t, t, T - 1 - t, t) for t in range(T)]
+
+    def _build_head(self, mb: int) -> None:
+        spec, T, g = self.spec, self.seq_len, self.graph
+        bc = self.chunk_batches[mb]
+        last = spec.num_layers - 1
+        mflops = merge_flops(spec.merge_mode, bc, spec.hidden_size)
+        hflops = dense_fwd_flops(bc, spec.head_input_size, spec.num_classes)
+
+        for slot, t_fwd, u_rev, t_label in self._head_slots():
+            self._add(
+                f"mergeLast[{mb}]s{slot}",
+                self._fn_last_merge(mb, slot, t_fwd, u_rev),
+                ins=[self.r_h(mb, last, "fwd", t_fwd), self.r_h(mb, last, "rev", u_rev)],
+                outs=[self.r_mlast(mb, slot)],
+                flops=mflops,
+                kind="merge",
+                meta={"mb": mb, "layer": last, "slot": slot},
+                mb=mb,
+            )
+            self._add(
+                f"head[{mb}]s{slot}",
+                self._fn_head_fwd(mb, slot),
+                ins=[self.r_mlast(mb, slot), self.r_wout()],
+                outs=[self.r_logits(mb, slot)],
+                flops=hflops,
+                kind="head",
+                meta={"mb": mb, "slot": slot},
+                mb=mb,
+            )
+            if self.training:
+                self._add(
+                    f"loss[{mb}]s{slot}",
+                    self._fn_loss(mb, slot, t_label),
+                    ins=[self.r_logits(mb, slot)],
+                    outs=[self.r_dlogits(mb, slot)],
+                    flops=6.0 * bc * spec.num_classes,
+                    kind="loss",
+                    meta={"mb": mb, "slot": slot},
+                    mb=mb,
+                )
+
+    def _build_backward(self, mb: int) -> None:
+        spec, T, g = self.spec, self.seq_len, self.graph
+        bc = self.chunk_batches[mb]
+        last = spec.num_layers - 1
+        mul = spec.merge_mode == "mul"
+        hbflops = dense_bwd_flops(bc, spec.head_input_size, spec.num_classes)
+        mbflops = 2.0 * merge_flops(spec.merge_mode, bc, spec.hidden_size)
+
+        self._build_backward_head(mb)
+        for layer in range(last, -1, -1):
+            self._build_backward_layer(mb, layer)
+
+    def _build_backward_head(self, mb: int) -> None:
+        spec, T = self.spec, self.seq_len
+        bc = self.chunk_batches[mb]
+        last = spec.num_layers - 1
+        mul = spec.merge_mode == "mul"
+        hbflops = dense_bwd_flops(bc, spec.head_input_size, spec.num_classes)
+        mbflops = 2.0 * merge_flops(spec.merge_mode, bc, spec.hidden_size)
+
+        # Head backward, t descending (matches the oracle's reduction order).
+        for slot, t_fwd, u_rev, _ in reversed(self._head_slots()):
+            self._add(
+                f"headBwd[{mb}]s{slot}",
+                self._fn_head_bwd(mb, slot),
+                ins=[self.r_dlogits(mb, slot), self.r_mlast(mb, slot), self.r_wout()],
+                outs=[self.r_dmlast(mb, slot)],
+                inouts=[self.r_gwout(mb)],
+                flops=hbflops,
+                kind="head_bwd",
+                meta={"mb": mb, "slot": slot},
+                mb=mb,
+            )
+            ins = [self.r_dmlast(mb, slot)]
+            if mul:
+                ins += [self.r_h(mb, last, "fwd", t_fwd), self.r_h(mb, last, "rev", u_rev)]
+            self._add(
+                f"mergeLastBwd[{mb}]s{slot}",
+                self._fn_last_merge_bwd(mb, slot, t_fwd, u_rev),
+                ins=ins,
+                inouts=[
+                    self.r_dh(mb, last, "fwd", t_fwd),
+                    self.r_dh(mb, last, "rev", u_rev),
+                ],
+                flops=mbflops,
+                kind="merge_bwd",
+                meta={"mb": mb, "slot": slot},
+                mb=mb,
+            )
+
+    def _build_backward_layer(self, mb: int, layer: int, serial_dirs: bool = False) -> None:
+        spec, T = self.spec, self.seq_len
+        bc = self.chunk_batches[mb]
+        mul = spec.merge_mode == "mul"
+        mbflops = 2.0 * merge_flops(spec.merge_mode, bc, spec.hidden_size)
+        bwd_flops = cell_bwd_flops(spec, bc, layer)
+        # The two direction chains are created interleaved by chain
+        # position.  Creation order fixes the WAW order on the shared
+        # ``dm`` accumulators; pairing by position keeps each chain at
+        # most one task behind the other so both run concurrently
+        # (chain-major creation would serialise them: the rev chain's
+        # first task writes the dm slot the fwd chain writes last).
+        # The two dm contributions commute bitwise, so results are
+        # unchanged.  serial_dirs (barriered mode) creates chain-major so
+        # the cross-direction dependence lands on the fwd chain's last task.
+        if serial_dirs:
+            schedule = [(d, p) for d in ("fwd", "rev") for p in range(T)]
+        else:
+            schedule = [(d, p) for p in range(T) for d in ("fwd", "rev")]
+        for direction, position in schedule:
+                step = T - 1 - position
+                ins = [
+                    self.r_dh(mb, layer, direction, step),
+                    self.r_cache(mb, layer, direction, step),
+                    self.r_w(layer, direction),
+                ]
+                if serial_dirs and direction == "rev" and position == 0:
+                    # framework discipline: the reverse backward pass waits
+                    # for the forward-direction backward pass of this layer
+                    # (its final gW write)
+                    ins.append(self.r_gw(mb, layer, "fwd"))
+                inouts = [self.r_gw(mb, layer, direction)]
+                if step > 0:
+                    inouts.append(self.r_dh(mb, layer, direction, step - 1))
+                if layer > 0:
+                    pos = step if direction == "fwd" else T - 1 - step
+                    inouts.append(self.r_dm(mb, layer - 1, pos))
+                self._add(
+                    f"{direction}Bwd[{mb}]L{layer}s{step}",
+                    self._fn_cell_bwd(mb, layer, direction, step),
+                    ins=ins,
+                    inouts=inouts,
+                    flops=bwd_flops,
+                    kind="cell_bwd",
+                    meta={
+                        "mb": mb,
+                        "layer": layer,
+                        "dir": direction,
+                        "step": step,
+                        "reuse": self._gemm_reuse(mb),
+                    },
+                    mb=mb,
+                )
+        if layer > 0:
+            below = layer - 1
+            for t in range(T - 1, -1, -1):
+                ins = [self.r_dm(mb, below, t)]
+                if mul:
+                    ins += [
+                        self.r_h(mb, below, "fwd", t),
+                        self.r_h(mb, below, "rev", T - 1 - t),
+                    ]
+                self._add(
+                    f"mergeBwd[{mb}]L{below}t{t}",
+                    self._fn_merge_bwd(mb, below, t),
+                    ins=ins,
+                    inouts=[
+                        self.r_dh(mb, below, "fwd", t),
+                        self.r_dh(mb, below, "rev", T - 1 - t),
+                    ],
+                    flops=mbflops,
+                    kind="merge_bwd",
+                    meta={"mb": mb, "layer": below, "t": t},
+                    mb=mb,
+                )
+
+    def _build_updates(self) -> None:
+        spec, g = self.spec, self.graph
+        n_chunks = len(self.chunk_batches)
+        for layer in range(spec.num_layers):
+            (wr, wc), (bn,) = spec.cell_param_shapes(layer)
+            uflops = 2.0 * n_chunks * (wr * wc + bn)
+            for direction in ("fwd", "rev"):
+                inouts = [self.r_w(layer, direction)]
+                if self.velocity is not None:
+                    inouts.append(
+                        self.regions.get(("vel", layer, direction),
+                                         self.r_w(layer, direction).nbytes)
+                    )
+                g.add_task(
+                    f"update.L{layer}.{direction}",
+                    self._fn_weight_update(layer, direction),
+                    ins=[self.r_gw(mb, layer, direction) for mb in range(n_chunks)],
+                    inouts=inouts,
+                    flops=uflops,
+                    kind="weight_update",
+                    meta={"layer": layer, "dir": direction},
+                )
+        s = spec
+        head_inouts = [self.r_wout()]
+        if self.velocity is not None:
+            head_inouts.append(self.regions.get(("vel", "head"), self.r_wout().nbytes))
+        g.add_task(
+            "update.head",
+            self._fn_head_update(),
+            ins=[self.r_gwout(mb) for mb in range(n_chunks)],
+            inouts=head_inouts,
+            flops=2.0 * n_chunks * (s.head_input_size * s.num_classes + s.num_classes),
+            kind="weight_update",
+            meta={},
+        )
+
+
+def split_batch(array: np.ndarray, mbs: int, axis: int) -> List[np.ndarray]:
+    """Split a batch into ``mbs`` nearly equal chunks along ``axis``."""
+    if mbs < 1:
+        raise ValueError("mbs must be >= 1")
+    if array.shape[axis] < mbs:
+        raise ValueError(
+            f"cannot split batch of {array.shape[axis]} into {mbs} mini-batches"
+        )
+    return np.array_split(array, mbs, axis=axis)
+
+
+def build_brnn_graph(
+    spec: BRNNSpec,
+    *,
+    seq_len: Optional[int] = None,
+    batch: Optional[int] = None,
+    mbs: int = 1,
+    training: bool = True,
+    x: Optional[np.ndarray] = None,
+    labels: Optional[np.ndarray] = None,
+    params: Optional[BRNNParams] = None,
+    lr: float = 0.01,
+    barrier_free: bool = True,
+    update_weights: bool = True,
+    serialize_chunks: bool = False,
+    momentum: float = 0.0,
+    velocity: Optional[BRNNParams] = None,
+) -> GraphBuildResult:
+    """Build the B-Par task graph for one batch.
+
+    Functional mode: pass ``x (T, B, input_size)`` (plus ``labels`` and
+    ``params`` when ``training``).  Cost-only mode: pass ``seq_len`` and
+    ``batch`` instead.  ``mbs`` splits the batch into that many
+    data-parallel chunks (the paper's ``mbs:N``).  ``serialize_chunks``
+    turns the graph into the B-Seq baseline: each chunk's tasks execute
+    sequentially, so only data parallelism remains.
+    """
+    functional = x is not None
+    if functional:
+        seq_len, batch = int(x.shape[0]), int(x.shape[1])
+        if params is None:
+            raise ValueError("functional graphs need params")
+        if training and labels is None:
+            raise ValueError("training graphs need labels")
+        x_chunks = split_batch(x, mbs, axis=1)
+        if labels is not None:
+            label_axis = 0 if spec.head == "many_to_one" else 1
+            label_chunks = split_batch(labels, mbs, axis=label_axis)
+        else:
+            label_chunks = [None] * mbs
+        chunks = [
+            ChunkState(spec, xc, lc, training) for xc, lc in zip(x_chunks, label_chunks)
+        ]
+        chunk_batches = [c.batch for c in chunks]
+    else:
+        if seq_len is None or batch is None:
+            raise ValueError("cost-only graphs need seq_len and batch")
+        sizes = [len(part) for part in np.array_split(np.arange(batch), mbs)]
+        if min(sizes) == 0:
+            raise ValueError(f"cannot split batch of {batch} into {mbs} mini-batches")
+        chunks = None
+        chunk_batches = sizes
+
+    builder = _Builder(
+        spec=spec,
+        seq_len=seq_len,
+        chunk_batches=chunk_batches,
+        training=training,
+        functional=functional,
+        barrier_free=barrier_free,
+        update_weights=update_weights,
+        lr=lr,
+        params=params,
+        chunks=chunks,
+        serialize_chunks=serialize_chunks,
+        momentum=momentum,
+        velocity=velocity,
+    )
+    return builder.build()

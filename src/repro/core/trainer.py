@@ -1,0 +1,63 @@
+"""SGD training loop over any engine (B-Par, B-Seq, or the oracle)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Classification accuracy; handles (B, C) and (T, B, C) logits."""
+    pred = logits.argmax(axis=-1)
+    return float((pred == labels).mean())
+
+
+@dataclass
+class TrainHistory:
+    """Per-batch losses and per-epoch metrics of one training run."""
+
+    batch_losses: List[float] = field(default_factory=list)
+    epoch_losses: List[float] = field(default_factory=list)
+    epoch_accuracies: List[float] = field(default_factory=list)
+
+
+class Trainer:
+    """Mini-batch SGD driver.
+
+    ``engine`` needs ``train_batch(x, labels, lr) -> loss`` and
+    ``forward(x) -> logits`` — satisfied by B-Par, B-Seq, and the baseline
+    framework engines.
+    """
+
+    def __init__(self, engine, lr: float = 0.05) -> None:
+        self.engine = engine
+        self.lr = lr
+        self.history = TrainHistory()
+
+    def fit(
+        self,
+        batches: Iterable[Tuple[np.ndarray, np.ndarray]],
+        epochs: int = 1,
+    ) -> TrainHistory:
+        """Train for ``epochs`` passes over ``batches`` (a reiterable)."""
+        batches = list(batches)
+        for _ in range(epochs):
+            losses = []
+            for x, labels in batches:
+                loss = self.engine.train_batch(x, labels, lr=self.lr)
+                losses.append(loss)
+                self.history.batch_losses.append(loss)
+            self.history.epoch_losses.append(float(np.mean(losses)))
+        return self.history
+
+    def evaluate(self, batches: Iterable[Tuple[np.ndarray, np.ndarray]]) -> float:
+        """Mean accuracy over the given batches."""
+        accs = []
+        for x, labels in batches:
+            logits = self.engine.forward(x)
+            accs.append(accuracy(logits, labels))
+        acc = float(np.mean(accs))
+        self.history.epoch_accuracies.append(acc)
+        return acc

@@ -1,0 +1,23 @@
+"""Dataset substrates.
+
+The paper evaluates on the TIDIGITS speech corpus (license-gated) and a
+1.4 G-character Wikipedia dump (impractical offline); we substitute
+synthetic generators that exercise identical code paths — variable-length
+MFCC-like frame sequences for many-to-one classification, and a character
+stream for many-to-many next-character prediction (DESIGN.md §2).
+"""
+
+from repro.data.tidigits import SyntheticTidigits, TidigitsConfig
+from repro.data.wikipedia import SyntheticWikipedia, WikipediaConfig, CHAR_VOCAB
+from repro.data.batching import bucket_by_length, iterate_batches, pad_sequences
+
+__all__ = [
+    "SyntheticTidigits",
+    "TidigitsConfig",
+    "SyntheticWikipedia",
+    "WikipediaConfig",
+    "CHAR_VOCAB",
+    "pad_sequences",
+    "bucket_by_length",
+    "iterate_batches",
+]

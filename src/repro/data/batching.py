@@ -1,0 +1,83 @@
+"""Batching utilities: padding, length bucketing, batch iteration.
+
+§III-B: "For variable sequence length in between batches, B-Par adjusts the
+computation graph dynamically on run-time."  These helpers produce batches
+of homogeneous (padded) length; the engines rebuild the task graph per
+batch, so consecutive batches may have different sequence lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+def pad_sequences(
+    sequences: Sequence[np.ndarray], length: int = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Zero-pad variable-length ``(T_i, F)`` sequences to ``(T, B, F)``.
+
+    Returns the padded tensor and the original lengths.
+    """
+    if not sequences:
+        raise ValueError("no sequences to pad")
+    lengths = np.asarray([s.shape[0] for s in sequences])
+    length = int(lengths.max()) if length is None else length
+    batch = len(sequences)
+    features = sequences[0].shape[1]
+    out = np.zeros((length, batch, features), dtype=sequences[0].dtype)
+    for i, s in enumerate(sequences):
+        t = min(length, s.shape[0])
+        out[:t, i, :] = s[:t]
+    return out, lengths
+
+
+def bucket_by_length(
+    sequences: Sequence[np.ndarray],
+    labels: np.ndarray,
+    bucket_width: int = 10,
+) -> Dict[int, Tuple[List[np.ndarray], List]]:
+    """Group sequences into buckets of similar length.
+
+    Padding waste inside a bucket is at most ``bucket_width - 1`` frames per
+    sequence; each bucket becomes one or more homogeneous batches.
+    """
+    if bucket_width < 1:
+        raise ValueError("bucket_width must be >= 1")
+    buckets: Dict[int, Tuple[List[np.ndarray], List]] = {}
+    for seq, label in zip(sequences, labels):
+        key = ((seq.shape[0] + bucket_width - 1) // bucket_width) * bucket_width
+        buckets.setdefault(key, ([], []))
+        buckets[key][0].append(seq)
+        buckets[key][1].append(label)
+    return buckets
+
+
+def iterate_batches(
+    sequences: Sequence[np.ndarray],
+    labels: np.ndarray,
+    batch_size: int,
+    bucket_width: int = 10,
+    drop_last: bool = False,
+    seed: int = 0,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield padded ``(x (T, B, F), labels (B,))`` batches, bucketed by length.
+
+    Batch order and within-bucket order are shuffled deterministically.
+    """
+    rng = np.random.default_rng(seed)
+    buckets = bucket_by_length(sequences, labels, bucket_width)
+    pending: List[Tuple[np.ndarray, np.ndarray]] = []
+    for key in sorted(buckets):
+        seqs, labs = buckets[key]
+        order = rng.permutation(len(seqs))
+        for start in range(0, len(seqs), batch_size):
+            idx = order[start : start + batch_size]
+            if len(idx) < batch_size and drop_last:
+                continue
+            x, _ = pad_sequences([seqs[i] for i in idx], length=key)
+            y = np.asarray([labs[i] for i in idx])
+            pending.append((x, y))
+    for i in rng.permutation(len(pending)):
+        yield pending[i]

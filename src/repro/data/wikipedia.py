@@ -1,0 +1,90 @@
+"""Synthetic Wikipedia-like character corpus for next-character prediction.
+
+The paper's many-to-many experiments train on a 1.4 G-character Wikipedia
+dump.  We synthesise English-like text from an order-2 character Markov
+chain seeded with realistic digram statistics, yielding the same
+(T, B, vocab) one-hot → (T, B) next-character code path with a learnable,
+non-uniform conditional distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: character vocabulary: lowercase letters, space, and basic punctuation
+CHAR_VOCAB = "abcdefghijklmnopqrstuvwxyz .,;\n"
+
+#: a small seed text from which digram statistics are estimated; the Markov
+#: generator then extrapolates arbitrary volumes with the same statistics
+_SEED_TEXT = (
+    "the quick brown fox jumps over the lazy dog. recurrent neural networks "
+    "process sequences of characters and words, and bidirectional models "
+    "combine forward and reverse context to predict the next character.\n"
+    "parallel runtimes schedule tasks when their dependencies are satisfied, "
+    "which removes barriers between layers and improves multicore scaling.\n"
+    "speech recognition, machine translation and handwriting recognition are "
+    "classic applications of these models in sequence learning problems.\n"
+)
+
+
+@dataclass(frozen=True)
+class WikipediaConfig:
+    """Generator parameters."""
+
+    smoothing: float = 0.08  # add-k smoothing of the digram transition table
+
+
+class SyntheticWikipedia:
+    """Order-2 Markov character stream with English-like statistics."""
+
+    def __init__(self, config: WikipediaConfig = WikipediaConfig(), seed: int = 0):
+        self.config = config
+        self.seed = seed
+        self.vocab = CHAR_VOCAB
+        self.char_to_id = {c: i for i, c in enumerate(CHAR_VOCAB)}
+        v = len(CHAR_VOCAB)
+        counts = np.full((v, v, v), config.smoothing, dtype=np.float64)
+        ids = [self.char_to_id[c] for c in _SEED_TEXT.lower() if c in self.char_to_id]
+        for a, b, c in zip(ids, ids[1:], ids[2:]):
+            counts[a, b, c] += 1.0
+        self._transitions = counts / counts.sum(axis=2, keepdims=True)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    def sample_text(self, length: int, seed: int = 1) -> np.ndarray:
+        """``length`` character ids drawn from the Markov chain."""
+        rng = np.random.default_rng((self.seed, seed))
+        v = self.vocab_size
+        out = np.empty(length, dtype=np.int64)
+        a, b = rng.integers(0, v), rng.integers(0, v)
+        for i in range(length):
+            c = rng.choice(v, p=self._transitions[a, b])
+            out[i] = c
+            a, b = b, c
+        return out
+
+    def decode(self, ids: np.ndarray) -> str:
+        return "".join(self.vocab[i] for i in ids)
+
+    def batch(
+        self, batch: int, seq_len: int, seed: int = 1
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One next-character batch.
+
+        Returns one-hot inputs ``x (seq_len, batch, vocab)`` and targets
+        ``y (seq_len, batch)`` where ``y[t] = id of char t+1``.
+        """
+        ids = self.sample_text(batch * (seq_len + 1), seed=seed).reshape(
+            batch, seq_len + 1
+        )
+        x = np.zeros((seq_len, batch, self.vocab_size), dtype=np.float32)
+        t_idx = np.repeat(np.arange(seq_len), batch)
+        b_idx = np.tile(np.arange(batch), seq_len)
+        x[t_idx, b_idx, ids[b_idx, t_idx]] = 1.0
+        y = ids[:, 1:].T.copy()  # (seq_len, batch)
+        return x, y

@@ -1,0 +1,22 @@
+"""Extensions beyond the paper's evaluation.
+
+The paper's conclusion: "The B-Par's task-graph execution model could be
+easily applied to a wide range of deep learning models, including
+transformers and attention mechanisms."  This package demonstrates that
+claim: :mod:`repro.extensions.attention` builds barrier-free task graphs
+for multi-head self-attention on the same runtime substrate B-Par uses.
+"""
+
+from repro.extensions.attention import (
+    AttentionSpec,
+    attention_reference,
+    build_attention_graph,
+    run_attention,
+)
+
+__all__ = [
+    "AttentionSpec",
+    "attention_reference",
+    "build_attention_graph",
+    "run_attention",
+]

@@ -1,0 +1,10 @@
+"""Experiment drivers shared by the benchmark suite and the examples.
+
+Each paper table/figure has a driver here that produces plain data rows;
+``benchmarks/`` wraps them in pytest-benchmark entries and printing, and
+EXPERIMENTS.md records the measured-vs-paper comparison.
+"""
+
+from repro.harness.simtime import simulated_batch_time, SimTiming
+
+__all__ = ["simulated_batch_time", "SimTiming"]

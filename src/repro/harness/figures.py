@@ -1,0 +1,318 @@
+"""Figure drivers (Figs. 3-8) and the §IV-B granularity/memory studies.
+
+Each function returns plain data series shaped like the paper's figure;
+the corresponding ``benchmarks/bench_fig*.py`` prints them and asserts the
+shape criteria from DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.granularity import GranularityStats, granularity_stats
+from repro.analysis.memory import WorkingSetStats, working_set_stats
+from repro.baselines import KerasCPUEngine, PyTorchCPUEngine
+from repro.harness.simtime import simulated_batch_time
+from repro.models.spec import BRNNSpec
+from repro.simarch.machine import MachineSpec
+from repro.simarch.metrics import BandHistogram, ipc_histogram, mpki_histogram
+from repro.simarch.presets import xeon_8160_2s
+
+CORE_COUNTS = (1, 2, 4, 8, 16, 24, 32, 48)
+MBS_LIST = (1, 2, 4, 6, 8, 10, 12)
+
+
+def blstm_spec(layers: int, input_size: int = 256, hidden: int = 256) -> BRNNSpec:
+    return BRNNSpec(
+        cell="lstm",
+        input_size=input_size,
+        hidden_size=hidden,
+        num_layers=layers,
+        merge_mode="sum",
+        head="many_to_one",
+        num_classes=11,
+    )
+
+
+# ---------------------------------------------------------------- Fig. 3
+
+
+def fig3_minibatch_scaling(
+    layers: int = 8,
+    seq_len: int = 100,
+    batch: int = 120,
+    core_counts: Sequence[int] = CORE_COUNTS,
+    mbs_list: Sequence[int] = MBS_LIST,
+) -> Dict[int, List[float]]:
+    """B-Par speed-up against B-Par-mbs:1 on one core.
+
+    Returns ``{mbs: [speedup per core count]}``.  The paper's batch is
+    divisible by each mbs; 120 divides evenly by 1,2,4,6,8,10,12.
+    """
+    spec = blstm_spec(layers)
+    base = simulated_batch_time(spec, seq_len, batch, mbs=1, n_cores=1).seconds
+    out: Dict[int, List[float]] = {}
+    for mbs in mbs_list:
+        out[mbs] = [
+            base
+            / simulated_batch_time(spec, seq_len, batch, mbs=mbs, n_cores=c).seconds
+            for c in core_counts
+        ]
+    return out
+
+
+# ---------------------------------------------------------------- Fig. 4
+
+
+@dataclass
+class CoreScalingSeries:
+    """Per-engine batch time (seconds) across core counts."""
+
+    core_counts: Tuple[int, ...]
+    keras: List[float]
+    pytorch: List[float]
+    bseq: List[float]
+    bpar: List[float]
+
+
+def fig4_core_scaling(
+    layers: int = 8,
+    seq_len: int = 100,
+    batch: int = 128,
+    mbs: int = 8,
+    core_counts: Sequence[int] = CORE_COUNTS,
+) -> CoreScalingSeries:
+    """Keras, B-Seq, PyTorch and B-Par batch training time vs core count."""
+    spec = blstm_spec(layers)
+    keras_engine = KerasCPUEngine(spec)
+    pytorch_engine = PyTorchCPUEngine(spec)
+    keras, pytorch, bseq, bpar = [], [], [], []
+    for c in core_counts:
+        keras.append(keras_engine.batch_time(seq_len, batch, c)[0])
+        pytorch.append(pytorch_engine.batch_time(seq_len, batch, c)[0])
+        bseq.append(
+            simulated_batch_time(
+                spec, seq_len, batch, mbs=mbs, n_cores=c, serialize_chunks=True
+            ).seconds
+        )
+        bpar.append(
+            simulated_batch_time(spec, seq_len, batch, mbs=mbs, n_cores=c).seconds
+        )
+    return CoreScalingSeries(tuple(core_counts), keras, pytorch, bseq, bpar)
+
+
+# ---------------------------------------------------------------- Fig. 5
+
+
+def fig5_hidden_batch(
+    layers_list: Sequence[int] = (8, 12),
+    batches: Sequence[int] = (128, 256, 512, 1024),
+    hiddens: Sequence[int] = (128, 256),
+    seq_len: int = 100,
+    n_cores: int = 48,
+) -> List[dict]:
+    """Best single-batch training time per engine for batch × hidden grids."""
+    rows = []
+    for layers in layers_list:
+        for hidden in hiddens:
+            spec = blstm_spec(layers, hidden=hidden)
+            keras_engine = KerasCPUEngine(spec)
+            pytorch_engine = PyTorchCPUEngine(spec)
+            for batch in batches:
+                mbs = min(8, batch)
+                rows.append(
+                    {
+                        "layers": layers,
+                        "hidden": hidden,
+                        "batch": batch,
+                        "keras": keras_engine.batch_time(seq_len, batch, n_cores)[0],
+                        "pytorch": pytorch_engine.batch_time(seq_len, batch, n_cores)[0],
+                        "bseq": simulated_batch_time(
+                            spec, seq_len, batch, mbs=mbs, n_cores=n_cores,
+                            serialize_chunks=True,
+                        ).seconds,
+                        "bpar": simulated_batch_time(
+                            spec, seq_len, batch, mbs=mbs, n_cores=n_cores
+                        ).seconds,
+                    }
+                )
+    return rows
+
+
+# ---------------------------------------------------------------- Fig. 6
+
+
+def fig6_layers(
+    layer_counts: Sequence[int] = (2, 4, 8, 12),
+    seq_len: int = 100,
+    batch: int = 128,
+    n_cores: int = 48,
+) -> List[dict]:
+    """Training *and* inference batch time per engine vs layer count."""
+    rows = []
+    for layers in layer_counts:
+        spec = blstm_spec(layers)
+        keras_engine = KerasCPUEngine(spec)
+        pytorch_engine = PyTorchCPUEngine(spec)
+        mbs = min(8, batch)
+        row = {"layers": layers}
+        for training, tag in ((True, "train"), (False, "infer")):
+            row[f"keras_{tag}"] = keras_engine.batch_time(
+                seq_len, batch, n_cores, training=training
+            )[0]
+            row[f"pytorch_{tag}"] = pytorch_engine.batch_time(
+                seq_len, batch, n_cores, training=training
+            )[0]
+            row[f"bseq_{tag}"] = simulated_batch_time(
+                spec, seq_len, batch, mbs=mbs, n_cores=n_cores,
+                training=training, serialize_chunks=True,
+            ).seconds
+            row[f"bpar_{tag}"] = simulated_batch_time(
+                spec, seq_len, batch, mbs=mbs, n_cores=n_cores, training=training
+            ).seconds
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------- Fig. 7
+
+
+@dataclass
+class LocalityStudy:
+    """Locality-aware vs locality-oblivious scheduling comparison."""
+
+    time_aware_s: float
+    time_oblivious_s: float
+    ipc_aware: BandHistogram
+    ipc_oblivious: BandHistogram
+    mpki_aware: BandHistogram
+    mpki_oblivious: BandHistogram
+
+    @property
+    def improvement(self) -> float:
+        """Fractional batch-time reduction from locality awareness."""
+        return 1.0 - self.time_aware_s / self.time_oblivious_s
+
+
+def fig7_locality(
+    layers: int = 8,
+    input_size: int = 64,
+    hidden: int = 512,
+    seq_len: int = 100,
+    batch: int = 128,
+    mbs: int = 8,
+    n_cores: int = 48,
+    machine: Optional[MachineSpec] = None,
+) -> LocalityStudy:
+    """IPC / L3-MPKI band histograms with and without locality awareness.
+
+    Paper setting: 8-layer BLSTM, 31.7 M parameters (input 64, hidden 512),
+    which exceeds the CPU's cache hierarchy.
+    """
+    machine = machine or xeon_8160_2s()
+    spec = blstm_spec(layers, input_size=input_size, hidden=hidden)
+    aware = simulated_batch_time(
+        spec, seq_len, batch, mbs=mbs, n_cores=n_cores, machine=machine,
+        scheduler="locality",
+    )
+    oblivious = simulated_batch_time(
+        spec, seq_len, batch, mbs=mbs, n_cores=n_cores, machine=machine,
+        scheduler="fifo",
+    )
+    return LocalityStudy(
+        time_aware_s=aware.seconds,
+        time_oblivious_s=oblivious.seconds,
+        ipc_aware=ipc_histogram(aware.trace, machine),
+        ipc_oblivious=ipc_histogram(oblivious.trace, machine),
+        mpki_aware=mpki_histogram(aware.trace),
+        mpki_oblivious=mpki_histogram(oblivious.trace),
+    )
+
+
+# ---------------------------------------------------------------- Fig. 8
+
+
+def fig8_next_char(
+    cell: str = "lstm",
+    layer_counts: Sequence[int] = (2, 4, 8, 12),
+    batches: Sequence[int] = (128, 256),
+    hiddens: Sequence[int] = (128, 256),
+    seq_len: int = 50,
+    vocab: int = 31,
+    n_cores: int = 48,
+) -> List[dict]:
+    """Many-to-many next-character prediction: B-Par vs Keras."""
+    rows = []
+    for layers in layer_counts:
+        for hidden in hiddens:
+            spec = BRNNSpec(
+                cell=cell,
+                input_size=vocab,
+                hidden_size=hidden,
+                num_layers=layers,
+                merge_mode="sum",
+                head="many_to_many",
+                num_classes=vocab,
+            )
+            keras_engine = KerasCPUEngine(spec)
+            for batch in batches:
+                mbs = min(8, batch)
+                keras_t = keras_engine.batch_time(seq_len, batch, n_cores)[0]
+                bpar_t = simulated_batch_time(
+                    spec, seq_len, batch, mbs=mbs, n_cores=n_cores
+                ).seconds
+                rows.append(
+                    {
+                        "cell": cell,
+                        "layers": layers,
+                        "hidden": hidden,
+                        "batch": batch,
+                        "keras": keras_t,
+                        "bpar": bpar_t,
+                        "speedup": keras_t / bpar_t,
+                    }
+                )
+    return rows
+
+
+# ------------------------------------------------- §IV-B granularity / memory
+
+
+def granularity_study(
+    layers: int = 6,
+    input_size: int = 64,
+    hidden: int = 512,
+    seq_len: int = 100,
+    batch: int = 128,
+    mbs: int = 1,
+    n_cores: int = 48,
+    batches_per_epoch: int = 98,
+) -> Tuple[GranularityStats, int]:
+    """Task-granularity statistics plus the per-epoch task count.
+
+    Paper setting: BLSTM seq 100, batch 128, input 64, hidden 512; TIDIGITS
+    has ≈12,549 training utterances → 98 batches of 128 per epoch.
+    """
+    spec = blstm_spec(layers, input_size=input_size, hidden=hidden)
+    timing = simulated_batch_time(spec, seq_len, batch, mbs=mbs, n_cores=n_cores)
+    stats = granularity_stats(timing.trace)
+    return stats, stats.num_tasks * batches_per_epoch
+
+
+def memory_study(
+    layers: int = 8,
+    seq_len: int = 100,
+    batch: int = 126,
+    mbs: int = 6,
+    n_cores: int = 48,
+) -> Tuple[WorkingSetStats, WorkingSetStats]:
+    """Working-set stats barrier-free vs with per-layer barriers (§IV-B)."""
+    spec = blstm_spec(layers)
+    free = simulated_batch_time(
+        spec, seq_len, batch, mbs=mbs, n_cores=n_cores, barrier_free=True
+    )
+    barriered = simulated_batch_time(
+        spec, seq_len, batch, mbs=mbs, n_cores=n_cores, barrier_free=False
+    )
+    return working_set_stats(free.trace), working_set_stats(barriered.trace)

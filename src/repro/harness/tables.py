@@ -1,0 +1,160 @@
+"""Tables III and IV drivers: single-batch training times across engines.
+
+Each row compares Keras-CPU, Keras-GPU, PyTorch-CPU, PyTorch-GPU, B-Seq and
+B-Par on one model configuration (input, hidden, batch, seq-len) of a
+6-layer many-to-one BLSTM (Table III) or BGRU (Table IV), plus B-Par
+speed-ups against each framework — the exact column structure of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.report import speedup
+from repro.baselines import (
+    KerasCPUEngine,
+    PyTorchCPUEngine,
+    keras_gpu_model,
+    pytorch_gpu_model,
+)
+from repro.harness.simtime import simulated_batch_time
+from repro.models.spec import BRNNSpec
+
+#: (input, hidden, batch, seq_len) rows of Tables III/IV, paper order
+TABLE_CONFIGS = [
+    (64, 256, 128, 100),
+    (256, 256, 128, 100),
+    (1024, 256, 128, 100),
+    (256, 256, 1, 2),
+    (256, 256, 1, 10),
+    (256, 256, 1, 100),
+    (64, 256, 256, 100),
+    (64, 1024, 256, 100),
+    (256, 256, 256, 100),
+    (256, 1024, 256, 100),
+    (1024, 256, 256, 100),
+    (1024, 1024, 256, 100),
+]
+
+#: reduced row set for smoke/benchmark-default runs (one per regime:
+#: medium batch, tiny latency-bound, long-seq latency-bound, large model)
+TABLE_CONFIGS_SMOKE = [
+    (256, 256, 128, 100),
+    (256, 256, 1, 2),
+    (256, 256, 1, 100),
+    (256, 1024, 256, 100),
+]
+
+NUM_LAYERS = 6
+
+
+@dataclass
+class TableRow:
+    """One table row: configuration, per-engine ms, B-Par speed-ups."""
+
+    input_size: int
+    hidden_size: int
+    batch: int
+    seq_len: int
+    params_m: float
+    k_cpu_ms: float
+    k_gpu_ms: Optional[float]
+    p_cpu_ms: float
+    p_gpu_ms: Optional[float]
+    bseq_ms: float
+    bpar_ms: float
+
+    @property
+    def speedup_k_cpu(self) -> Optional[float]:
+        return speedup(self.k_cpu_ms, self.bpar_ms)
+
+    @property
+    def speedup_k_gpu(self) -> Optional[float]:
+        return speedup(self.k_gpu_ms, self.bpar_ms)
+
+    @property
+    def speedup_p_cpu(self) -> Optional[float]:
+        return speedup(self.p_cpu_ms, self.bpar_ms)
+
+    @property
+    def speedup_p_gpu(self) -> Optional[float]:
+        return speedup(self.p_gpu_ms, self.bpar_ms)
+
+    def as_list(self) -> List:
+        return [
+            f"{self.input_size}/{self.hidden_size}/{self.batch}/{self.seq_len}",
+            f"{self.params_m:.1f}M",
+            self.k_cpu_ms,
+            self.k_gpu_ms,
+            self.p_cpu_ms,
+            self.p_gpu_ms,
+            self.bseq_ms,
+            self.bpar_ms,
+            self.speedup_k_cpu,
+            self.speedup_k_gpu,
+            self.speedup_p_cpu,
+            self.speedup_p_gpu,
+        ]
+
+
+HEADERS = [
+    "in/hid/B/T",
+    "params",
+    "K-CPU",
+    "K-GPU",
+    "P-CPU",
+    "P-GPU",
+    "BSeq",
+    "BPar",
+    "vs K-CPU",
+    "vs K-GPU",
+    "vs P-CPU",
+    "vs P-GPU",
+]
+
+
+def make_spec(cell: str, input_size: int, hidden_size: int) -> BRNNSpec:
+    return BRNNSpec(
+        cell=cell,
+        input_size=input_size,
+        hidden_size=hidden_size,
+        num_layers=NUM_LAYERS,
+        merge_mode="sum",
+        head="many_to_one",
+        num_classes=11,
+    )
+
+
+def run_row(cell: str, input_size: int, hidden: int, batch: int, seq_len: int, n_cores: int = 48) -> TableRow:
+    """Produce one table row (all six engines) for one configuration."""
+    spec = make_spec(cell, input_size, hidden)
+    mbs = min(8, batch)
+    bpar = simulated_batch_time(spec, seq_len, batch, mbs=mbs, n_cores=n_cores).seconds
+    bseq = simulated_batch_time(
+        spec, seq_len, batch, mbs=mbs, n_cores=n_cores, serialize_chunks=True
+    ).seconds
+    k_cpu, _ = KerasCPUEngine(spec).batch_time(seq_len, batch, n_cores)
+    p_cpu, _ = PyTorchCPUEngine(spec).batch_time(seq_len, batch, n_cores)
+    k_gpu = keras_gpu_model().batch_time(spec, seq_len, batch)
+    p_gpu = pytorch_gpu_model().batch_time(spec, seq_len, batch)
+    to_ms = lambda s: None if s is None else s * 1e3
+    return TableRow(
+        input_size=input_size,
+        hidden_size=hidden,
+        batch=batch,
+        seq_len=seq_len,
+        params_m=spec.num_parameters() / 1e6,
+        k_cpu_ms=to_ms(k_cpu),
+        k_gpu_ms=to_ms(k_gpu),
+        p_cpu_ms=to_ms(p_cpu),
+        p_gpu_ms=to_ms(p_gpu),
+        bseq_ms=to_ms(bseq),
+        bpar_ms=to_ms(bpar),
+    )
+
+
+def run_table(cell: str, configs=None, n_cores: int = 48) -> List[TableRow]:
+    """All rows of Table III (``cell='lstm'``) or Table IV (``cell='gru'``)."""
+    configs = TABLE_CONFIGS if configs is None else configs
+    return [run_row(cell, *cfg, n_cores=n_cores) for cfg in configs]

@@ -1,0 +1,35 @@
+"""Numerically stable activations and their derivatives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid, stable for large |x| in float32.
+
+    Uses the positive/negative split so ``exp`` never overflows.
+    """
+    out = np.empty_like(x)
+    pos = x >= 0
+    np.exp(-x, where=pos, out=out)
+    out[pos] = 1.0 / (1.0 + out[pos])
+    neg = ~pos
+    ex = np.exp(x[neg])
+    out[neg] = ex / (1.0 + ex)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent (thin alias kept for kernel-call symmetry)."""
+    return np.tanh(x)
+
+
+def dsigmoid(y: np.ndarray) -> np.ndarray:
+    """Derivative of sigmoid expressed in its *output* y = σ(x)."""
+    return y * (1.0 - y)
+
+
+def dtanh(y: np.ndarray) -> np.ndarray:
+    """Derivative of tanh expressed in its *output* y = tanh(x)."""
+    return 1.0 - y * y

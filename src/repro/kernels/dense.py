@@ -1,0 +1,35 @@
+"""Dense (fully-connected) kernels for the model heads."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def dense_fwd_flops(batch: int, in_dim: int, out_dim: int) -> float:
+    return 2.0 * batch * in_dim * out_dim + batch * out_dim
+
+
+def dense_bwd_flops(batch: int, in_dim: int, out_dim: int) -> float:
+    return 4.0 * batch * in_dim * out_dim + batch * out_dim
+
+
+def dense_forward(x: np.ndarray, W: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``y = x @ W + b`` with ``x (B, D)``, ``W (D, C)``, ``b (C,)``."""
+    y = x @ W
+    y += b
+    return y
+
+
+def dense_backward(
+    dy: np.ndarray,
+    x: np.ndarray,
+    W: np.ndarray,
+    dW: np.ndarray,
+    db: np.ndarray,
+) -> np.ndarray:
+    """Backward of :func:`dense_forward`; accumulates ``dW``/``db`` in place."""
+    dW += x.T @ dy
+    db += dy.sum(axis=0)
+    return dy @ W.T

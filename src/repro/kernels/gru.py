@@ -1,0 +1,119 @@
+"""GRU cell kernels — Equations (7)-(10) of the paper.
+
+Weight layout: one fused matrix ``W`` of shape ``(I + H, 3H)`` per
+layer/direction with gate order ``[z, r, h̄]`` and bias ``b (3H,)``.
+The update/reset gates fuse into one GEMM; the candidate ``H̄_t`` needs a
+separate recurrent product because Eq. (9) applies the reset gate to
+``H_{t-1}`` *before* the matrix multiply (``[X_t, R_t ⊙ H_{t-1}]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.activations import dsigmoid, dtanh, sigmoid, tanh
+
+
+def gru_param_shapes(input_size: int, hidden_size: int) -> Tuple[Tuple[int, int], Tuple[int]]:
+    """Shapes of the fused weight matrix and bias: ((I+H, 3H), (3H,))."""
+    return (input_size + hidden_size, 3 * hidden_size), (3 * hidden_size,)
+
+
+def gru_fwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """Floating-point operations of one forward cell update."""
+    gemm = 2.0 * batch * (input_size + hidden_size) * 3 * hidden_size
+    elementwise = 13.0 * batch * hidden_size
+    return gemm + elementwise
+
+
+def gru_bwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """Floating-point operations of one backward cell update (≈2× forward)."""
+    gemm = 4.0 * batch * (input_size + hidden_size) * 3 * hidden_size
+    elementwise = 28.0 * batch * hidden_size
+    return gemm + elementwise
+
+
+@dataclass
+class GRUCache:
+    """Forward activations retained for the backward pass."""
+
+    x: np.ndarray
+    h_prev: np.ndarray
+    z: np.ndarray
+    r: np.ndarray
+    hbar: np.ndarray
+    rh: np.ndarray  # R_t ⊙ H_{t-1}
+
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in (self.x, self.h_prev, self.z, self.r, self.hbar, self.rh))
+
+
+def gru_forward_step(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+) -> Tuple[np.ndarray, GRUCache]:
+    """One GRU cell update: ``x (B, I)``, ``h_prev (B, H)`` → ``(h, cache)``."""
+    input_size = x.shape[1]
+    hidden = h_prev.shape[1]
+    two_h = 2 * hidden
+
+    zr = x @ W[:input_size, :two_h]
+    zr += h_prev @ W[input_size:, :two_h]
+    zr += b[:two_h]
+    z = sigmoid(zr[:, :hidden])
+    r = sigmoid(zr[:, hidden:])
+
+    rh = r * h_prev
+    a = x @ W[:input_size, two_h:]
+    a += rh @ W[input_size:, two_h:]
+    a += b[two_h:]
+    hbar = tanh(a)
+
+    h = z * hbar + (1.0 - z) * h_prev
+    return h, GRUCache(x=x, h_prev=h_prev, z=z, r=r, hbar=hbar, rh=rh)
+
+
+def gru_backward_step(
+    dh: np.ndarray,
+    cache: GRUCache,
+    W: np.ndarray,
+    dW: np.ndarray,
+    db: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backward of one GRU cell update.
+
+    Accumulates ``dW``/``db`` in place; returns ``(dx, dh_prev)``.
+    """
+    input_size = cache.x.shape[1]
+    hidden = cache.h_prev.shape[1]
+    two_h = 2 * hidden
+    batch = dh.shape[0]
+
+    dz_gate = dh * (cache.hbar - cache.h_prev)
+    dhbar = dh * cache.z
+    dh_prev = dh * (1.0 - cache.z)
+
+    da = dhbar * dtanh(cache.hbar)
+    dx = da @ W[:input_size, two_h:].T
+    drh = da @ W[input_size:, two_h:].T
+    dr = drh * cache.h_prev
+    dh_prev += drh * cache.r
+
+    dzr = np.empty((batch, two_h), dtype=dh.dtype)
+    dzr[:, :hidden] = dz_gate * dsigmoid(cache.z)
+    dzr[:, hidden:] = dr * dsigmoid(cache.r)
+    dx += dzr @ W[:input_size, :two_h].T
+    dh_prev += dzr @ W[input_size:, :two_h].T
+
+    dW[:input_size, :two_h] += cache.x.T @ dzr
+    dW[input_size:, :two_h] += cache.h_prev.T @ dzr
+    dW[:input_size, two_h:] += cache.x.T @ da
+    dW[input_size:, two_h:] += cache.rh.T @ da
+    db[:two_h] += dzr.sum(axis=0)
+    db[two_h:] += da.sum(axis=0)
+    return dx, dh_prev

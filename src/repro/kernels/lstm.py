@@ -1,0 +1,120 @@
+"""LSTM cell kernels — Equations (1)-(6) of the paper.
+
+Weight layout: one fused matrix ``W`` of shape ``(I + H, 4H)`` per
+layer/direction with gate order ``[i, f, g(c̃), o]`` and bias ``b`` of
+shape ``(4H,)``.  The fused layout turns the four gate products of
+Eqs. (1)-(4) into a single GEMM — the same optimisation the paper's
+implementation (and cuDNN/oneDNN) applies.  Rows ``[:I]`` multiply the
+input ``X_t``, rows ``[I:]`` multiply the recurrent state ``H_{t-1}``,
+which avoids materialising the ``[X_t, H_{t-1}]`` concatenation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.activations import dsigmoid, dtanh, sigmoid, tanh
+
+
+def lstm_param_shapes(input_size: int, hidden_size: int) -> Tuple[Tuple[int, int], Tuple[int]]:
+    """Shapes of the fused weight matrix and bias: ((I+H, 4H), (4H,))."""
+    return (input_size + hidden_size, 4 * hidden_size), (4 * hidden_size,)
+
+
+def lstm_fwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """Floating-point operations of one forward cell update."""
+    gemm = 2.0 * batch * (input_size + hidden_size) * 4 * hidden_size
+    elementwise = 14.0 * batch * hidden_size
+    return gemm + elementwise
+
+
+def lstm_bwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """Floating-point operations of one backward cell update (≈2× forward)."""
+    gemm = 4.0 * batch * (input_size + hidden_size) * 4 * hidden_size
+    elementwise = 30.0 * batch * hidden_size
+    return gemm + elementwise
+
+
+@dataclass
+class LSTMCache:
+    """Forward activations retained for the backward pass."""
+
+    x: np.ndarray
+    h_prev: np.ndarray
+    c_prev: np.ndarray
+    i: np.ndarray
+    f: np.ndarray
+    g: np.ndarray
+    o: np.ndarray
+    tc: np.ndarray  # tanh(C_t)
+
+    def nbytes(self) -> int:
+        return sum(
+            a.nbytes for a in (self.x, self.h_prev, self.c_prev, self.i, self.f, self.g, self.o, self.tc)
+        )
+
+
+def lstm_forward_step(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    c_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, LSTMCache]:
+    """One LSTM cell update.
+
+    Parameters: ``x (B, I)``, ``h_prev (B, H)``, ``c_prev (B, H)``,
+    ``W (I+H, 4H)``, ``b (4H,)``.  Returns ``(h, c, cache)``.
+    """
+    input_size = x.shape[1]
+    hidden = h_prev.shape[1]
+    z = x @ W[:input_size]
+    z += h_prev @ W[input_size:]
+    z += b
+    i = sigmoid(z[:, :hidden])
+    f = sigmoid(z[:, hidden : 2 * hidden])
+    g = tanh(z[:, 2 * hidden : 3 * hidden])
+    o = sigmoid(z[:, 3 * hidden :])
+    c = f * c_prev
+    c += i * g
+    tc = tanh(c)
+    h = o * tc
+    return h, c, LSTMCache(x=x, h_prev=h_prev, c_prev=c_prev, i=i, f=f, g=g, o=o, tc=tc)
+
+
+def lstm_backward_step(
+    dh: np.ndarray,
+    dc_in: np.ndarray,
+    cache: LSTMCache,
+    W: np.ndarray,
+    dW: np.ndarray,
+    db: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward of one LSTM cell update.
+
+    ``dh``/``dc_in`` are gradients w.r.t. this cell's outputs ``H_t``/``C_t``.
+    Accumulates ``dW``/``db`` *in place* (the inout weight-gradient region of
+    the B-Par task) and returns ``(dx, dh_prev, dc_prev)``.
+    """
+    input_size = cache.x.shape[1]
+    hidden = cache.h_prev.shape[1]
+    batch = dh.shape[0]
+
+    do = dh * cache.tc
+    dc = dc_in + dh * cache.o * dtanh(cache.tc)
+    dz = np.empty((batch, 4 * hidden), dtype=dh.dtype)
+    dz[:, :hidden] = dc * cache.g * dsigmoid(cache.i)
+    dz[:, hidden : 2 * hidden] = dc * cache.c_prev * dsigmoid(cache.f)
+    dz[:, 2 * hidden : 3 * hidden] = dc * cache.i * dtanh(cache.g)
+    dz[:, 3 * hidden :] = do * dsigmoid(cache.o)
+
+    dx = dz @ W[:input_size].T
+    dh_prev = dz @ W[input_size:].T
+    dW[:input_size] += cache.x.T @ dz
+    dW[input_size:] += cache.h_prev.T @ dz
+    db += dz.sum(axis=0)
+    dc_prev = dc * cache.f
+    return dx, dh_prev, dc_prev

@@ -1,0 +1,86 @@
+"""Vanilla (Elman) RNN cell kernels.
+
+§II: "BRNNs use the basic RNN unit and its variants LSTM and GRU to carry
+out their predictions."  The basic unit is a single tanh transition:
+
+    H_t = tanh(W · [X_t, H_{t-1}] + B)
+
+Same fused layout as the gated cells: rows ``[:I]`` multiply the input,
+rows ``[I:]`` the recurrent state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.activations import dtanh, tanh
+
+
+def rnn_param_shapes(input_size: int, hidden_size: int) -> Tuple[Tuple[int, int], Tuple[int]]:
+    """Shapes of the fused weight matrix and bias: ((I+H, H), (H,))."""
+    return (input_size + hidden_size, hidden_size), (hidden_size,)
+
+
+def rnn_fwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """Floating-point operations of one forward cell update."""
+    gemm = 2.0 * batch * (input_size + hidden_size) * hidden_size
+    elementwise = 3.0 * batch * hidden_size
+    return gemm + elementwise
+
+
+def rnn_bwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """Floating-point operations of one backward cell update (≈2× forward)."""
+    gemm = 4.0 * batch * (input_size + hidden_size) * hidden_size
+    elementwise = 6.0 * batch * hidden_size
+    return gemm + elementwise
+
+
+@dataclass
+class RNNCache:
+    """Forward activations retained for the backward pass."""
+
+    x: np.ndarray
+    h_prev: np.ndarray
+    h: np.ndarray  # tanh output (its own derivative input)
+
+    def nbytes(self) -> int:
+        return self.x.nbytes + self.h_prev.nbytes + self.h.nbytes
+
+
+def rnn_forward_step(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+) -> Tuple[np.ndarray, RNNCache]:
+    """One basic-RNN cell update: ``x (B, I)``, ``h_prev (B, H)`` → ``(h, cache)``."""
+    input_size = x.shape[1]
+    a = x @ W[:input_size]
+    a += h_prev @ W[input_size:]
+    a += b
+    h = tanh(a)
+    return h, RNNCache(x=x, h_prev=h_prev, h=h)
+
+
+def rnn_backward_step(
+    dh: np.ndarray,
+    cache: RNNCache,
+    W: np.ndarray,
+    dW: np.ndarray,
+    db: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backward of one basic-RNN cell update.
+
+    Accumulates ``dW``/``db`` in place; returns ``(dx, dh_prev)``.
+    """
+    input_size = cache.x.shape[1]
+    da = dh * dtanh(cache.h)
+    dx = da @ W[:input_size].T
+    dh_prev = da @ W[input_size:].T
+    dW[:input_size] += cache.x.T @ da
+    dW[input_size:] += cache.h_prev.T @ da
+    db += da.sum(axis=0)
+    return dx, dh_prev

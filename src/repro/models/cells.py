@@ -1,0 +1,94 @@
+"""Cell-type dispatch shared by the reference oracle and the B-Par tasks.
+
+Both execution paths call *these* functions for every cell update, so any
+schedule that respects the data dependences computes bit-identical results.
+LSTM cells carry a cell state ``c``; for GRUs the ``c``/``dc`` slots are
+``None`` and flow through untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.gru import (
+    GRUCache,
+    gru_backward_step,
+    gru_bwd_flops,
+    gru_forward_step,
+    gru_fwd_flops,
+)
+from repro.kernels.lstm import (
+    LSTMCache,
+    lstm_backward_step,
+    lstm_bwd_flops,
+    lstm_forward_step,
+    lstm_fwd_flops,
+)
+from repro.kernels.rnn import (
+    RNNCache,
+    rnn_backward_step,
+    rnn_bwd_flops,
+    rnn_forward_step,
+    rnn_fwd_flops,
+)
+from repro.models.spec import BRNNSpec
+
+
+def cell_forward(
+    spec: BRNNSpec,
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    c_prev: Optional[np.ndarray],
+    W: np.ndarray,
+    b: np.ndarray,
+):
+    """One cell update; returns ``(h, c_or_None, cache)``."""
+    if spec.cell == "lstm":
+        return lstm_forward_step(x, h_prev, c_prev, W, b)
+    if spec.cell == "gru":
+        h, cache = gru_forward_step(x, h_prev, W, b)
+        return h, None, cache
+    h, cache = rnn_forward_step(x, h_prev, W, b)
+    return h, None, cache
+
+
+def cell_backward(
+    spec: BRNNSpec,
+    dh: np.ndarray,
+    dc: Optional[np.ndarray],
+    cache,
+    W: np.ndarray,
+    dW: np.ndarray,
+    db: np.ndarray,
+):
+    """Backward of one cell update; returns ``(dx, dh_prev, dc_prev_or_None)``."""
+    if spec.cell == "lstm":
+        return lstm_backward_step(dh, dc, cache, W, dW, db)
+    if spec.cell == "gru":
+        dx, dh_prev = gru_backward_step(dh, cache, W, dW, db)
+        return dx, dh_prev, None
+    dx, dh_prev = rnn_backward_step(dh, cache, W, dW, db)
+    return dx, dh_prev, None
+
+
+_FWD_FLOPS = {"lstm": lstm_fwd_flops, "gru": gru_fwd_flops, "rnn": rnn_fwd_flops}
+_BWD_FLOPS = {"lstm": lstm_bwd_flops, "gru": gru_bwd_flops, "rnn": rnn_bwd_flops}
+
+
+def cell_fwd_flops(spec: BRNNSpec, batch: int, layer: int) -> float:
+    fn = _FWD_FLOPS[spec.cell]
+    return fn(batch, spec.layer_input_size(layer), spec.hidden_size)
+
+
+def cell_bwd_flops(spec: BRNNSpec, batch: int, layer: int) -> float:
+    fn = _BWD_FLOPS[spec.cell]
+    return fn(batch, spec.layer_input_size(layer), spec.hidden_size)
+
+
+def zeros_state(spec: BRNNSpec, batch: int) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Initial (h0, c0) for one direction of one layer."""
+    h0 = np.zeros((batch, spec.hidden_size), dtype=spec.dtype)
+    c0 = np.zeros((batch, spec.hidden_size), dtype=spec.dtype) if spec.cell == "lstm" else None
+    return h0, c0

@@ -1,0 +1,48 @@
+"""OmpSs-like tasking substrate.
+
+This package provides the run-time system that B-Par is built on: tasks
+annotated with ``in``/``out``/``inout`` data regions, a dependency tracker
+that turns a sequential stream of task registrations into a DAG (the exact
+semantics of OmpSs/OpenMP task dependences), ready-queue schedulers
+(FIFO breadth-first, locality-aware, LIFO), and two executors:
+
+* :class:`~repro.runtime.executor.ThreadedExecutor` — real worker threads.
+  RNN-cell tasks are dominated by NumPy GEMMs, which release the GIL, so
+  coarse-grained tasks genuinely overlap on a multi-core host.
+* :class:`~repro.runtime.simexec.SimulatedExecutor` — a deterministic
+  discrete-event executor over a modelled machine
+  (:mod:`repro.simarch`).  It reproduces the scheduling, cache-locality
+  and NUMA behaviour of the paper's 48-core platform, which the GIL and
+  a laptop-scale host cannot express directly.
+"""
+
+from repro.runtime.task import AccessMode, Region, RegionSpace, Task
+from repro.runtime.depgraph import TaskGraph
+from repro.runtime.scheduler import (
+    FIFOScheduler,
+    LIFOScheduler,
+    LocalityAwareScheduler,
+    Scheduler,
+    WorkStealingScheduler,
+)
+from repro.runtime.trace import ExecutionTrace, TaskRecord
+from repro.runtime.executor import SerialExecutor, ThreadedExecutor
+from repro.runtime.simexec import SimulatedExecutor
+
+__all__ = [
+    "AccessMode",
+    "Region",
+    "RegionSpace",
+    "Task",
+    "TaskGraph",
+    "Scheduler",
+    "FIFOScheduler",
+    "LIFOScheduler",
+    "LocalityAwareScheduler",
+    "WorkStealingScheduler",
+    "ExecutionTrace",
+    "TaskRecord",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "SimulatedExecutor",
+]

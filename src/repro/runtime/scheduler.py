@@ -1,0 +1,197 @@
+"""Ready-queue schedulers.
+
+The paper's B-Par configuration uses the OmpSs *breadth-first* scheduler: a
+single global ready queue ordered FIFO, extended with a locality-aware
+mechanism that prefers running a task on the same core as a predecessor
+that touched the same data.  We implement that policy
+(:class:`LocalityAwareScheduler`), the locality-oblivious plain FIFO it is
+compared against in Fig. 7 (:class:`FIFOScheduler`), and a LIFO variant
+used by the queue-order ablation bench.
+
+Schedulers are *not* thread-safe on their own; executors serialise access
+(the threaded executor under its lock, the simulated executor by being
+single-threaded).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.runtime.task import Task
+
+
+class Scheduler:
+    """Interface: ``push`` ready tasks, ``pop`` one for a given core."""
+
+    #: human-readable policy name (used in traces and reports)
+    name = "abstract"
+
+    def push(self, task: Task, hint: Optional[int] = None) -> None:
+        raise NotImplementedError
+
+    def pop(self, core: int) -> Optional[Task]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FIFOScheduler(Scheduler):
+    """Single global FIFO ready queue (breadth-first, locality-oblivious)."""
+
+    name = "fifo"
+    locality_aware = False
+
+    def __init__(self, n_cores: int = 1) -> None:
+        self._queue: Deque[Task] = deque()
+
+    def push(self, task: Task, hint: Optional[int] = None) -> None:
+        self._queue.append(task)
+
+    def pop(self, core: int) -> Optional[Task]:
+        return self._queue.popleft() if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class LIFOScheduler(Scheduler):
+    """Single global LIFO stack (depth-first); ablation only."""
+
+    name = "lifo"
+    locality_aware = False
+
+    def __init__(self, n_cores: int = 1) -> None:
+        self._queue: List[Task] = []
+
+    def push(self, task: Task, hint: Optional[int] = None) -> None:
+        self._queue.append(task)
+
+    def pop(self, core: int) -> Optional[Task]:
+        return self._queue.pop() if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class LocalityAwareScheduler(Scheduler):
+    """Global FIFO plus per-core affinity queues.
+
+    When the executor completes a task on core *c* and a successor sharing
+    one of its data regions becomes ready, it pushes that successor with
+    ``hint=c``.  ``pop(c)`` serves core *c*'s affinity queue first, then
+    the global queue, then steals the oldest entry from the most loaded
+    affinity queue — the policy stays work-conserving, so makespan never
+    regresses merely because hints exist.
+    """
+
+    name = "locality"
+    locality_aware = True
+
+    def __init__(self, n_cores: int) -> None:
+        if n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        self.n_cores = n_cores
+        self._global: Deque[Task] = deque()
+        self._affinity: List[Deque[Task]] = [deque() for _ in range(n_cores)]
+        self._size = 0
+
+    def push(self, task: Task, hint: Optional[int] = None) -> None:
+        if hint is not None and 0 <= hint < self.n_cores:
+            self._affinity[hint].append(task)
+        else:
+            self._global.append(task)
+        self._size += 1
+
+    def pop(self, core: int) -> Optional[Task]:
+        if self._size == 0:
+            return None
+        own = self._affinity[core] if core < self.n_cores else None
+        if own:
+            self._size -= 1
+            return own.popleft()
+        if self._global:
+            self._size -= 1
+            return self._global.popleft()
+        # Steal from the most loaded affinity queue (deterministic tie-break
+        # on the lowest core id).
+        victim = None
+        for q in self._affinity:
+            if q and (victim is None or len(q) > len(victim)):
+                victim = q
+        if victim:
+            self._size -= 1
+            return victim.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class WorkStealingScheduler(Scheduler):
+    """Cilk-style per-core deques with oldest-end stealing.
+
+    Tasks are pushed to the *pushing context's* core deque (the executor
+    passes the completing core as the hint; hint-less pushes round-robin).
+    ``pop(c)`` serves core *c*'s own deque newest-first (depth-first, good
+    for its own cache) and steals the *oldest* entry from the longest
+    other deque when empty (breadth-first steals, good for load balance).
+    Included as an ablation point against the paper's breadth-first queue.
+    """
+
+    name = "steal"
+    locality_aware = True
+
+    def __init__(self, n_cores: int) -> None:
+        if n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        self.n_cores = n_cores
+        self._deques: List[Deque[Task]] = [deque() for _ in range(n_cores)]
+        self._rr = 0
+        self._size = 0
+
+    def push(self, task: Task, hint: Optional[int] = None) -> None:
+        if hint is None or not (0 <= hint < self.n_cores):
+            hint = self._rr
+            self._rr = (self._rr + 1) % self.n_cores
+        self._deques[hint].append(task)
+        self._size += 1
+
+    def pop(self, core: int) -> Optional[Task]:
+        if self._size == 0:
+            return None
+        if core < self.n_cores and self._deques[core]:
+            self._size -= 1
+            return self._deques[core].pop()  # own work: newest first
+        victim = None
+        for q in self._deques:
+            if q and (victim is None or len(q) > len(victim)):
+                victim = q
+        if victim:
+            self._size -= 1
+            return victim.popleft()  # steal: oldest first
+        return None
+
+    def __len__(self) -> int:
+        return self._size
+
+
+SCHEDULERS: Dict[str, type] = {
+    "fifo": FIFOScheduler,
+    "lifo": LIFOScheduler,
+    "locality": LocalityAwareScheduler,
+    "steal": WorkStealingScheduler,
+}
+
+
+def make_scheduler(policy: str, n_cores: int) -> Scheduler:
+    """Instantiate a scheduler by policy name (``fifo``/``lifo``/``locality``)."""
+    try:
+        cls = SCHEDULERS[policy]
+    except KeyError:
+        raise ValueError(f"unknown scheduler policy {policy!r}; options: {sorted(SCHEDULERS)}")
+    return cls(n_cores)

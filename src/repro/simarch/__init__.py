@@ -1,0 +1,30 @@
+"""Simulated hardware substrate.
+
+The paper evaluates on a dual-socket 2×24-core Xeon Platinum 8160 and a
+Tesla V100.  Neither is available here, and the CPython GIL prevents a pure
+Python runtime from exhibiting 48-way task parallelism, so we model the
+machine instead (see DESIGN.md §2): per-core GEMM throughput, a
+region-granularity L2/L3 LRU cache model, NUMA first-touch homing with a
+remote-access bandwidth penalty, shared per-socket memory bandwidth, and a
+per-task runtime overhead.  The discrete-event executor
+(:class:`repro.runtime.simexec.SimulatedExecutor`) charges each task a duration
+from :class:`~repro.simarch.costmodel.CostModel` and the analysis layer
+derives per-task IPC / L3-MPKI estimates (:mod:`repro.simarch.metrics`)
+for the Fig. 7 locality study.
+"""
+
+from repro.simarch.machine import MachineSpec
+from repro.simarch.cache import CacheModel, CacheAccess
+from repro.simarch.costmodel import CostModel, TaskCost
+from repro.simarch.presets import xeon_8160_2s, tesla_v100, GPUSpec
+
+__all__ = [
+    "MachineSpec",
+    "CacheModel",
+    "CacheAccess",
+    "CostModel",
+    "TaskCost",
+    "xeon_8160_2s",
+    "tesla_v100",
+    "GPUSpec",
+]

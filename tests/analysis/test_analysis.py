@@ -1,0 +1,91 @@
+"""Unit tests for granularity / working-set analysis and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.granularity import granularity_stats
+from repro.analysis.memory import working_set_stats
+from repro.analysis.report import format_table, speedup
+from repro.runtime.trace import ExecutionTrace, TaskRecord
+
+
+def rec(start, end, kind="cell", wss=100, overhead=0.01):
+    return TaskRecord(
+        tid=0, name="t", kind=kind, core=0, start=start, end=end,
+        wss_bytes=wss, overhead=overhead,
+    )
+
+
+def trace(records):
+    t = ExecutionTrace(n_cores=4)
+    t.records = records
+    return t
+
+
+def test_granularity_stats_basic():
+    t = trace([
+        rec(0, 1, "cell", wss=100),
+        rec(0, 3, "cell_bwd", wss=200),
+        rec(1, 1.5, "merge", wss=10),
+    ])
+    g = granularity_stats(t)
+    assert g.num_tasks == 3
+    assert g.tasks_by_kind == {"cell": 1, "cell_bwd": 1, "merge": 1}
+    assert g.duration_min_s == 0.5
+    assert g.duration_max_s == 3.0
+    assert g.cell_wss_mean_bytes == 150
+    assert g.merge_wss_mean_bytes == 10
+    assert 0 < g.overhead_ratio < 1
+
+
+def test_granularity_empty_raises():
+    with pytest.raises(ValueError):
+        granularity_stats(trace([]))
+
+
+def test_granularity_rows_render():
+    g = granularity_stats(trace([rec(0, 1)]))
+    labels = [k for k, _ in g.rows()]
+    assert "tasks" in labels and "overhead / task time" in labels
+
+
+def test_working_set_single_task():
+    ws = working_set_stats(trace([rec(0, 2, wss=500)]))
+    assert ws.mean_live_tasks == pytest.approx(1.0)
+    assert ws.peak_live_tasks == 1
+    assert ws.mean_live_wss_bytes == pytest.approx(500)
+
+
+def test_working_set_overlapping_tasks():
+    ws = working_set_stats(trace([rec(0, 2, wss=100), rec(0, 2, wss=300), rec(2, 4, wss=50)]))
+    assert ws.peak_live_tasks == 2
+    assert ws.peak_live_wss_bytes == 400
+    # [0,2): 2 tasks/400B; [2,4): 1 task/50B
+    assert ws.mean_live_tasks == pytest.approx(1.5)
+    assert ws.mean_live_wss_bytes == pytest.approx(225)
+
+
+def test_working_set_empty_raises():
+    with pytest.raises(ValueError):
+        working_set_stats(trace([]))
+
+
+def test_speedup():
+    assert speedup(10.0, 5.0) == 2.0
+    assert speedup(None, 5.0) is None
+    assert speedup(10.0, None) is None
+    assert speedup(10.0, 0.0) is None
+
+
+def test_format_table_alignment_and_none():
+    out = format_table(
+        ["config", "ms", "x"],
+        [["a/b", 1234.5, None], ["c/d", 9.87, 1.5]],
+        title="Demo",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Demo"
+    assert "1,234.5" in out
+    assert "-" in lines[-2] or "-" in lines[-1]  # None rendered as dash
+    # columns aligned: header/sep/rows same width
+    assert len(lines[1]) == len(lines[2])

@@ -1,0 +1,75 @@
+"""Unit tests for the closed-form GPU cost models."""
+
+import pytest
+
+from repro.baselines.gpu_like import keras_gpu_model, pytorch_gpu_model
+from repro.models.spec import BRNNSpec
+
+
+def spec(hidden=256, layers=6, inp=256):
+    return BRNNSpec(
+        cell="lstm", input_size=inp, hidden_size=hidden, num_layers=layers,
+        merge_mode="sum", head="many_to_one", num_classes=11,
+    )
+
+
+def test_training_slower_than_inference():
+    m = keras_gpu_model()
+    s = spec()
+    assert m.batch_time(s, 100, 128, training=True) > m.batch_time(s, 100, 128, training=False)
+
+
+def test_time_scales_with_seq_len():
+    m = keras_gpu_model()
+    s = spec()
+    assert m.batch_time(s, 100, 128) > m.batch_time(s, 10, 128)
+
+
+def test_pytorch_gpu_hangs_above_90m_params():
+    m = pytorch_gpu_model()
+    small = spec(hidden=256)
+    big = spec(hidden=1024)  # 94.4M params
+    assert m.batch_time(small, 100, 256) is not None
+    assert m.batch_time(big, 100, 256) is None
+
+
+def test_keras_gpu_never_hangs():
+    m = keras_gpu_model()
+    big = spec(hidden=1024)
+    assert m.batch_time(big, 100, 256) is not None
+
+
+def test_per_kernel_latency_dominates_small_batches():
+    """The paper's crossover: CPUs win at batch 1 / short sequences because
+    GPU time is almost all kernel-launch latency there."""
+    m = pytorch_gpu_model()
+    s = spec()
+    t_b1 = m.batch_time(s, 2, 1)
+    t_b128 = m.batch_time(s, 2, 128)
+    # 128x the work costs nearly the same time (latency-bound)
+    assert t_b128 < 1.5 * t_b1
+
+
+def test_throughput_dominates_large_batches():
+    m = keras_gpu_model()
+    s = spec(hidden=1024)
+    t_small = m.batch_time(s, 100, 1)
+    t_big = m.batch_time(s, 100, 256)
+    # at batch 256 the GEMMs are big: time grows well beyond latency floor
+    assert t_big > 2 * t_small
+
+
+def test_gpu_beats_cpu_shape_for_big_config_loses_small():
+    """Crossover structure of Tables III/IV."""
+    from repro.harness.simtime import simulated_batch_time
+
+    s = spec()
+    gpu = keras_gpu_model()
+    # big config: GPU wins
+    big_gpu = gpu.batch_time(s, 100, 128)
+    big_cpu = simulated_batch_time(s, 100, 128, mbs=8, n_cores=48).seconds
+    assert big_gpu < big_cpu
+    # tiny config: CPU wins
+    small_gpu = gpu.batch_time(s, 2, 1)
+    small_cpu = simulated_batch_time(s, 2, 1, mbs=1, n_cores=48).seconds
+    assert small_cpu < small_gpu

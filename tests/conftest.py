@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.models.params import BRNNParams
+from repro.models.spec import BRNNSpec
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+def small_spec(**overrides) -> BRNNSpec:
+    """A tiny BRNN spec for fast functional tests."""
+    kwargs = dict(
+        cell="lstm",
+        input_size=6,
+        hidden_size=5,
+        num_layers=3,
+        merge_mode="sum",
+        head="many_to_one",
+        num_classes=4,
+        dtype=np.float32,
+    )
+    kwargs.update(overrides)
+    return BRNNSpec(**kwargs)
+
+
+@pytest.fixture
+def spec():
+    return small_spec()
+
+
+def make_batch(spec: BRNNSpec, seq_len=5, batch=8, seed=7):
+    """Deterministic (x, labels) for a spec."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((seq_len, batch, spec.input_size)).astype(spec.dtype)
+    if spec.head == "many_to_one":
+        labels = rng.integers(0, spec.num_classes, size=batch)
+    else:
+        labels = rng.integers(0, spec.num_classes, size=(seq_len, batch))
+    return x, labels
+
+
+@pytest.fixture
+def batch(spec):
+    return make_batch(spec)
+
+
+@pytest.fixture
+def params(spec):
+    return BRNNParams.initialize(spec, seed=3)

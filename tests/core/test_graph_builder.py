@@ -1,0 +1,188 @@
+"""Unit tests for the B-Par task-graph builder (structure, not numerics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph_builder import build_brnn_graph, split_batch
+from repro.models.params import BRNNParams
+from tests.conftest import make_batch, small_spec
+
+
+def count_kind(result, kind):
+    return sum(1 for t in result.graph if t.kind == kind)
+
+
+def test_cost_only_m2o_task_counts():
+    spec = small_spec(num_layers=3)  # L=3
+    T, B = 5, 8
+    res = build_brnn_graph(spec, seq_len=T, batch=B, training=True)
+    L = spec.num_layers
+    assert count_kind(res, "cell") == L * T * 2
+    assert count_kind(res, "cell_bwd") == L * T * 2
+    # merges: (L-1)*T intermediate + 1 final (m2o)
+    assert count_kind(res, "merge") == (L - 1) * T + 1
+    assert count_kind(res, "merge_bwd") == (L - 1) * T + 1
+    assert count_kind(res, "head") == 1
+    assert count_kind(res, "loss") == 1
+    assert count_kind(res, "weight_update") == 2 * L + 1
+
+
+def test_cost_only_m2m_task_counts():
+    spec = small_spec(head="many_to_many", num_layers=2)
+    T, B = 4, 8
+    res = build_brnn_graph(spec, seq_len=T, batch=B, training=True)
+    assert count_kind(res, "merge") == (2 - 1) * T + T
+    assert count_kind(res, "head") == T
+    assert count_kind(res, "loss") == T
+    assert count_kind(res, "head_bwd") == T
+
+
+def test_inference_graph_has_no_backward():
+    spec = small_spec()
+    res = build_brnn_graph(spec, seq_len=4, batch=4, training=False)
+    assert count_kind(res, "cell_bwd") == 0
+    assert count_kind(res, "loss") == 0
+    assert count_kind(res, "weight_update") == 0
+
+
+def test_graph_is_acyclic_and_rooted():
+    spec = small_spec()
+    res = build_brnn_graph(spec, seq_len=5, batch=6, mbs=2, training=True)
+    assert res.graph.validate_acyclic()
+    roots = res.graph.roots()
+    # roots: first fwd and rev cells of layer 0 per chunk
+    assert len(roots) == 4
+    assert all(t.kind == "cell" for t in roots)
+
+
+def test_mbs_multiplies_cell_tasks():
+    spec = small_spec(num_layers=2)
+    one = build_brnn_graph(spec, seq_len=4, batch=8, mbs=1, training=True)
+    four = build_brnn_graph(spec, seq_len=4, batch=8, mbs=4, training=True)
+    assert count_kind(four, "cell") == 4 * count_kind(one, "cell")
+    # weight updates are shared (one per layer/direction regardless of mbs)
+    assert count_kind(four, "weight_update") == count_kind(one, "weight_update")
+
+
+def test_chunk_batches_sum_to_batch():
+    spec = small_spec()
+    res = build_brnn_graph(spec, seq_len=3, batch=10, mbs=3, training=True)
+    assert sum(res.chunk_batches) == 10
+    assert res.mbs == 3
+
+
+def test_barrier_mode_adds_barriers():
+    spec = small_spec(num_layers=3)
+    free = build_brnn_graph(spec, seq_len=4, batch=4, training=True, barrier_free=True)
+    barred = build_brnn_graph(spec, seq_len=4, batch=4, training=True, barrier_free=False)
+    assert count_kind(free, "barrier") == 0
+    assert count_kind(barred, "barrier") > 0
+    assert barred.graph.validate_acyclic()
+
+
+def test_barrier_mode_reduces_wavefront():
+    spec = small_spec(num_layers=3)
+    free = build_brnn_graph(spec, seq_len=6, batch=6, mbs=2, training=True)
+    barred = build_brnn_graph(
+        spec, seq_len=6, batch=6, mbs=2, training=True, barrier_free=False
+    )
+    assert barred.graph.max_wavefront() <= free.graph.max_wavefront()
+
+
+def test_serialize_chunks_creates_chains():
+    spec = small_spec()
+    res = build_brnn_graph(
+        spec, seq_len=4, batch=8, mbs=2, training=True, serialize_chunks=True
+    )
+    # with serialization, each chunk is a chain: wavefront <= mbs + eps
+    assert res.graph.max_wavefront() <= 3
+
+
+def test_wavefront_scales_with_mbs():
+    spec = small_spec(num_layers=2)
+    w1 = build_brnn_graph(spec, seq_len=6, batch=8, mbs=1).graph.max_wavefront()
+    w4 = build_brnn_graph(spec, seq_len=6, batch=8, mbs=4).graph.max_wavefront()
+    assert w4 > w1
+
+
+def test_merge_task_depends_on_both_directions():
+    spec = small_spec(num_layers=2)
+    res = build_brnn_graph(spec, seq_len=3, batch=4, training=False)
+    g = res.graph
+    for task in g:
+        if task.kind == "merge" and "mergeLast" not in task.name:
+            preds = g.predecessors(task.tid)
+            kinds = {g.tasks[p].kind for p in preds}
+            assert kinds == {"cell"}
+            assert len(preds) == 2
+
+
+def test_weight_update_depends_on_all_chunk_grads():
+    spec = small_spec(num_layers=2)
+    res = build_brnn_graph(spec, seq_len=3, batch=6, mbs=3, training=True)
+    g = res.graph
+    updates = [t for t in g if t.kind == "weight_update"]
+    for u in updates:
+        assert len(u.ins) == 3  # one gW region per chunk
+
+
+def test_functional_requires_params_and_labels():
+    spec = small_spec()
+    x, labels = make_batch(spec)
+    with pytest.raises(ValueError):
+        build_brnn_graph(spec, x=x, training=True, labels=labels)  # no params
+    with pytest.raises(ValueError):
+        build_brnn_graph(spec, x=x, training=True, params=BRNNParams.initialize(spec))
+
+
+def test_cost_only_requires_dims():
+    spec = small_spec()
+    with pytest.raises(ValueError):
+        build_brnn_graph(spec)
+
+
+def test_cost_only_results_raise_on_data_access():
+    spec = small_spec()
+    res = build_brnn_graph(spec, seq_len=3, batch=4)
+    with pytest.raises(RuntimeError):
+        res.logits()
+    with pytest.raises(RuntimeError):
+        res.mean_loss()
+
+
+def test_split_batch_validation():
+    with pytest.raises(ValueError):
+        split_batch(np.zeros((4, 2, 3)), 5, axis=1)
+    with pytest.raises(ValueError):
+        split_batch(np.zeros((4, 2, 3)), 0, axis=1)
+    chunks = split_batch(np.zeros((4, 10, 3)), 3, axis=1)
+    assert [c.shape[1] for c in chunks] == [4, 3, 3]
+
+
+def test_flops_annotations_positive():
+    spec = small_spec()
+    res = build_brnn_graph(spec, seq_len=3, batch=4, training=True)
+    for t in res.graph:
+        if t.kind in ("cell", "cell_bwd", "head", "head_bwd"):
+            assert t.flops > 0
+
+
+def test_cell_working_set_includes_weights():
+    spec = small_spec()
+    res = build_brnn_graph(spec, seq_len=3, batch=4, training=False)
+    w_shape, b_shape = spec.cell_param_shapes(0)
+    w_bytes = (w_shape[0] * w_shape[1] + b_shape[0]) * 4
+    cells = [t for t in res.graph if t.kind == "cell"]
+    assert all(t.working_set_bytes() >= w_bytes for t in cells)
+
+
+def test_functional_and_cost_only_have_same_structure():
+    spec = small_spec()
+    x, labels = make_batch(spec, seq_len=4, batch=6)
+    params = BRNNParams.initialize(spec)
+    functional = build_brnn_graph(spec, x=x, labels=labels, params=params, training=True)
+    cost_only = build_brnn_graph(spec, seq_len=4, batch=6, training=True)
+    assert len(functional.graph) == len(cost_only.graph)
+    assert functional.graph.num_edges() == cost_only.graph.num_edges()
+    for a, b in zip(functional.graph, cost_only.graph):
+        assert a.name == b.name and a.kind == b.kind and a.flops == b.flops

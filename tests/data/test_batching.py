@@ -1,0 +1,80 @@
+"""Unit tests for padding / bucketing / batch iteration."""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import bucket_by_length, iterate_batches, pad_sequences
+
+
+def seqs(lengths, features=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((t, features)).astype(np.float32) for t in lengths]
+
+
+def test_pad_to_max_length():
+    xs = seqs([3, 5, 2])
+    out, lengths = pad_sequences(xs)
+    assert out.shape == (5, 3, 3)
+    assert list(lengths) == [3, 5, 2]
+    assert np.array_equal(out[:3, 0], xs[0])
+    assert not out[3:, 0].any()  # padding is zero
+
+
+def test_pad_to_explicit_length_crops():
+    xs = seqs([6])
+    out, _ = pad_sequences(xs, length=4)
+    assert out.shape == (4, 1, 3)
+    assert np.array_equal(out[:, 0], xs[0][:4])
+
+
+def test_pad_empty_raises():
+    with pytest.raises(ValueError):
+        pad_sequences([])
+
+
+def test_bucket_by_length():
+    xs = seqs([3, 9, 11, 19, 21])
+    labels = np.arange(5)
+    buckets = bucket_by_length(xs, labels, bucket_width=10)
+    assert set(buckets) == {10, 20, 30}
+    assert len(buckets[10][0]) == 2  # lengths 3 and 9
+    assert len(buckets[20][0]) == 2  # 11 and 19
+    assert buckets[30][1] == [4]
+
+
+def test_bucket_width_validation():
+    with pytest.raises(ValueError):
+        bucket_by_length(seqs([2]), np.array([0]), bucket_width=0)
+
+
+def test_iterate_batches_covers_everything():
+    xs = seqs([5, 6, 7, 15, 16, 17, 18])
+    labels = np.arange(7)
+    batches = list(iterate_batches(xs, labels, batch_size=2, bucket_width=10))
+    seen = sorted(int(l) for _, y in batches for l in y)
+    assert seen == list(range(7))
+
+
+def test_iterate_batches_homogeneous_length():
+    xs = seqs([5, 6, 15, 16])
+    labels = np.arange(4)
+    for x, y in iterate_batches(xs, labels, batch_size=4, bucket_width=10):
+        assert x.shape[0] in (10, 20)
+
+
+def test_iterate_batches_drop_last():
+    xs = seqs([5, 5, 5])
+    labels = np.arange(3)
+    full = list(iterate_batches(xs, labels, batch_size=2, drop_last=False))
+    dropped = list(iterate_batches(xs, labels, batch_size=2, drop_last=True))
+    assert sum(len(y) for _, y in full) == 3
+    assert sum(len(y) for _, y in dropped) == 2
+
+
+def test_iterate_batches_deterministic():
+    xs = seqs([5, 6, 7, 8, 9])
+    labels = np.arange(5)
+    b1 = list(iterate_batches(xs, labels, batch_size=2, seed=3))
+    b2 = list(iterate_batches(xs, labels, batch_size=2, seed=3))
+    assert all(np.array_equal(x1, x2) and np.array_equal(y1, y2)
+               for (x1, y1), (x2, y2) in zip(b1, b2))

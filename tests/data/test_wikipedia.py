@@ -1,0 +1,70 @@
+"""Unit tests for the synthetic Wikipedia-like character corpus."""
+
+import numpy as np
+import pytest
+
+from repro.data.wikipedia import CHAR_VOCAB, SyntheticWikipedia
+
+
+def test_vocab():
+    ds = SyntheticWikipedia()
+    assert ds.vocab_size == len(CHAR_VOCAB)
+    assert len(set(CHAR_VOCAB)) == len(CHAR_VOCAB)
+
+
+def test_sample_deterministic():
+    ds = SyntheticWikipedia(seed=2)
+    t1 = ds.sample_text(500, seed=1)
+    t2 = ds.sample_text(500, seed=1)
+    assert np.array_equal(t1, t2)
+    assert not np.array_equal(t1, ds.sample_text(500, seed=9))
+
+
+def test_sample_ids_in_range():
+    ds = SyntheticWikipedia()
+    ids = ds.sample_text(1000)
+    assert ids.min() >= 0 and ids.max() < ds.vocab_size
+
+
+def test_text_is_english_like():
+    """Frequent characters should include space and 'e' (seed-text stats)."""
+    ds = SyntheticWikipedia()
+    ids = ds.sample_text(5000)
+    counts = np.bincount(ids, minlength=ds.vocab_size)
+    top = set(np.argsort(counts)[-6:])
+    assert ds.char_to_id[" "] in top
+    assert ds.char_to_id["e"] in top
+
+
+def test_decode_roundtrip():
+    ds = SyntheticWikipedia()
+    ids = ds.sample_text(50)
+    text = ds.decode(ids)
+    assert len(text) == 50
+    assert all(c in CHAR_VOCAB for c in text)
+
+
+def test_batch_shapes_and_onehot():
+    ds = SyntheticWikipedia()
+    x, y = ds.batch(batch=4, seq_len=7)
+    assert x.shape == (7, 4, ds.vocab_size)
+    assert y.shape == (7, 4)
+    # exactly one hot per (t, b)
+    assert np.array_equal(x.sum(axis=2), np.ones((7, 4), dtype=np.float32))
+
+
+def test_batch_targets_are_next_characters():
+    ds = SyntheticWikipedia()
+    x, y = ds.batch(batch=3, seq_len=6, seed=5)
+    ids_x = x.argmax(axis=2)  # (T, B)
+    # y[t] must equal x[t+1]'s character for t < T-1
+    assert np.array_equal(y[:-1], ids_x[1:])
+
+
+def test_transitions_nonuniform():
+    """The Markov chain must be learnable: conditional entropy < log V."""
+    ds = SyntheticWikipedia()
+    probs = ds._transitions
+    assert np.allclose(probs.sum(axis=2), 1.0)
+    max_p = probs.max(axis=2)
+    assert max_p.mean() > 2.0 / ds.vocab_size  # far from uniform

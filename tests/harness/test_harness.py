@@ -1,0 +1,103 @@
+"""Smoke/shape tests for the experiment harness (small configurations)."""
+
+import pytest
+
+from repro.harness.simtime import simulated_batch_time
+from repro.harness.tables import HEADERS, TableRow, make_spec, run_row
+from repro.harness import figures
+from repro.models.spec import BRNNSpec
+
+
+def small_blstm(layers=2):
+    return BRNNSpec(
+        cell="lstm", input_size=32, hidden_size=32, num_layers=layers,
+        merge_mode="sum", head="many_to_one", num_classes=11,
+    )
+
+
+def test_simulated_batch_time_basic():
+    t = simulated_batch_time(small_blstm(), 10, 16, mbs=2, n_cores=8)
+    assert t.seconds > 0
+    assert t.n_tasks == len(t.trace.records)
+
+
+def test_simulated_batch_time_mbs_speeds_up_on_many_cores():
+    # hidden large enough that cell tasks dominate runtime overhead
+    spec = BRNNSpec(
+        cell="lstm", input_size=64, hidden_size=128, num_layers=4,
+        merge_mode="sum", head="many_to_one", num_classes=11,
+    )
+    t1 = simulated_batch_time(spec, 20, 64, mbs=1, n_cores=16).seconds
+    t4 = simulated_batch_time(spec, 20, 64, mbs=4, n_cores=16).seconds
+    assert t4 < t1
+
+
+def test_simulated_batch_time_training_flag():
+    spec = small_blstm()
+    t_train = simulated_batch_time(spec, 10, 16, training=True).seconds
+    t_infer = simulated_batch_time(spec, 10, 16, training=False).seconds
+    assert t_infer < t_train
+
+
+def test_bseq_slower_than_bpar_on_many_cores():
+    spec = small_blstm(layers=4)
+    bpar = simulated_batch_time(spec, 20, 32, mbs=4, n_cores=16).seconds
+    bseq = simulated_batch_time(spec, 20, 32, mbs=4, n_cores=16, serialize_chunks=True).seconds
+    assert bseq >= bpar
+
+
+def test_run_row_columns():
+    row = run_row("lstm", 32, 32, 8, 4, n_cores=8)
+    values = row.as_list()
+    assert len(values) == len(HEADERS)
+    assert row.bpar_ms > 0 and row.k_cpu_ms > 0
+    assert row.speedup_k_cpu == pytest.approx(row.k_cpu_ms / row.bpar_ms)
+
+
+def test_make_spec_six_layers():
+    s = make_spec("gru", 64, 128)
+    assert s.num_layers == 6 and s.cell == "gru"
+
+
+def test_fig3_series_shape():
+    out = figures.fig3_minibatch_scaling(
+        layers=2, seq_len=8, batch=12, core_counts=(1, 4), mbs_list=(1, 2)
+    )
+    assert set(out) == {1, 2}
+    assert all(len(v) == 2 for v in out.values())
+    assert out[1][0] == pytest.approx(1.0, rel=0.05)  # self-speedup
+
+
+def test_fig4_series():
+    s = figures.fig4_core_scaling(layers=2, seq_len=6, batch=16, mbs=2, core_counts=(1, 8))
+    assert len(s.keras) == len(s.bpar) == 2
+    assert s.bpar[1] < s.bpar[0]  # more cores help B-Par
+
+
+def test_fig6_training_and_inference_rows():
+    rows = figures.fig6_layers(layer_counts=(2,), seq_len=6, batch=16, n_cores=8)
+    row = rows[0]
+    assert row["bpar_infer"] < row["bpar_train"]
+    assert row["keras_infer"] < row["keras_train"]
+
+
+def test_fig8_speedups_positive():
+    rows = figures.fig8_next_char(
+        layer_counts=(2,), batches=(16,), hiddens=(32,), seq_len=8, n_cores=8
+    )
+    assert all(r["speedup"] > 0 for r in rows)
+
+
+def test_granularity_study_small():
+    stats, per_epoch = figures.granularity_study(
+        layers=2, input_size=16, hidden=128, seq_len=8, batch=32, mbs=1, n_cores=8,
+        batches_per_epoch=10,
+    )
+    assert per_epoch == stats.num_tasks * 10
+    assert stats.overhead_ratio < 0.5
+
+
+def test_memory_study_barrier_reduces_live_set():
+    free, barred = figures.memory_study(layers=3, seq_len=10, batch=12, mbs=2, n_cores=8)
+    assert free.mean_live_tasks > barred.mean_live_tasks
+    assert free.mean_live_wss_bytes > barred.mean_live_wss_bytes

@@ -1,0 +1,56 @@
+"""Unit tests for activations."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.activations import dsigmoid, dtanh, sigmoid, tanh
+
+
+def test_sigmoid_range_and_symmetry(rng):
+    x = rng.standard_normal(1000) * 5
+    y = sigmoid(x)
+    assert np.all((y > 0) & (y < 1))
+    assert np.allclose(sigmoid(-x), 1 - y, atol=1e-7)
+
+
+def test_sigmoid_extremes_stable():
+    x = np.array([-1e4, -100.0, 0.0, 100.0, 1e4], dtype=np.float32)
+    y = sigmoid(x)
+    assert np.all(np.isfinite(y))
+    assert y[0] == pytest.approx(0.0, abs=1e-30)
+    assert y[2] == pytest.approx(0.5)
+    assert y[-1] == pytest.approx(1.0)
+
+
+def test_sigmoid_matches_naive_in_safe_range(rng):
+    x = rng.uniform(-10, 10, size=200)
+    naive = 1.0 / (1.0 + np.exp(-x))
+    assert np.allclose(sigmoid(x), naive, atol=1e-12)
+
+
+def test_sigmoid_preserves_dtype():
+    x32 = np.ones(4, dtype=np.float32)
+    x64 = np.ones(4, dtype=np.float64)
+    assert sigmoid(x32).dtype == np.float32
+    assert sigmoid(x64).dtype == np.float64
+
+
+def test_dsigmoid_numeric(rng):
+    x = rng.uniform(-4, 4, size=50)
+    y = sigmoid(x)
+    eps = 1e-6
+    numeric = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps)
+    assert np.allclose(dsigmoid(y), numeric, atol=1e-7)
+
+
+def test_dtanh_numeric(rng):
+    x = rng.uniform(-3, 3, size=50)
+    y = tanh(x)
+    eps = 1e-6
+    numeric = (np.tanh(x + eps) - np.tanh(x - eps)) / (2 * eps)
+    assert np.allclose(dtanh(y), numeric, atol=1e-7)
+
+
+def test_tanh_is_numpy_tanh(rng):
+    x = rng.standard_normal(10)
+    assert np.array_equal(tanh(x), np.tanh(x))

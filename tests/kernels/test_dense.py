@@ -1,0 +1,49 @@
+"""Unit tests for the dense head kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.dense import dense_backward, dense_forward, dense_bwd_flops, dense_fwd_flops
+
+
+def test_forward(rng):
+    x = rng.standard_normal((4, 3))
+    W = rng.standard_normal((3, 2))
+    b = rng.standard_normal(2)
+    assert np.allclose(dense_forward(x, W, b), x @ W + b)
+
+
+def test_backward_numerical(rng):
+    x = rng.standard_normal((4, 3))
+    W = rng.standard_normal((3, 2))
+    b = rng.standard_normal(2)
+    dy = rng.standard_normal((4, 2))
+    dW, db = np.zeros_like(W), np.zeros_like(b)
+    dx = dense_backward(dy, x, W, dW, db)
+    eps = 1e-6
+    for arr, grad in ((x, dx), (W, dW), (b, db)):
+        flat, gflat = arr.reshape(-1), grad.reshape(-1)
+        for j in range(flat.size):
+            orig = flat[j]
+            flat[j] = orig + eps
+            lp = float(np.sum(dense_forward(x, W, b) * dy))
+            flat[j] = orig - eps
+            lm = float(np.sum(dense_forward(x, W, b) * dy))
+            flat[j] = orig
+            assert (lp - lm) / (2 * eps) == pytest.approx(gflat[j], rel=1e-5, abs=1e-8)
+
+
+def test_backward_accumulates(rng):
+    x = rng.standard_normal((4, 3))
+    W = rng.standard_normal((3, 2))
+    b = rng.standard_normal(2)
+    dy = np.ones((4, 2))
+    dW, db = np.zeros_like(W), np.zeros_like(b)
+    dense_backward(dy, x, W, dW, db)
+    once = dW.copy()
+    dense_backward(dy, x, W, dW, db)
+    assert np.allclose(dW, 2 * once)
+
+
+def test_flops():
+    assert dense_bwd_flops(4, 3, 2) > dense_fwd_flops(4, 3, 2) > 0

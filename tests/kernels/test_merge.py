@@ -1,0 +1,80 @@
+"""Unit tests for the merge kernels (Eq. 11)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.merge import (
+    MERGE_MODES,
+    merge_backward,
+    merge_flops,
+    merge_forward,
+    merge_output_dim,
+)
+
+
+@pytest.fixture
+def ab(rng):
+    return rng.standard_normal((4, 6)), rng.standard_normal((4, 6))
+
+
+def test_output_dims():
+    assert merge_output_dim("sum", 8) == 8
+    assert merge_output_dim("mul", 8) == 8
+    assert merge_output_dim("avg", 8) == 8
+    assert merge_output_dim("concat", 8) == 16
+
+
+@pytest.mark.parametrize("mode", MERGE_MODES)
+def test_forward_shapes(mode, ab):
+    a, b = ab
+    y = merge_forward(a, b, mode)
+    assert y.shape == (4, merge_output_dim(mode, 6))
+
+
+def test_forward_values(ab):
+    a, b = ab
+    assert np.array_equal(merge_forward(a, b, "sum"), a + b)
+    assert np.array_equal(merge_forward(a, b, "mul"), a * b)
+    assert np.allclose(merge_forward(a, b, "avg"), (a + b) / 2)
+    y = merge_forward(a, b, "concat")
+    assert np.array_equal(y[:, :6], a) and np.array_equal(y[:, 6:], b)
+
+
+@pytest.mark.parametrize("mode", MERGE_MODES)
+def test_backward_numerical(mode, ab, rng):
+    a, b = ab
+    y = merge_forward(a, b, mode)
+    dy = rng.standard_normal(y.shape)
+    da, db = merge_backward(dy, a, b, mode)
+    eps = 1e-6
+    for arr, grad in ((a, da), (b, db)):
+        flat, gflat = arr.reshape(-1), grad.reshape(-1)
+        for j in (0, 7, 19):
+            orig = flat[j]
+            flat[j] = orig + eps
+            lp = float(np.sum(merge_forward(a, b, mode) * dy))
+            flat[j] = orig - eps
+            lm = float(np.sum(merge_forward(a, b, mode) * dy))
+            flat[j] = orig
+            assert (lp - lm) / (2 * eps) == pytest.approx(gflat[j], rel=1e-5, abs=1e-9)
+
+
+def test_unknown_mode_raises(ab):
+    a, b = ab
+    with pytest.raises(ValueError):
+        merge_forward(a, b, "max")
+    with pytest.raises(ValueError):
+        merge_output_dim("nope", 4)
+
+
+def test_flops():
+    assert merge_flops("sum", 4, 8) == 32
+    assert merge_flops("avg", 4, 8) == 64
+    assert merge_flops("concat", 4, 8) == 0
+
+
+def test_dtype_preserved(rng):
+    a = rng.standard_normal((2, 3)).astype(np.float32)
+    b = rng.standard_normal((2, 3)).astype(np.float32)
+    for mode in MERGE_MODES:
+        assert merge_forward(a, b, mode).dtype == np.float32

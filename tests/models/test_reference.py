@@ -1,0 +1,143 @@
+"""Unit tests for the sequential reference oracle."""
+
+import numpy as np
+import pytest
+
+from repro.models.params import BRNNParams
+from repro.models.reference import (
+    reference_forward,
+    reference_loss_and_grads,
+    reference_train_step,
+)
+from tests.conftest import make_batch, small_spec
+
+
+def test_m2o_logits_shape():
+    spec = small_spec()
+    x, labels = make_batch(spec, seq_len=5, batch=8)
+    params = BRNNParams.initialize(spec)
+    logits, caches = reference_forward(spec, params, x)
+    assert logits.shape == (8, spec.num_classes)
+    assert caches.logits is logits
+
+
+def test_m2m_logits_shape():
+    spec = small_spec(head="many_to_many")
+    x, labels = make_batch(spec, seq_len=5, batch=8)
+    params = BRNNParams.initialize(spec)
+    logits, _ = reference_forward(spec, params, x)
+    assert logits.shape == (5, 8, spec.num_classes)
+
+
+def test_forward_deterministic():
+    spec = small_spec()
+    x, _ = make_batch(spec)
+    params = BRNNParams.initialize(spec)
+    l1, _ = reference_forward(spec, params, x)
+    l2, _ = reference_forward(spec, params, x)
+    assert np.array_equal(l1, l2)
+
+
+def test_caches_sizes():
+    spec = small_spec(num_layers=3)
+    x, _ = make_batch(spec, seq_len=4)
+    params = BRNNParams.initialize(spec)
+    _, caches = reference_forward(spec, params, x)
+    assert len(caches.h_f) == 3 and len(caches.h_f[0]) == 4
+    assert len(caches.merged) == 2  # intermediate layers only
+    assert len(caches.last_merged) == 1  # m2o
+
+
+def test_m2o_uses_final_cells_only():
+    """The last layer merges only the final forward and reverse cells."""
+    spec = small_spec()
+    x, _ = make_batch(spec, seq_len=4)
+    params = BRNNParams.initialize(spec)
+    _, caches = reference_forward(spec, params, x)
+    from repro.kernels.merge import merge_forward
+
+    expected = merge_forward(caches.h_f[-1][3], caches.h_r[-1][3], spec.merge_mode)
+    assert np.array_equal(caches.last_merged[0], expected)
+
+
+def test_reverse_direction_sees_reversed_input():
+    """Reverse cells process x[T-1-u]: a time-flipped input must swap roles."""
+    spec = small_spec(num_layers=1)
+    x, _ = make_batch(spec, seq_len=5)
+    params = BRNNParams.initialize(spec)
+    _, caches = reference_forward(spec, params, x)
+    _, caches_flip = reference_forward(spec, params, x[::-1].copy())
+    # the forward chain on flipped input == reverse chain on original input
+    # only if fwd and rev weights were equal; instead check the cached inputs
+    assert np.array_equal(caches.cache_r[0][0].x, x[-1])
+    assert np.array_equal(caches_flip.cache_f[0][0].x, x[-1])
+
+
+def test_loss_decreases_under_training():
+    spec = small_spec()
+    x, labels = make_batch(spec, seq_len=6, batch=16)
+    params = BRNNParams.initialize(spec)
+    losses = [reference_train_step(spec, params, x, labels, lr=0.5) for _ in range(15)]
+    assert losses[-1] < losses[0]
+
+
+def test_m2m_loss_decreases():
+    spec = small_spec(head="many_to_many", num_layers=2)
+    x, labels = make_batch(spec, seq_len=4, batch=8)
+    params = BRNNParams.initialize(spec)
+    losses = [reference_train_step(spec, params, x, labels, lr=0.5) for _ in range(15)]
+    assert losses[-1] < losses[0]
+
+
+def test_initial_loss_near_log_c():
+    spec = small_spec()
+    x, labels = make_batch(spec, batch=32)
+    params = BRNNParams.initialize(spec)
+    loss, _, _ = reference_loss_and_grads(spec, params, x, labels)
+    assert loss == pytest.approx(np.log(spec.num_classes), rel=0.35)
+
+
+def test_grads_zero_for_disconnected_m2o_head_bias():
+    """Head bias gradient equals mean(softmax - onehot): finite and small."""
+    spec = small_spec()
+    x, labels = make_batch(spec)
+    params = BRNNParams.initialize(spec)
+    _, _, grads = reference_loss_and_grads(spec, params, x, labels)
+    assert np.all(np.isfinite(grads.head.b))
+    assert np.abs(grads.head.b.sum()) < 1e-5  # rows of dlogits sum to 0
+
+
+def test_gradients_nonzero_everywhere():
+    spec = small_spec()
+    x, labels = make_batch(spec)
+    params = BRNNParams.initialize(spec)
+    _, _, grads = reference_loss_and_grads(spec, params, x, labels)
+    for name, g in grads.arrays():
+        assert np.any(g != 0), f"{name} gradient identically zero"
+
+
+@pytest.mark.parametrize("cell", ["lstm", "gru"])
+@pytest.mark.parametrize("head", ["many_to_one", "many_to_many"])
+def test_all_topologies_run(cell, head):
+    spec = small_spec(cell=cell, head=head, num_layers=2)
+    x, labels = make_batch(spec, seq_len=3, batch=4)
+    params = BRNNParams.initialize(spec)
+    loss, logits, grads = reference_loss_and_grads(spec, params, x, labels)
+    assert np.isfinite(loss)
+
+
+def test_seq_len_one():
+    spec = small_spec()
+    x, labels = make_batch(spec, seq_len=1, batch=4)
+    params = BRNNParams.initialize(spec)
+    loss, logits, _ = reference_loss_and_grads(spec, params, x, labels)
+    assert logits.shape == (4, spec.num_classes)
+    assert np.isfinite(loss)
+
+
+def test_single_layer():
+    spec = small_spec(num_layers=1)
+    x, labels = make_batch(spec)
+    params = BRNNParams.initialize(spec)
+    loss, _, grads = reference_loss_and_grads(spec, params, x, labels)
+    assert np.isfinite(loss)

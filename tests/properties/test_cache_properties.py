@@ -1,0 +1,101 @@
+"""Property-based tests of the cache model invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.task import Region, Task
+from repro.simarch.cache import CacheModel
+from repro.simarch.machine import MachineSpec
+
+KIB = 1024
+
+
+def machine(l2, l3):
+    return MachineSpec(
+        name="t", n_sockets=2, cores_per_socket=2, freq_ghz=1.0,
+        gemm_gflops=10.0, elementwise_gflops=1.0,
+        l2_bytes=l2, l3_bytes=l3, l3_bw_gbps=10.0, mem_bw_gbps=20.0,
+        numa_factor=2.0, task_overhead_s=1e-6,
+    )
+
+
+@st.composite
+def access_trace(draw):
+    n_regions = draw(st.integers(1, 10))
+    regions = [
+        Region(("r", i), draw(st.integers(1, 64)) * KIB,
+               streaming=draw(st.booleans()))
+        for i in range(n_regions)
+    ]
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),                      # core
+                st.integers(0, n_regions - 1),          # region index
+                st.booleans(),                          # write?
+                st.floats(1.0, 4.0, allow_nan=False),   # reuse
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    return regions, steps
+
+
+@given(access_trace(), st.integers(4, 64), st.integers(64, 256))
+@settings(max_examples=60, deadline=None)
+def test_cache_invariants(trace, l2_kib, l3_kib):
+    regions, steps = trace
+    m = machine(l2_kib * KIB, l3_kib * KIB)
+    cache = CacheModel(m)
+    total_accounted = 0
+    for core, ridx, write, reuse in steps:
+        region = regions[ridx]
+        task = (
+            Task("w", None, outs=[region]) if write else Task("r", None, ins=[region])
+        )
+        acc = cache.access(core, task, reuse=reuse)
+        # every byte of traffic is classified exactly once
+        assert acc.total_bytes == acc.l2_bytes + acc.l3_bytes + acc.miss_bytes
+        expected = int(region.nbytes * max(0.0, reuse - 1.0)) + region.nbytes
+        assert acc.total_bytes == expected
+        total_accounted += acc.total_bytes
+        # occupancy never exceeds capacity
+        for l2set in cache._l2:
+            assert l2set.occupancy <= l2set.capacity
+        for l3set in cache._l3:
+            assert l3set.occupancy <= l3set.capacity
+    assert cache.stats.total_bytes == total_accounted
+
+
+@given(access_trace())
+@settings(max_examples=30, deadline=None)
+def test_immediate_rereads_hit(trace):
+    """Reading the same (cacheable) region twice on one core: second is a hit."""
+    regions, steps = trace
+    m = machine(64 * KIB, 256 * KIB)
+    cache = CacheModel(m)
+    for core, ridx, _, _ in steps:
+        region = regions[ridx]
+        if region.nbytes > m.l2_bytes:
+            continue
+        t = Task("r", None, ins=[region])
+        cache.access(core, t, reuse=1.0)
+        acc = cache.access(core, t, reuse=1.0)
+        assert acc.miss_bytes == 0
+        assert acc.l2_bytes == region.nbytes
+
+
+@given(st.integers(1, 16))
+@settings(max_examples=20)
+def test_homes_stable_after_first_touch(seed):
+    rng = np.random.default_rng(seed)
+    m = machine(64 * KIB, 256 * KIB)
+    cache = CacheModel(m)
+    region = Region("x", 8 * KIB)
+    first_core = int(rng.integers(0, 4))
+    cache.access(first_core, Task("r", None, ins=[region]))
+    home = region.home
+    for _ in range(5):
+        cache.access(int(rng.integers(0, 4)), Task("r", None, ins=[region]))
+    assert region.home == home

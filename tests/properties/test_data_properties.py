@@ -1,0 +1,85 @@
+"""Property-based tests of the dataset substrates."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data.batching import bucket_by_length, iterate_batches, pad_sequences
+from repro.data.tidigits import SyntheticTidigits, TidigitsConfig
+from repro.data.wikipedia import SyntheticWikipedia
+
+
+@given(
+    st.lists(st.integers(1, 30), min_size=1, max_size=12),
+    st.integers(1, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_pad_roundtrip(lengths, features):
+    rng = np.random.default_rng(0)
+    seqs = [rng.standard_normal((t, features)).astype(np.float32) for t in lengths]
+    out, out_lengths = pad_sequences(seqs)
+    assert out.shape == (max(lengths), len(lengths), features)
+    assert list(out_lengths) == lengths
+    for i, s in enumerate(seqs):
+        assert np.array_equal(out[: lengths[i], i], s)
+        assert not out[lengths[i] :, i].any()
+
+
+@given(
+    st.lists(st.integers(1, 50), min_size=1, max_size=20),
+    st.integers(1, 10),
+)
+@settings(max_examples=40, deadline=None)
+def test_bucketing_preserves_and_bounds(lengths, width):
+    rng = np.random.default_rng(1)
+    seqs = [rng.standard_normal((t, 2)).astype(np.float32) for t in lengths]
+    labels = np.arange(len(seqs))
+    buckets = bucket_by_length(seqs, labels, bucket_width=width)
+    total = sum(len(v[0]) for v in buckets.values())
+    assert total == len(seqs)
+    for key, (bucket_seqs, _) in buckets.items():
+        for s in bucket_seqs:
+            assert key - width < s.shape[0] <= key
+
+
+@given(
+    st.lists(st.integers(1, 40), min_size=1, max_size=15),
+    st.integers(1, 4),
+    st.integers(0, 100),
+)
+@settings(max_examples=30, deadline=None)
+def test_iterate_batches_partition(lengths, batch_size, seed):
+    rng = np.random.default_rng(2)
+    seqs = [rng.standard_normal((t, 2)).astype(np.float32) for t in lengths]
+    labels = np.arange(len(seqs))
+    seen = []
+    for x, y in iterate_batches(seqs, labels, batch_size=batch_size, seed=seed):
+        assert 1 <= x.shape[1] <= batch_size
+        assert x.shape[1] == len(y)
+        seen.extend(int(v) for v in y)
+    assert sorted(seen) == list(range(len(seqs)))
+
+
+@given(st.integers(0, 1000), st.integers(1, 50))
+@settings(max_examples=20, deadline=None)
+def test_tidigits_utterances_valid(seed, n):
+    ds = SyntheticTidigits(seed=3)
+    xs, ys = ds.generate(min(n, 10), seed=seed)
+    cfg = ds.config
+    for x, y in zip(xs, ys):
+        assert 0 <= y < ds.num_classes
+        assert cfg.min_digits * cfg.frames_per_digit_min <= x.shape[0]
+        assert x.shape[0] <= cfg.max_digits * cfg.frames_per_digit_max
+        assert np.all(np.isfinite(x))
+
+
+@given(st.integers(0, 1000), st.integers(1, 8), st.integers(1, 12))
+@settings(max_examples=20, deadline=None)
+def test_wikipedia_batches_valid(seed, batch, seq_len):
+    ds = SyntheticWikipedia(seed=5)
+    x, y = ds.batch(batch=batch, seq_len=seq_len, seed=seed)
+    assert x.shape == (seq_len, batch, ds.vocab_size)
+    assert y.shape == (seq_len, batch)
+    assert np.array_equal(x.sum(axis=2), np.ones((seq_len, batch), dtype=np.float32))
+    assert y.min() >= 0 and y.max() < ds.vocab_size
+    ids = x.argmax(axis=2)
+    assert np.array_equal(y[:-1], ids[1:])

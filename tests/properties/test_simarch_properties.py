@@ -1,0 +1,109 @@
+"""Property-based tests: simulator invariants hold on *random machines*."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.depgraph import TaskGraph
+from repro.runtime.simexec import SimulatedExecutor
+from repro.runtime.task import RegionSpace
+from repro.simarch.costmodel import CostModel
+from repro.simarch.machine import MachineSpec
+
+KIB = 1024
+
+
+@st.composite
+def random_machine(draw):
+    return MachineSpec(
+        name="rand",
+        n_sockets=draw(st.integers(1, 2)),
+        cores_per_socket=draw(st.integers(1, 6)),
+        freq_ghz=draw(st.floats(0.5, 4.0)),
+        gemm_gflops=draw(st.floats(1.0, 100.0)),
+        elementwise_gflops=draw(st.floats(0.5, 10.0)),
+        l2_bytes=draw(st.integers(16, 1024)) * KIB,
+        l3_bytes=draw(st.integers(1024, 65536)) * KIB,
+        l3_bw_gbps=draw(st.floats(5.0, 100.0)),
+        mem_bw_gbps=draw(st.floats(5.0, 200.0)),
+        numa_factor=draw(st.floats(1.0, 6.0)),
+        task_overhead_s=draw(st.floats(0.0, 1e-4)),
+        instr_per_flop=draw(st.floats(0.01, 0.2)),
+        small_gemm_ref_flops=draw(st.floats(0.0, 1e7)),
+        core_mem_bw_gbps=draw(st.floats(1.0, 50.0)),
+        task_create_s=draw(st.floats(0.0, 1e-5)),
+    )
+
+
+def chain_graph(n=10, region_kib=32):
+    g = TaskGraph()
+    rs = RegionSpace()
+    prev = None
+    for i in range(n):
+        r = rs.get(("r", i), region_kib * KIB)
+        g.add_task(
+            f"t{i}",
+            None,
+            ins=[prev] if prev is not None else [],
+            outs=[r],
+            flops=1e6 * (1 + i % 3),
+            kind="cell" if i % 2 else "merge",
+        )
+        prev = r
+    return g
+
+
+@given(random_machine())
+@settings(max_examples=40, deadline=None)
+def test_simulation_completes_with_positive_times(machine):
+    sim = SimulatedExecutor(machine)
+    trace = sim.run(chain_graph())
+    assert trace.num_tasks() == 10
+    for r in trace.records:
+        assert np.isfinite(r.duration) and r.duration > 0
+        assert 0 <= r.core < machine.n_cores
+    # a pure chain has concurrency exactly 1
+    assert trace.peak_concurrency() == 1
+
+
+@given(random_machine())
+@settings(max_examples=40, deadline=None)
+def test_makespan_at_least_sum_of_compute(machine):
+    """Makespan of a chain >= pure arithmetic time of its tasks."""
+    g = chain_graph()
+    cm = CostModel(machine)
+    lower = sum(cm.compute_time(t) for t in g)
+    trace = SimulatedExecutor(machine).run(g)
+    assert trace.makespan >= lower - 1e-12
+
+
+@given(random_machine(), st.integers(1, 12))
+@settings(max_examples=30, deadline=None)
+def test_core_restriction_never_exceeds(machine, n_cores):
+    n = min(n_cores, machine.n_cores)
+    g = TaskGraph()
+    rs = RegionSpace()
+    for i in range(20):
+        g.add_task(f"t{i}", None, outs=[rs.get(("r", i), 8 * KIB)], flops=1e6, kind="cell")
+    trace = SimulatedExecutor(machine, n_cores=n).run(g)
+    assert trace.peak_concurrency() <= n
+    assert {r.core for r in trace.records} <= set(range(n))
+
+
+@given(random_machine())
+@settings(max_examples=30, deadline=None)
+def test_determinism_on_random_machines(machine):
+    g1, g2 = chain_graph(), chain_graph()
+    m1 = SimulatedExecutor(machine).run(g1).makespan
+    m2 = SimulatedExecutor(machine).run(g2).makespan
+    assert m1 == m2
+
+
+@given(random_machine())
+@settings(max_examples=30, deadline=None)
+def test_cost_model_monotone_in_flops(machine):
+    from repro.runtime.task import Task
+
+    cm = CostModel(machine)
+    small = cm.compute_time(Task("s", None, flops=1e5, kind="cell"))
+    big = cm.compute_time(Task("b", None, flops=1e8, kind="cell"))
+    assert big > small >= 0

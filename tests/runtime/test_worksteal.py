@@ -1,0 +1,64 @@
+"""Unit tests for the work-stealing scheduler (ablation policy)."""
+
+import pytest
+
+from repro.runtime.scheduler import WorkStealingScheduler, make_scheduler
+from repro.runtime.task import Task
+
+
+def mk(name):
+    return Task(name, None)
+
+
+def test_registered_in_factory():
+    assert isinstance(make_scheduler("steal", 4), WorkStealingScheduler)
+
+
+def test_own_deque_lifo():
+    s = WorkStealingScheduler(2)
+    a, b = mk("a"), mk("b")
+    s.push(a, hint=0)
+    s.push(b, hint=0)
+    assert s.pop(0) is b  # newest first from own deque
+    assert s.pop(0) is a
+
+
+def test_steal_takes_oldest():
+    s = WorkStealingScheduler(2)
+    a, b = mk("a"), mk("b")
+    s.push(a, hint=1)
+    s.push(b, hint=1)
+    assert s.pop(0) is a  # thief takes the oldest entry
+
+
+def test_hintless_pushes_round_robin():
+    s = WorkStealingScheduler(3)
+    for i in range(6):
+        s.push(mk(f"t{i}"))
+    assert all(len(q) == 2 for q in s._deques)
+
+
+def test_invalid_hint_falls_back():
+    s = WorkStealingScheduler(2)
+    t = mk("t")
+    s.push(t, hint=7)
+    assert s.pop(0) is t or s.pop(1) is t
+
+
+def test_drains_completely():
+    s = WorkStealingScheduler(4)
+    tasks = [mk(f"t{i}") for i in range(17)]
+    for i, t in enumerate(tasks):
+        s.push(t, hint=i % 4 if i % 2 else None)
+    popped = []
+    while s:
+        got = s.pop(2)
+        assert got is not None
+        popped.append(got)
+    assert {id(t) for t in popped} == {id(t) for t in tasks}
+    assert s.pop(0) is None
+
+
+def test_rejects_bad_core_count():
+    with pytest.raises(ValueError):
+        WorkStealingScheduler(0)

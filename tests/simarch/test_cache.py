@@ -1,0 +1,156 @@
+"""Unit tests for the region-granularity cache model."""
+
+import pytest
+
+from repro.runtime.task import INTERLEAVED_HOME, Region, Task
+from repro.simarch.cache import CacheModel
+from repro.simarch.machine import MachineSpec
+
+KIB = 1024
+
+
+def tiny_machine(l2=64 * KIB, l3=256 * KIB, sockets=2, cps=2):
+    return MachineSpec(
+        name="tiny",
+        n_sockets=sockets,
+        cores_per_socket=cps,
+        freq_ghz=1.0,
+        gemm_gflops=10.0,
+        elementwise_gflops=1.0,
+        l2_bytes=l2,
+        l3_bytes=l3,
+        l3_bw_gbps=10.0,
+        mem_bw_gbps=20.0,
+        numa_factor=2.0,
+        task_overhead_s=1e-6,
+    )
+
+
+def task_reading(*regions, writes=()):
+    return Task("t", None, ins=list(regions), outs=list(writes))
+
+
+def test_cold_access_is_dram_then_hits():
+    cache = CacheModel(tiny_machine())
+    r = Region("a", 10 * KIB)
+    acc1 = cache.access(0, task_reading(r))
+    assert acc1.local_mem_bytes == 10 * KIB
+    acc2 = cache.access(0, task_reading(r))
+    assert acc2.l2_bytes == 10 * KIB
+    assert acc2.miss_bytes == 0
+
+
+def test_l3_hit_from_sibling_core():
+    cache = CacheModel(tiny_machine())
+    r = Region("a", 10 * KIB)
+    cache.access(0, task_reading(r))
+    acc = cache.access(1, task_reading(r))  # same socket, different core
+    assert acc.l3_bytes == 10 * KIB
+    assert acc.miss_bytes == 0
+
+
+def test_remote_socket_pays_numa():
+    cache = CacheModel(tiny_machine())
+    r = Region("a", 10 * KIB)
+    cache.access(0, task_reading(r, writes=[r]))  # homes on socket 0
+    acc = cache.access(2, task_reading(r))  # core 2 is socket 1
+    assert acc.remote_mem_bytes == 10 * KIB
+
+
+def test_interleaved_home_splits_traffic():
+    cache = CacheModel(tiny_machine())
+    r = Region("w", 10 * KIB)
+    r.home = INTERLEAVED_HOME
+    acc = cache.access(0, task_reading(r))
+    assert acc.local_mem_bytes == 5 * KIB
+    assert acc.remote_mem_bytes == 5 * KIB
+
+
+def test_interleaved_home_local_when_single_socket_active():
+    cache = CacheModel(tiny_machine(), active_sockets=1)
+    r = Region("w", 10 * KIB)
+    r.home = INTERLEAVED_HOME
+    acc = cache.access(0, task_reading(r))
+    assert acc.local_mem_bytes == 10 * KIB
+    assert acc.remote_mem_bytes == 0
+
+
+def test_write_invalidates_other_cores():
+    cache = CacheModel(tiny_machine())
+    r = Region("a", 10 * KIB)
+    cache.access(0, task_reading(r))  # cached on core 0
+    cache.access(1, Task("w", None, outs=[r]))  # core 1 writes
+    acc = cache.access(0, task_reading(r))  # core 0's copy invalidated
+    assert acc.l2_bytes == 0
+    # still in socket-0 L3 (write was on same socket)
+    assert acc.l3_bytes == 10 * KIB
+
+
+def test_write_invalidates_other_socket_l3():
+    cache = CacheModel(tiny_machine())
+    r = Region("a", 10 * KIB)
+    cache.access(2, task_reading(r))  # socket 1 caches (and homes) it
+    cache.access(0, Task("w", None, outs=[r]))  # socket 0 writes
+    acc = cache.access(2, task_reading(r))
+    assert acc.miss_bytes == 10 * KIB  # socket 1 copy gone
+
+
+def test_lru_eviction_under_capacity_pressure():
+    m = tiny_machine(l2=16 * KIB, l3=32 * KIB)
+    cache = CacheModel(m)
+    a, b, c = Region("a", 16 * KIB), Region("b", 16 * KIB), Region("c", 16 * KIB)
+    cache.access(0, task_reading(a))
+    cache.access(0, task_reading(b))
+    cache.access(0, task_reading(c))  # evicts a from L3 (LRU)
+    acc = cache.access(0, task_reading(a))
+    assert acc.miss_bytes == 16 * KIB
+
+
+def test_oversized_region_streams():
+    m = tiny_machine(l2=16 * KIB, l3=32 * KIB)
+    cache = CacheModel(m)
+    huge = Region("huge", 64 * KIB)
+    acc1 = cache.access(0, task_reading(huge))
+    acc2 = cache.access(0, task_reading(huge))
+    assert acc1.local_mem_bytes == 64 * KIB
+    assert acc2.local_mem_bytes == 64 * KIB  # never cached
+
+
+def test_reuse_rereads_charged_at_holding_level():
+    m = tiny_machine(l2=16 * KIB, l3=256 * KIB)
+    cache = CacheModel(m)
+    small = Region("s", 8 * KIB)   # fits L2
+    mid = Region("m", 64 * KIB)    # fits L3 only
+    acc = cache.access(0, task_reading(small), reuse=3.0)
+    assert acc.l2_bytes == 16 * KIB  # 2 extra sweeps from L2
+    acc = cache.access(0, task_reading(mid), reuse=3.0)
+    assert acc.l3_bytes == 128 * KIB  # 2 extra sweeps from L3
+
+
+def test_streaming_region_does_not_evict_working_set():
+    m = tiny_machine(l2=16 * KIB, l3=32 * KIB)
+    cache = CacheModel(m)
+    hot = Region("hot", 24 * KIB)
+    cache.access(0, task_reading(hot))
+    for i in range(4):
+        cache.access(0, task_reading(Region(("stream", i), 8 * KIB, streaming=True)))
+    acc = cache.access(0, task_reading(hot))
+    assert acc.miss_bytes == 0  # survived the scans (L3 hit or better)
+
+
+def test_stats_accumulate():
+    cache = CacheModel(tiny_machine())
+    r = Region("a", 10 * KIB)
+    cache.access(0, task_reading(r))
+    cache.access(0, task_reading(r))
+    assert cache.stats.total_bytes == 20 * KIB
+    assert cache.stats.l2_bytes == 10 * KIB
+    assert cache.stats.local_mem_bytes == 10 * KIB
+
+
+def test_first_touch_homes_region():
+    cache = CacheModel(tiny_machine())
+    r = Region("a", 4 * KIB)
+    assert r.home is None
+    cache.access(3, task_reading(r))  # core 3 = socket 1
+    assert r.home == 1

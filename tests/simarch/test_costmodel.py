@@ -1,0 +1,127 @@
+"""Unit tests for the per-task cost model."""
+
+import pytest
+
+from repro.runtime.task import Region, Task
+from repro.simarch.cache import CacheModel
+from repro.simarch.costmodel import CostModel, GEMM_KINDS, RESIDUAL
+from repro.simarch.machine import MachineSpec
+
+KIB = 1024
+
+
+def machine(**over):
+    kw = dict(
+        name="t",
+        n_sockets=1,
+        cores_per_socket=4,
+        freq_ghz=1.0,
+        gemm_gflops=10.0,
+        elementwise_gflops=1.0,
+        l2_bytes=64 * KIB,
+        l3_bytes=1024 * KIB,
+        l3_bw_gbps=10.0,
+        mem_bw_gbps=20.0,
+        numa_factor=2.0,
+        task_overhead_s=1e-6,
+        small_gemm_ref_flops=0.0,
+        core_mem_bw_gbps=1000.0,
+    )
+    kw.update(over)
+    return MachineSpec(**kw)
+
+
+def test_compute_time_gemm_vs_elementwise():
+    m = machine()
+    cm = CostModel(m)
+    gemm = Task("g", None, flops=1e9, kind="cell")
+    ew = Task("e", None, flops=1e9, kind="merge")
+    assert cm.compute_time(gemm) == pytest.approx(0.1)
+    assert cm.compute_time(ew) == pytest.approx(1.0)
+
+
+def test_small_gemm_rate_falloff():
+    m = machine(small_gemm_ref_flops=1e6)
+    cm = CostModel(m)
+    small = Task("s", None, flops=1e6, kind="cell")
+    # effective rate halves at flops == ref
+    assert cm.compute_time(small) == pytest.approx(1e6 / (10e9 * 0.5))
+
+
+def test_zero_flop_task_costs_only_overhead():
+    m = machine()
+    cm = CostModel(m)
+    cost = cm.cost(Task("b", None, kind="barrier"), 0, CacheModel(m))
+    assert cost.duration == pytest.approx(m.task_overhead_s)
+
+
+def test_memory_bound_task_roofline():
+    m = machine()
+    cm = CostModel(m)
+    big = Region("big", 2048 * KIB)  # exceeds L3: streams from DRAM
+    t = Task("t", None, ins=[big], flops=1.0, kind="cell", meta={"reuse": 1.0})
+    cost = cm.cost(t, 0, CacheModel(m))
+    expected_mem = big.nbytes / (20e9)
+    assert cost.mem_time == pytest.approx(expected_mem, rel=0.01)
+    assert cost.duration >= expected_mem
+
+
+def test_roofline_overlap_formula():
+    m = machine()
+    cm = CostModel(m)
+    r = Region("r", 100 * KIB)
+    t = Task("t", None, ins=[r], flops=5e8, kind="cell")
+    cache = CacheModel(m)
+    cost = cm.cost(t, 0, cache, active_on_socket=1)
+    expected = max(cost.compute_time, cost.mem_time) + RESIDUAL * min(
+        cost.compute_time, cost.mem_time
+    )
+    assert cost.duration == pytest.approx(m.task_overhead_s + expected)
+
+
+def test_bandwidth_shared_among_active_tasks():
+    m = machine()
+    cm = CostModel(m)
+    r1, r2 = Region("r1", 2048 * KIB), Region("r2", 2048 * KIB)
+    cost_alone = cm.cost(Task("a", None, ins=[r1], kind="cell"), 0, CacheModel(m), 1)
+    cost_contended = cm.cost(Task("b", None, ins=[r2], kind="cell"), 0, CacheModel(m), 4)
+    assert cost_contended.mem_time > cost_alone.mem_time
+
+
+def test_core_bandwidth_cap():
+    m = machine(core_mem_bw_gbps=5.0)
+    cm = CostModel(m)
+    r = Region("r", 2048 * KIB)
+    t = Task("a", None, ins=[r], kind="cell", meta={"reuse": 1.0})
+    cost = cm.cost(t, 0, CacheModel(m), 1)
+    assert cost.mem_time == pytest.approx(r.nbytes / 5e9, rel=0.01)
+
+
+def test_extra_overhead_meta():
+    m = machine()
+    cm = CostModel(m)
+    t = Task("t", None, kind="join", meta={"extra_overhead_s": 0.25})
+    cost = cm.cost(t, 0, CacheModel(m))
+    assert cost.overhead == pytest.approx(0.25 + m.task_overhead_s)
+
+
+def test_reuse_meta_overrides_kind_default():
+    m = machine()
+    cm = CostModel(m)
+    r = Region("r", 512 * KIB)  # L3-sized -> re-reads from L3
+    base = cm.cost(Task("a", None, ins=[r], kind="cell", meta={"reuse": 1.0}), 0, CacheModel(m))
+    swept = cm.cost(Task("b", None, ins=[r], kind="cell", meta={"reuse": 5.0}), 1, CacheModel(m))
+    assert swept.mem_time > base.mem_time
+
+
+def test_instructions_scale_with_flops():
+    m = machine()
+    cm = CostModel(m)
+    c1 = cm.cost(Task("a", None, flops=1e6, kind="cell"), 0, CacheModel(m))
+    c2 = cm.cost(Task("b", None, flops=2e6, kind="cell"), 0, CacheModel(m))
+    assert c2.instructions > c1.instructions
+
+
+def test_gemm_kinds_constant():
+    assert "cell" in GEMM_KINDS and "cell_bwd" in GEMM_KINDS
+    assert "merge" not in GEMM_KINDS

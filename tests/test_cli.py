@@ -1,0 +1,30 @@
+"""Smoke tests for the `python -m repro` command line."""
+
+import pytest
+
+from repro.__main__ import COMMANDS, main
+
+
+def test_describe_runs(capsys):
+    assert main(["describe"]) == 0
+    out = capsys.readouterr().out
+    assert "xeon-8160-2s" in out
+    assert "94.4M parameters" in out.replace(" ", "").replace("->", " -> ") or "94.4" in out
+
+
+def test_all_paper_commands_registered():
+    for cmd in ("table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7",
+                "fig8", "granularity", "memory", "describe"):
+        assert cmd in COMMANDS
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_memory_command_runs(capsys):
+    # the fastest experiment command end-to-end (~10 s simulated machine)
+    assert main(["memory"]) == 0
+    out = capsys.readouterr().out
+    assert "barrier-free" in out and "with barriers" in out

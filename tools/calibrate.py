@@ -1,0 +1,92 @@
+"""Calibration probe: compare simulated engines against paper table rows.
+
+Usage: python tools/calibrate.py [quick|full|probe]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.models import BRNNSpec
+from repro.harness import simulated_batch_time
+from repro.baselines import KerasCPUEngine, PyTorchCPUEngine
+
+
+def mk(i, h, cell="lstm"):
+    return BRNNSpec(
+        cell=cell, input_size=i, hidden_size=h, num_layers=6,
+        merge_mode="sum", head="many_to_one", num_classes=11,
+    )
+
+
+def row(spec, T, B, paper):
+    mbs = min(8, B)
+    bp = simulated_batch_time(spec, T, B, mbs=mbs, n_cores=48).seconds
+    bs = simulated_batch_time(spec, T, B, mbs=mbs, n_cores=48, serialize_chunks=True).seconds
+    k, _ = KerasCPUEngine(spec).batch_time(T, B, 48)
+    p, _ = PyTorchCPUEngine(spec).batch_time(T, B, 48)
+    print(
+        "%4d/%4d/%3d/%3d  K %8.0f (%8.0f)  P %8.0f (%8.0f)  BSeq %8.0f (%8.0f)"
+        "  BPar %8.0f (%8.0f)  K/BP %.2f (%.2f) P/BP %.2f (%.2f)"
+        % (
+            spec.input_size, spec.hidden_size, B, T,
+            k * 1e3, paper[0], p * 1e3, paper[1], bs * 1e3, paper[2],
+            bp * 1e3, paper[3], k / bp, paper[0] / paper[3], p / bp, paper[1] / paper[3],
+        )
+    )
+
+
+def probe(spec, T, B, mbs):
+    t = simulated_batch_time(spec, T, B, mbs=mbs, n_cores=48)
+    tr = t.trace
+    recs = tr.records
+    t_fwd_end = max(r.end for r in recs if r.kind == "cell")
+    fwd = [r for r in recs if r.end <= t_fwd_end and r.kind in ("cell", "merge")]
+    print(
+        "makespan %.3f  conc avg %.1f peak %d  eff %.2f"
+        % (tr.makespan, tr.average_concurrency(), tr.peak_concurrency(), tr.parallel_efficiency())
+    )
+    cs = tr.cache_stats
+    print(
+        "traffic GB: l2 %.1f l3 %.1f local %.2f remote %.2f"
+        % (cs.l2_bytes / 1e9, cs.l3_bytes / 1e9, cs.local_mem_bytes / 1e9, cs.remote_mem_bytes / 1e9)
+    )
+    cells = [r for r in recs if r.kind == "cell"]
+    bwds = [r for r in recs if r.kind == "cell_bwd"]
+    print(
+        "cell fwd mean %.2f ms (n=%d)  bwd mean %.2f ms (n=%d)"
+        % (np.mean([r.duration for r in cells]) * 1e3, len(cells),
+           np.mean([r.duration for r in bwds]) * 1e3, len(bwds))
+    )
+    # concurrency in fwd window vs bwd window
+    prof = tr.concurrency_profile()
+    def window_conc(t0, t1):
+        area = 0.0
+        for (a, n), (b, _) in zip(prof, prof[1:]):
+            lo, hi = max(a, t0), min(b, t1)
+            if hi > lo:
+                area += n * (hi - lo)
+        return area / (t1 - t0)
+    mid = t_fwd_end
+    print("conc fwd-window %.1f, bwd-window %.1f" % (window_conc(0, mid), window_conc(mid, tr.makespan)))
+
+
+if __name__ == "__main__":
+    mode = sys.argv[1] if len(sys.argv) > 1 else "quick"
+    if mode == "probe":
+        probe(mk(256, 1024), 100, 256, 8)
+        probe(mk(256, 256), 100, 128, 8)
+    else:
+        row(mk(256, 256), 100, 128, (1770.15, 3956.06, 2419.80, 932.55))
+        row(mk(256, 256), 2, 1, (17.47, 20.51, 20.21, 14.94))
+        row(mk(256, 256), 10, 1, (37.29, 54.70, 60.76, 24.80))
+        row(mk(256, 256), 100, 1, (276.68, 461.45, 439.25, 143.21))
+        row(mk(256, 1024), 100, 256, (28571.33, 143332.02, 71715.42, 15640.74))
+        if mode == "full":
+            row(mk(64, 256), 100, 128, (1770.76, 3215.68, 2364.00, 989.06))
+            row(mk(1024, 256), 100, 128, (1816.53, 3663.28, 2726.55, 1149.55))
+            row(mk(64, 256), 100, 256, (2751.70, 5240.83, 4262.18, 1566.60))
+            row(mk(256, 256), 100, 256, (2770.82, 5412.32, 4352.02, 1581.97))
+            row(mk(1024, 256), 100, 256, (2893.43, 5713.00, 4546.46, 1830.35))
+            row(mk(64, 1024), 100, 256, (28489.52, 147839.40, 71038.30, 17378.61))
+            row(mk(1024, 1024), 100, 256, (28721.38, 117934.39, 71521.05, 16143.40))
