@@ -1,0 +1,34 @@
+# Convenience targets; CI (.github/workflows/ci.yml) runs `test` and
+# `smoke-serving` on every push.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+SMOKE_REPORT ?= /tmp/repro_serving_smoke.json
+
+.PHONY: test smoke-serving bench serve-bench clean
+
+# tier-1: the full unit/integration/property suite (serving tests included)
+test:
+	$(PYTHON) -m pytest -x -q
+
+# fast serving smoke: tiny config end-to-end through the real CLI, then a
+# hard failure on any regression in the reported JSON schema
+smoke-serving:
+	$(PYTHON) -m repro serve-bench \
+		--arrival-rate 50 --duration 0.3 --executor sim \
+		--max-batch-size 8 --hidden 16 --layers 2 --input-size 8 \
+		--seq-min 8 --seq-max 24 --bucket-width 8 --mbs 1 \
+		--output $(SMOKE_REPORT) > /dev/null
+	$(PYTHON) tools/check_serving_report.py $(SMOKE_REPORT)
+
+# regenerate every paper table/figure + the serving sweep (minutes)
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# the acceptance-criteria serving run (paper machine, 200 req/s, 5 s)
+serve-bench:
+	$(PYTHON) -m repro serve-bench --arrival-rate 200 --duration 5 --executor sim
+
+clean:
+	rm -f $(SMOKE_REPORT) serving_report.json

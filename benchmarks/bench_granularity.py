@@ -38,6 +38,11 @@ def test_granularity(benchmark):
     assert stats.duration_min_s < 1e-3
     assert stats.duration_max_s > 5e-3
     assert 1e-3 < stats.duration_mean_s < 50e-3  # paper mean 13.05 ms
+    # percentile helpers (ExecutionTrace.duration_percentiles) are ordered
+    # and bracketed by the extremes
+    assert (stats.duration_min_s <= stats.duration_p50_s
+            <= stats.duration_p95_s <= stats.duration_p99_s
+            <= stats.duration_max_s)
     # merge tasks have much smaller working sets than cell tasks (paper)
     assert stats.merge_wss_mean_bytes < stats.cell_wss_mean_bytes / 10
     # runtime overhead at least 10x smaller than in-task time (paper)

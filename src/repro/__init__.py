@@ -28,6 +28,8 @@ Package layout (see DESIGN.md):
 * :mod:`repro.data` — synthetic TIDIGITS / Wikipedia substitutes
 * :mod:`repro.analysis` — granularity, working-set, reporting
 * :mod:`repro.harness` — per-table/per-figure experiment drivers
+* :mod:`repro.serve` — online inference serving: bounded queue,
+  dynamic batching, SLO metrics (docs/SERVING.md)
 """
 
 from repro.models.spec import BRNNSpec
@@ -39,6 +41,7 @@ from repro.core.graph_builder import build_brnn_graph
 from repro.runtime.executor import SerialExecutor, ThreadedExecutor
 from repro.runtime.simexec import SimulatedExecutor
 from repro.simarch.presets import laptop_sim, tesla_v100, xeon_8160_2s
+from repro.serve import InferenceEngine, Server, ServerConfig
 
 __version__ = "1.0.0"
 
@@ -56,5 +59,8 @@ __all__ = [
     "xeon_8160_2s",
     "tesla_v100",
     "laptop_sim",
+    "InferenceEngine",
+    "Server",
+    "ServerConfig",
     "__version__",
 ]

@@ -5,6 +5,7 @@
     python -m repro table4 [--full]         # Table IV (BGRU)
     python -m repro fig3|fig4|fig5|fig6|fig7|fig8
     python -m repro granularity|memory
+    python -m repro serve-bench [...]       # online-serving benchmark (JSON)
 
 ``--full`` runs the paper's complete configuration grids (minutes); the
 default grids cover every regime in seconds.  The same drivers back the
@@ -123,6 +124,77 @@ def _cmd_granularity(args) -> None:
     print(f"{'tasks per epoch':24s} {per_epoch}  (paper: 368,240)")
 
 
+def _cmd_serve_bench(args) -> None:
+    """Serve a synthetic request stream and emit the JSON SLO report."""
+    import json
+
+    from repro.serve import (
+        InferenceEngine,
+        Server,
+        ServerConfig,
+        WorkloadConfig,
+        make_workload,
+    )
+
+    spec = BRNNSpec(
+        cell=args.cell,
+        input_size=args.input_size,
+        hidden_size=args.hidden,
+        num_layers=args.layers,
+        merge_mode="sum",
+        num_classes=11,
+    )
+    workload_cfg = WorkloadConfig(
+        rate_hz=args.arrival_rate,
+        duration_s=args.duration,
+        seq_len_range=(args.seq_min, args.seq_max),
+        features=spec.input_size if args.executor == "threaded" else None,
+        slo_s=args.slo,
+    )
+    requests = make_workload(args.workload, workload_cfg, seed=args.seed)
+    engine = InferenceEngine(
+        spec,
+        executor=args.executor,
+        mbs=args.mbs,
+        n_cores=args.cores if args.executor == "sim" else None,
+        seed=args.seed,
+    )
+    server_cfg = ServerConfig(
+        queue_capacity=args.queue_capacity,
+        queue_policy=args.queue_policy,
+        max_batch_size=args.max_batch_size,
+        max_wait=args.max_wait,
+        bucket_width=args.bucket_width,
+    )
+    stats = Server(engine, server_cfg).run(requests)
+    report = {
+        "config": {
+            "model": spec.describe(),
+            "executor": args.executor,
+            "workers": engine.n_workers,
+            "workload": args.workload,
+            "arrival_rate_hz": args.arrival_rate,
+            "duration_s": args.duration,
+            "seq_len_range": [args.seq_min, args.seq_max],
+            "slo_s": args.slo,
+            "mbs": args.mbs,
+            "queue_capacity": args.queue_capacity,
+            "queue_policy": args.queue_policy,
+            "max_batch_size": args.max_batch_size,
+            "max_wait_s": args.max_wait,
+            "bucket_width": args.bucket_width,
+            "seed": args.seed,
+        },
+        "results": stats.summary(),
+    }
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"# report written to {args.output}", file=sys.stderr)
+
+
 def _cmd_memory(args) -> None:
     free, barred = figures.memory_study()
     print(f"barrier-free : {free.mean_live_tasks:5.1f} live tasks, "
@@ -143,7 +215,42 @@ COMMANDS = {
     "fig8": _cmd_fig8,
     "granularity": _cmd_granularity,
     "memory": _cmd_memory,
+    "serve-bench": _cmd_serve_bench,
 }
+
+
+def _add_serve_bench_args(parser: argparse.ArgumentParser) -> None:
+    g = parser.add_argument_group("serve-bench options")
+    g.add_argument("--arrival-rate", type=float, default=200.0,
+                   help="mean request arrival rate (req/s)")
+    g.add_argument("--duration", type=float, default=5.0,
+                   help="length of the arrival window (s, server clock)")
+    g.add_argument("--executor", choices=("sim", "threaded"), default="sim",
+                   help="simulated 48-core machine or real worker threads")
+    g.add_argument("--workload", choices=("poisson", "bursty"), default="poisson")
+    g.add_argument("--max-batch-size", type=int, default=32)
+    g.add_argument("--max-wait", type=float, default=5e-3,
+                   help="batcher timeout: max queuing delay before a partial flush (s)")
+    g.add_argument("--bucket-width", type=int, default=20,
+                   help="sequence-length bucket granularity (frames)")
+    g.add_argument("--queue-capacity", type=int, default=128)
+    g.add_argument("--queue-policy", choices=("reject", "drop_oldest"),
+                   default="reject")
+    g.add_argument("--mbs", type=int, default=4,
+                   help="data-parallel chunks per batch (hybrid parallelism)")
+    g.add_argument("--slo", type=float, default=None,
+                   help="per-request deadline (s after arrival); expired requests drop")
+    g.add_argument("--cores", type=int, default=None,
+                   help="simulated core count (default: whole machine, 48)")
+    g.add_argument("--cell", choices=("lstm", "gru"), default="lstm")
+    g.add_argument("--hidden", type=int, default=256)
+    g.add_argument("--layers", type=int, default=6)
+    g.add_argument("--input-size", type=int, default=64)
+    g.add_argument("--seq-min", type=int, default=40)
+    g.add_argument("--seq-max", type=int, default=100)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--output", type=str, default=None,
+                   help="also write the JSON report to this path")
 
 
 def main(argv=None) -> int:
@@ -154,6 +261,7 @@ def main(argv=None) -> int:
     parser.add_argument("command", choices=sorted(COMMANDS))
     parser.add_argument("--full", action="store_true",
                         help="use the paper's complete configuration grids")
+    _add_serve_bench_args(parser)
     args = parser.parse_args(argv)
     COMMANDS[args.command](args)
     return 0

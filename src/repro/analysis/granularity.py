@@ -26,6 +26,9 @@ class GranularityStats:
     duration_min_s: float
     duration_max_s: float
     duration_mean_s: float
+    duration_p50_s: float
+    duration_p95_s: float
+    duration_p99_s: float
     cell_wss_mean_bytes: float
     merge_wss_mean_bytes: float
     overhead_ratio: float  # runtime overhead / in-task time
@@ -36,6 +39,9 @@ class GranularityStats:
             ("duration min", f"{self.duration_min_s * 1e6:.1f} us"),
             ("duration max", f"{self.duration_max_s * 1e3:.2f} ms"),
             ("duration mean", f"{self.duration_mean_s * 1e3:.2f} ms"),
+            ("duration p50/p95/p99", f"{self.duration_p50_s * 1e3:.2f} / "
+                                     f"{self.duration_p95_s * 1e3:.2f} / "
+                                     f"{self.duration_p99_s * 1e3:.2f} ms"),
             ("cell task WSS", f"{self.cell_wss_mean_bytes / 1e6:.2f} MB"),
             ("merge task WSS", f"{self.merge_wss_mean_bytes / 1e6:.2f} MB"),
             ("overhead / task time", f"{self.overhead_ratio:.4f}"),
@@ -46,7 +52,7 @@ def granularity_stats(trace: ExecutionTrace) -> GranularityStats:
     """Compute granularity statistics from one execution trace."""
     if not trace.records:
         raise ValueError("empty trace")
-    durations = np.asarray([r.duration for r in trace.records])
+    pcts = trace.duration_percentiles()
     by_kind: Dict[str, int] = {}
     for r in trace.records:
         by_kind[r.kind] = by_kind.get(r.kind, 0) + 1
@@ -57,9 +63,12 @@ def granularity_stats(trace: ExecutionTrace) -> GranularityStats:
     return GranularityStats(
         num_tasks=len(trace.records),
         tasks_by_kind=by_kind,
-        duration_min_s=float(durations.min()),
-        duration_max_s=float(durations.max()),
-        duration_mean_s=float(durations.mean()),
+        duration_min_s=min(r.duration for r in trace.records),
+        duration_max_s=max(r.duration for r in trace.records),
+        duration_mean_s=trace.total_task_time / len(trace.records),
+        duration_p50_s=pcts["p50"],
+        duration_p95_s=pcts["p95"],
+        duration_p99_s=pcts["p99"],
         cell_wss_mean_bytes=float(np.mean(cell_wss)) if cell_wss else 0.0,
         merge_wss_mean_bytes=float(np.mean(merge_wss)) if merge_wss else 0.0,
         overhead_ratio=total_overhead / in_task if in_task > 0 else 0.0,

@@ -18,18 +18,39 @@ def pad_sequences(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Zero-pad variable-length ``(T_i, F)`` sequences to ``(T, B, F)``.
 
-    Returns the padded tensor and the original lengths.
+    Returns the padded tensor and the original lengths.  Every sequence must
+    be 2-D with the same feature width, and an explicit ``length`` must cover
+    the longest sequence — padding never silently truncates data; crop inputs
+    explicitly if that is what you want.
     """
     if not sequences:
         raise ValueError("no sequences to pad")
-    lengths = np.asarray([s.shape[0] for s in sequences])
-    length = int(lengths.max()) if length is None else length
-    batch = len(sequences)
+    for i, s in enumerate(sequences):
+        if getattr(s, "ndim", None) != 2:
+            raise ValueError(
+                f"sequence {i} must be a 2-D (T, F) array, got shape "
+                f"{getattr(s, 'shape', None)}; reshape 1-D sequences to (T, 1)"
+            )
     features = sequences[0].shape[1]
+    for i, s in enumerate(sequences):
+        if s.shape[1] != features:
+            raise ValueError(
+                f"sequence {i} has {s.shape[1]} features, expected {features} "
+                f"(all sequences in a batch must share one feature width)"
+            )
+    lengths = np.asarray([s.shape[0] for s in sequences])
+    longest = int(lengths.max())
+    if length is None:
+        length = longest
+    elif length < longest:
+        raise ValueError(
+            f"length={length} is shorter than the longest sequence ({longest} "
+            f"frames); pad_sequences never truncates"
+        )
+    batch = len(sequences)
     out = np.zeros((length, batch, features), dtype=sequences[0].dtype)
     for i, s in enumerate(sequences):
-        t = min(length, s.shape[0])
-        out[:t, i, :] = s[:t]
+        out[: s.shape[0], i, :] = s
     return out, lengths
 
 

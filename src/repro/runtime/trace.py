@@ -9,8 +9,28 @@ working-set statistics — from this single structure.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linearly-interpolated percentile of ``values`` (NumPy's default method).
+
+    Kept dependency-free so latency collectors (``repro.serve``) and trace
+    summaries share one definition of p50/p95/p99.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if len(values) == 0:
+        raise ValueError("percentile of an empty sequence")
+    xs = sorted(values)
+    rank = (len(xs) - 1) * p / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(xs[lo])
+    return float(xs[lo] + (xs[hi] - xs[lo]) * (rank - lo))
 
 
 @dataclass
@@ -123,6 +143,44 @@ class ExecutionTrace:
 
     def durations(self, kind: Optional[str] = None) -> List[float]:
         return [r.duration for r in self.records if kind is None or r.kind == kind]
+
+    def duration_percentile(self, p: float, kind: Optional[str] = None) -> float:
+        """The ``p``-th percentile of task durations (optionally one kind)."""
+        return percentile(self.durations(kind), p)
+
+    def duration_percentiles(
+        self, ps: Sequence[float] = (50, 95, 99), kind: Optional[str] = None
+    ) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` of task durations.
+
+        Keys are formatted ``p<value>`` (``p99.9`` for fractional points) so
+        the dict drops straight into JSON reports.
+        """
+        xs = self.durations(kind)
+        return {f"p{p:g}": percentile(xs, p) for p in ps}
+
+    def summary(self) -> Dict[str, float]:
+        """One-stop statistics dict: end-to-end and task-duration figures.
+
+        Benchmarks should consume this (or :meth:`duration_percentiles`)
+        instead of re-deriving percentiles from raw records.
+        """
+        out: Dict[str, float] = {
+            "num_tasks": float(len(self.records)),
+            "makespan_s": self.makespan,
+            "total_task_time_s": self.total_task_time,
+            "total_overhead_s": self.total_overhead,
+            "parallel_efficiency": self.parallel_efficiency(),
+            "average_concurrency": self.average_concurrency(),
+        }
+        if self.records:
+            xs = self.durations()
+            out["task_duration_mean_s"] = sum(xs) / len(xs)
+            out["task_duration_min_s"] = min(xs)
+            out["task_duration_max_s"] = max(xs)
+            for key, val in self.duration_percentiles().items():
+                out[f"task_duration_{key}_s"] = val
+        return out
 
     def merge(self, other: "ExecutionTrace", time_offset: float = 0.0) -> "ExecutionTrace":
         """Concatenate two traces (e.g. successive batches) into one."""

@@ -1,0 +1,51 @@
+"""Inference serving on top of the B-Par runtime.
+
+The serving layer turns the repo's offline engines into an online system:
+a stream of independent, variable-length inference requests is admitted
+through a bounded :class:`RequestQueue` (backpressure: shed when full,
+drop on deadline expiry), coalesced by a :class:`DynamicBatcher` into
+padded length-bucketed batches, and executed by an
+:class:`InferenceEngine` as one barrier-free task graph per batch — on
+real threads or, deterministically, on the simulated 48-core machine.
+:class:`ServerStats` reports the SLO picture: p50/p95/p99 latency,
+throughput, queue depth, batch-size histogram and padding overhead.
+
+See ``docs/SERVING.md`` for the architecture and knobs, and
+``benchmarks/bench_serving.py`` / ``python -m repro serve-bench`` for the
+arrival-rate × batching sweeps.
+"""
+
+from repro.serve.request import COMPLETED, EXPIRED, SHED, CompletedRequest, InferenceRequest
+from repro.serve.queue import RequestQueue
+from repro.serve.batcher import Batch, DynamicBatcher
+from repro.serve.engine import BatchExecution, InferenceEngine
+from repro.serve.stats import BatchRecord, ServerStats
+from repro.serve.loadgen import (
+    WorkloadConfig,
+    bursty_workload,
+    make_workload,
+    poisson_workload,
+)
+from repro.serve.server import Server, ServerConfig, serve_workload
+
+__all__ = [
+    "InferenceRequest",
+    "CompletedRequest",
+    "COMPLETED",
+    "SHED",
+    "EXPIRED",
+    "RequestQueue",
+    "DynamicBatcher",
+    "Batch",
+    "InferenceEngine",
+    "BatchExecution",
+    "ServerStats",
+    "BatchRecord",
+    "WorkloadConfig",
+    "poisson_workload",
+    "bursty_workload",
+    "make_workload",
+    "Server",
+    "ServerConfig",
+    "serve_workload",
+]

@@ -1,0 +1,165 @@
+"""The serving-side model executor.
+
+An :class:`InferenceEngine` owns one compiled model (a
+:class:`~repro.models.spec.BRNNSpec` plus parameters) and turns a cut
+:class:`~repro.serve.batcher.Batch` into a barrier-free task graph
+(:func:`~repro.core.graph_builder.build_brnn_graph`, inference mode) that
+runs on one of two substrates:
+
+* ``executor="sim"`` — cost-only graphs on the
+  :class:`~repro.runtime.simexec.SimulatedExecutor` (default: the paper's
+  48-core Xeon).  Service times are deterministic, so serving behaviour
+  (queueing, batching, shedding) can be studied bit-reproducibly at
+  paper scale.  Identically-shaped batches cost the same in steady state,
+  so per-shape service times are computed once (with a cache-warming run,
+  as in :func:`repro.harness.simtime.simulated_batch_time`) and memoised.
+* ``executor="threaded"`` — functional graphs with real NumPy payloads on
+  the :class:`~repro.runtime.executor.ThreadedExecutor`; service time is
+  measured wall time and logits are returned.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bpar import default_executor
+from repro.core.graph_builder import build_brnn_graph
+from repro.runtime.executor import ThreadedExecutor
+from repro.models.params import BRNNParams
+from repro.models.spec import BRNNSpec
+from repro.runtime.simexec import SimulatedExecutor
+from repro.runtime.trace import ExecutionTrace
+from repro.serve.batcher import Batch
+from repro.simarch.machine import MachineSpec
+from repro.simarch.presets import xeon_8160_2s
+
+EXECUTORS = ("sim", "threaded")
+
+
+@dataclass
+class BatchExecution:
+    """Outcome of executing one batch."""
+
+    service_time_s: float
+    trace: ExecutionTrace
+    logits: Optional[np.ndarray] = None
+
+
+class InferenceEngine:
+    """Executes batches of a fixed model on a fixed substrate.
+
+    Parameters
+    ----------
+    spec:
+        The served model architecture.
+    executor:
+        ``"sim"`` (deterministic simulated machine) or ``"threaded"``
+        (real worker threads, real numerics).
+    mbs:
+        Data-parallel chunk count per batch (clamped to the batch size),
+        the paper's hybrid-parallelism knob — larger batches need ``mbs>1``
+        to spread across the simulated 48 cores.
+    n_cores:
+        Simulated core count (``sim`` only); defaults to the whole machine.
+    batch_fixed_s:
+        Per-batch cost outside the task graph (input staging, graph
+        creation bring-up) charged in ``sim`` mode — the quantity dynamic
+        batching amortises; same convention as
+        :func:`~repro.harness.simtime.simulated_batch_time`.
+    """
+
+    def __init__(
+        self,
+        spec: BRNNSpec,
+        executor: str = "sim",
+        *,
+        params: Optional[BRNNParams] = None,
+        mbs: int = 1,
+        machine: Optional[MachineSpec] = None,
+        n_cores: Optional[int] = None,
+        n_workers: Optional[int] = None,
+        scheduler: str = "locality",
+        batch_fixed_s: float = 8e-3,
+        seed: int = 0,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if mbs < 1:
+            raise ValueError("mbs must be >= 1")
+        self.spec = spec
+        self.executor = executor
+        self.mbs = mbs
+        self.batch_fixed_s = batch_fixed_s
+        if executor == "sim":
+            self.machine = machine or xeon_8160_2s()
+            self._sim = SimulatedExecutor(
+                self.machine, n_cores=n_cores, scheduler=scheduler
+            )
+            self.params = params  # weights are irrelevant to cost-only graphs
+            self._threaded = None
+        else:
+            self.machine = None
+            self._sim = None
+            self.params = params if params is not None else BRNNParams.initialize(spec, seed)
+            self._threaded = (
+                default_executor() if n_workers is None else ThreadedExecutor(n_workers)
+            )
+        #: memoised (service_time, trace) per batch shape, sim mode only
+        self._cost_cache: Dict[Tuple[int, int], Tuple[float, ExecutionTrace]] = {}
+
+    @property
+    def n_workers(self) -> int:
+        ex = self._sim if self.executor == "sim" else self._threaded
+        return ex.n_workers
+
+    def _effective_mbs(self, batch_size: int) -> int:
+        return max(1, min(self.mbs, batch_size))
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, batch: Batch) -> BatchExecution:
+        """Run one batch; returns its service time and execution trace."""
+        if self.executor == "sim":
+            return self._execute_simulated(batch)
+        return self._execute_threaded(batch)
+
+    def _execute_simulated(self, batch: Batch) -> BatchExecution:
+        key = (batch.padded_len, batch.size)
+        cached = self._cost_cache.get(key)
+        if cached is None:
+            graph = build_brnn_graph(
+                self.spec,
+                seq_len=batch.padded_len,
+                batch=batch.size,
+                training=False,
+                mbs=self._effective_mbs(batch.size),
+            ).graph
+            # warm run: weights NUMA-homed / cache-resident, as in a steady
+            # serving loop that reuses the same buffers batch after batch
+            self._sim.run(graph)
+            trace = self._sim.run(graph)
+            creation = len(graph) * self.machine.task_create_s
+            service = trace.makespan + creation + self.batch_fixed_s
+            cached = (service, trace)
+            self._cost_cache[key] = cached
+        return BatchExecution(service_time_s=cached[0], trace=cached[1])
+
+    def _execute_threaded(self, batch: Batch) -> BatchExecution:
+        x = batch.padded_input()
+        t0 = time.perf_counter()
+        result = build_brnn_graph(
+            self.spec,
+            x=x,
+            params=self.params,
+            training=False,
+            mbs=self._effective_mbs(batch.size),
+        )
+        trace = self._threaded.run(result.graph)
+        service = time.perf_counter() - t0
+        return BatchExecution(
+            service_time_s=service, trace=trace, logits=result.logits()
+        )

@@ -1,0 +1,124 @@
+"""Synthetic open-loop load: Poisson and bursty arrival processes.
+
+Both generators are seeded and fully deterministic, so a serving run on
+the simulated executor is bit-reproducible end to end.  Sequence lengths
+are drawn uniformly from a configurable range (TIDIGITS-like variable
+utterance lengths); ``features`` attaches real payloads for functional
+(threaded) serving, while cost-only simulated serving leaves them off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.request import InferenceRequest
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs shared by both arrival processes."""
+
+    rate_hz: float = 100.0
+    duration_s: float = 1.0
+    seq_len_range: Tuple[int, int] = (20, 100)
+    #: attach (seq_len, features) payloads when set (threaded serving)
+    features: Optional[int] = None
+    #: per-request latency budget; deadline = arrival + slo_s
+    slo_s: Optional[float] = None
+    # bursty-process shape: alternating quiet/burst phases, mean rate kept
+    # at ``rate_hz`` (burst phases run hotter, quiet phases colder)
+    burst_factor: float = 4.0
+    burst_fraction: float = 0.2
+    phase_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        lo, hi = self.seq_len_range
+        if not 1 <= lo <= hi:
+            raise ValueError(f"bad seq_len_range {self.seq_len_range}")
+        if self.burst_factor < 1:
+            raise ValueError("burst_factor must be >= 1")
+        if not 0 < self.burst_fraction < 1:
+            raise ValueError("burst_fraction must be in (0, 1)")
+
+
+def _materialise(
+    arrivals: np.ndarray, config: WorkloadConfig, rng: np.random.Generator
+) -> List[InferenceRequest]:
+    lo, hi = config.seq_len_range
+    requests = []
+    for rid, t in enumerate(arrivals):
+        seq_len = int(rng.integers(lo, hi + 1))
+        x = None
+        if config.features is not None:
+            x = rng.standard_normal((seq_len, config.features)).astype(np.float32)
+        requests.append(
+            InferenceRequest(
+                rid=rid,
+                seq_len=seq_len,
+                arrival_time=float(t),
+                deadline=float(t) + config.slo_s if config.slo_s is not None else None,
+                x=x,
+            )
+        )
+    return requests
+
+
+def poisson_workload(config: WorkloadConfig, seed: int = 0) -> List[InferenceRequest]:
+    """Memoryless arrivals at mean rate ``rate_hz`` over ``duration_s``."""
+    rng = np.random.default_rng(seed)
+    # draw enough exponential gaps to cover the window, then clip
+    n_draw = max(16, int(config.rate_hz * config.duration_s * 2) + 16)
+    gaps = rng.exponential(1.0 / config.rate_hz, size=n_draw)
+    arrivals = np.cumsum(gaps)
+    while arrivals[-1] < config.duration_s:  # pragma: no cover - very unlikely
+        more = rng.exponential(1.0 / config.rate_hz, size=n_draw)
+        arrivals = np.concatenate([arrivals, arrivals[-1] + np.cumsum(more)])
+    arrivals = arrivals[arrivals < config.duration_s]
+    return _materialise(arrivals, config, rng)
+
+
+def bursty_workload(config: WorkloadConfig, seed: int = 0) -> List[InferenceRequest]:
+    """On/off-modulated Poisson arrivals (same mean rate, heavy bursts).
+
+    Time is cut into ``phase_s`` phases; a ``burst_fraction`` of them run at
+    ``burst_factor × `` the base rate and the rest run colder so the mean
+    stays ``rate_hz`` — the tail-latency stress test dynamic batching and
+    backpressure exist for.
+    """
+    rng = np.random.default_rng(seed)
+    hot = config.rate_hz * config.burst_factor
+    # solve the quiet rate so the time-average equals rate_hz
+    cold = config.rate_hz * (1 - config.burst_factor * config.burst_fraction) / (
+        1 - config.burst_fraction
+    )
+    cold = max(cold, 0.0)
+    arrivals: List[float] = []
+    t = 0.0
+    while t < config.duration_s:
+        rate = hot if rng.random() < config.burst_fraction else cold
+        phase_end = min(t + config.phase_s, config.duration_s)
+        if rate > 0:
+            cursor = t + float(rng.exponential(1.0 / rate))
+            while cursor < phase_end:
+                arrivals.append(cursor)
+                cursor += float(rng.exponential(1.0 / rate))
+        t = phase_end
+    return _materialise(np.asarray(arrivals), config, rng)
+
+
+def make_workload(
+    kind: str, config: WorkloadConfig, seed: int = 0
+) -> List[InferenceRequest]:
+    """Dispatch on ``kind`` ∈ {"poisson", "bursty"}."""
+    if kind == "poisson":
+        return poisson_workload(config, seed)
+    if kind == "bursty":
+        return bursty_workload(config, seed)
+    raise ValueError(f"unknown workload kind {kind!r}")

@@ -1,0 +1,81 @@
+"""Inference requests and their lifecycle records.
+
+A request enters the serving layer with an arrival time, a sequence length
+and (optionally) a payload and a deadline.  The layer resolves every
+request to exactly one terminal state:
+
+* ``completed`` — executed inside some batch; carries full timing.
+* ``shed`` — rejected at admission because the queue was full (backpressure).
+* ``expired`` — its deadline passed while it waited in the queue.
+
+All times are seconds on the server clock: virtual (simulated) time when
+serving on the :class:`~repro.runtime.simexec.SimulatedExecutor`, wall time
+deltas when serving on the :class:`~repro.runtime.executor.ThreadedExecutor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: terminal states a request can reach
+COMPLETED = "completed"
+SHED = "shed"
+EXPIRED = "expired"
+
+
+@dataclass
+class InferenceRequest:
+    """One independent inference request.
+
+    ``x`` is the ``(seq_len, features)`` payload for functional (threaded)
+    serving; cost-only simulated serving needs only ``seq_len``.
+    ``deadline`` is an *absolute* server-clock time after which the result
+    is useless and the request may be dropped unexecuted.
+    """
+
+    rid: int
+    seq_len: int
+    arrival_time: float
+    deadline: Optional[float] = None
+    x: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.seq_len < 1:
+            raise ValueError(f"request {self.rid}: seq_len must be >= 1")
+        if self.x is not None and self.x.shape[0] != self.seq_len:
+            raise ValueError(
+                f"request {self.rid}: payload has {self.x.shape[0]} frames, "
+                f"declared seq_len={self.seq_len}"
+            )
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+
+@dataclass
+class CompletedRequest:
+    """Timing record of a request that made it through a batch."""
+
+    rid: int
+    seq_len: int
+    arrival_time: float
+    batch_id: int
+    batch_size: int
+    padded_len: int
+    service_start: float
+    finish_time: float
+    #: this request's logits (functional/threaded serving only)
+    result: Optional[np.ndarray] = None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end: arrival to batch completion."""
+        return self.finish_time - self.arrival_time
+
+    @property
+    def queue_wait(self) -> float:
+        """Time spent queued before its batch started executing."""
+        return self.service_start - self.arrival_time

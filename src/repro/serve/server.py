@@ -1,0 +1,153 @@
+"""The serving loop: admission → dynamic batching → engine → metrics.
+
+:class:`Server` replays an open-loop workload (a list of
+:class:`~repro.serve.request.InferenceRequest` with arrival times) against
+one :class:`~repro.serve.engine.InferenceEngine` under a
+:class:`~repro.serve.queue.RequestQueue` and
+:class:`~repro.serve.batcher.DynamicBatcher`.
+
+The loop is an event-driven simulation on the server clock: events are
+request arrivals, engine completions, batcher timeouts and deadline
+expiries, processed in deterministic time order.  With the simulated
+executor the whole run — arrivals, batching decisions, service times,
+latency percentiles — is bit-reproducible; with the threaded executor
+service times are real measured wall time, replayed onto the same clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.engine import InferenceEngine
+from repro.serve.queue import RequestQueue
+from repro.serve.request import CompletedRequest, InferenceRequest
+from repro.serve.stats import ServerStats
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything between the wire and the engine."""
+
+    queue_capacity: int = 256
+    queue_policy: str = "reject"
+    max_batch_size: int = 8
+    max_wait: float = 5e-3
+    bucket_width: int = 16
+
+    def make_queue(self) -> RequestQueue:
+        return RequestQueue(capacity=self.queue_capacity, policy=self.queue_policy)
+
+    def make_batcher(self) -> DynamicBatcher:
+        return DynamicBatcher(
+            max_batch_size=self.max_batch_size,
+            max_wait=self.max_wait,
+            bucket_width=self.bucket_width,
+        )
+
+
+class Server:
+    """Single-engine inference server over a bounded queue."""
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        config: Optional[ServerConfig] = None,
+        keep_traces: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.config = config or ServerConfig()
+        self.keep_traces = keep_traces
+
+    def _slice_result(self, logits, idx: int):
+        """This request's rows of the batch logits (None for cost-only runs)."""
+        if logits is None:
+            return None
+        if self.engine.spec.head == "many_to_one":
+            return logits[idx]
+        return logits[:, idx]  # many-to-many: (T_padded, C) per request
+
+    def run(self, requests: Sequence[InferenceRequest]) -> ServerStats:
+        """Serve ``requests`` to completion and return the collected stats."""
+        pending: List[InferenceRequest] = sorted(
+            requests, key=lambda r: (r.arrival_time, r.rid)
+        )
+        queue = self.config.make_queue()
+        batcher = self.config.make_batcher()
+        stats = ServerStats(keep_traces=self.keep_traces)
+
+        i, n = 0, len(pending)
+        now = 0.0
+        engine_free = 0.0
+
+        while True:
+            # 1. expire queued requests whose deadline has passed
+            for victim in queue.expire(now):
+                stats.record_expired(victim)
+
+            # 2. admit every arrival up to the current clock
+            while i < n and pending[i].arrival_time <= now:
+                req = pending[i]
+                i += 1
+                if req.expired(now):
+                    stats.record_expired(req)
+                    continue
+                for victim in queue.push(req):
+                    stats.record_shed(victim)
+                stats.record_queue_depth(req.arrival_time, len(queue))
+
+            # 3. engine idle → try to cut a batch at this instant
+            if engine_free <= now:
+                batch = batcher.next_batch(queue, now, drain=i >= n)
+                if batch is not None:
+                    execution = self.engine.execute(batch)
+                    engine_free = now + execution.service_time_s
+                    stats.record_batch(
+                        batch, now, execution.service_time_s, execution.trace
+                    )
+                    for idx, r in enumerate(batch.requests):
+                        stats.record_completion(
+                            CompletedRequest(
+                                rid=r.rid,
+                                seq_len=r.seq_len,
+                                arrival_time=r.arrival_time,
+                                batch_id=batch.batch_id,
+                                batch_size=batch.size,
+                                padded_len=batch.padded_len,
+                                service_start=now,
+                                finish_time=engine_free,
+                                result=self._slice_result(execution.logits, idx),
+                            )
+                        )
+                    stats.record_queue_depth(now, len(queue))
+                    continue
+
+            # 4. advance the clock to the next strictly-future event
+            candidates = []
+            if i < n:
+                candidates.append(pending[i].arrival_time)
+            if engine_free > now:
+                candidates.append(engine_free)
+            if len(queue):
+                flush_at = batcher.next_flush_time(queue)
+                if flush_at is not None and flush_at > now:
+                    candidates.append(flush_at)
+                deadline = queue.next_deadline()
+                if deadline is not None and deadline > now:
+                    candidates.append(deadline)
+            if not candidates:
+                break
+            now = min(candidates)
+
+        return stats
+
+
+def serve_workload(
+    engine: InferenceEngine,
+    requests: Sequence[InferenceRequest],
+    config: Optional[ServerConfig] = None,
+    keep_traces: bool = False,
+) -> ServerStats:
+    """One-call convenience wrapper around :class:`Server`."""
+    return Server(engine, config, keep_traces=keep_traces).run(requests)

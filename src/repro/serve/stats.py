@@ -1,0 +1,184 @@
+"""Serving metrics: latency SLO percentiles, throughput, batching efficacy.
+
+:class:`ServerStats` is the single sink for everything the serving loop
+observes — completions, sheds, expiries, cut batches, queue-depth samples.
+Latency percentiles reuse :func:`repro.runtime.trace.percentile` (the same
+definition the runtime's task-duration summaries use), and per-batch
+execution traces can be merged into one serving-wide
+:class:`~repro.runtime.trace.ExecutionTrace` laid out on the server clock
+for the existing analysis/visualisation tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.trace import ExecutionTrace, percentile
+from repro.serve.batcher import Batch
+from repro.serve.request import CompletedRequest, InferenceRequest
+
+#: latency points reported by :meth:`ServerStats.summary`
+LATENCY_PERCENTILES = (50, 95, 99)
+
+
+@dataclass
+class BatchRecord:
+    """What the stats collector remembers about one executed batch."""
+
+    size: int
+    padded_len: int
+    useful_frames: int
+    trigger: str
+    service_start: float
+    service_time: float
+
+
+class ServerStats:
+    """Accumulates one serving run's observations and summarises them.
+
+    ``keep_traces=True`` retains every batch's :class:`ExecutionTrace`
+    (memory-heavy for long runs) so :meth:`combined_trace` can rebuild the
+    full serving timeline.
+    """
+
+    def __init__(self, keep_traces: bool = False) -> None:
+        self.keep_traces = keep_traces
+        self.completed: List[CompletedRequest] = []
+        self.shed: List[InferenceRequest] = []
+        self.expired: List[InferenceRequest] = []
+        self.batches: List[BatchRecord] = []
+        self._batch_traces: List[Tuple[float, ExecutionTrace]] = []
+        #: (time, depth) samples taken by the serving loop
+        self.queue_depth_samples: List[Tuple[float, int]] = []
+
+    # -- recording -------------------------------------------------------------
+
+    def record_batch(
+        self, batch: Batch, service_start: float, service_time: float,
+        trace: Optional[ExecutionTrace] = None,
+    ) -> None:
+        self.batches.append(
+            BatchRecord(
+                size=batch.size,
+                padded_len=batch.padded_len,
+                useful_frames=batch.useful_frames,
+                trigger=batch.trigger,
+                service_start=service_start,
+                service_time=service_time,
+            )
+        )
+        if self.keep_traces and trace is not None:
+            self._batch_traces.append((service_start, trace))
+
+    def record_completion(self, rec: CompletedRequest) -> None:
+        self.completed.append(rec)
+
+    def record_shed(self, req: InferenceRequest) -> None:
+        self.shed.append(req)
+
+    def record_expired(self, req: InferenceRequest) -> None:
+        self.expired.append(req)
+
+    def record_queue_depth(self, now: float, depth: int) -> None:
+        self.queue_depth_samples.append((now, depth))
+
+    # -- derived metrics -------------------------------------------------------
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.completed) + len(self.shed) + len(self.expired)
+
+    def latencies(self) -> List[float]:
+        return [r.latency for r in self.completed]
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        xs = self.latencies()
+        if not xs:
+            return {f"p{p}": 0.0 for p in LATENCY_PERCENTILES}
+        return {f"p{p}": percentile(xs, p) for p in LATENCY_PERCENTILES}
+
+    def elapsed(self) -> float:
+        """First arrival to last completion — the serving run's span."""
+        if not self.completed:
+            return 0.0
+        t0 = min(r.arrival_time for r in self.completed)
+        t1 = max(r.finish_time for r in self.completed)
+        return t1 - t0
+
+    def throughput_rps(self) -> float:
+        span = self.elapsed()
+        return len(self.completed) / span if span > 0 else 0.0
+
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b.size for b in self.batches) / len(self.batches)
+
+    def batch_size_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for b in self.batches:
+            hist[b.size] = hist.get(b.size, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def padding_overhead(self) -> float:
+        """Fraction of computed frames that were padding (0 = no waste)."""
+        padded = sum(b.size * b.padded_len for b in self.batches)
+        useful = sum(b.useful_frames for b in self.batches)
+        return 1.0 - useful / padded if padded else 0.0
+
+    def trigger_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for b in self.batches:
+            counts[b.trigger] = counts.get(b.trigger, 0) + 1
+        return counts
+
+    def engine_busy_fraction(self) -> float:
+        """Fraction of the serving span the engine spent executing batches."""
+        span = self.elapsed()
+        busy = sum(b.service_time for b in self.batches)
+        return busy / span if span > 0 else 0.0
+
+    def queue_depth_stats(self) -> Dict[str, float]:
+        depths = [d for _, d in self.queue_depth_samples]
+        if not depths:
+            return {"mean": 0.0, "max": 0.0}
+        return {"mean": sum(depths) / len(depths), "max": float(max(depths))}
+
+    def combined_trace(self) -> ExecutionTrace:
+        """All batch traces merged onto the server clock (needs keep_traces)."""
+        if not self.keep_traces:
+            raise RuntimeError("construct ServerStats(keep_traces=True) first")
+        out = ExecutionTrace(n_cores=0)
+        for start, trace in self._batch_traces:
+            out.scheduler = out.scheduler or trace.scheduler
+            out = out.merge(trace, time_offset=start)
+        return out
+
+    def summary(self) -> Dict:
+        """The JSON-ready report: SLO latencies, throughput, batching stats."""
+        xs = self.latencies()
+        return {
+            "requests": {
+                "total": self.num_requests,
+                "completed": len(self.completed),
+                "shed": len(self.shed),
+                "expired": len(self.expired),
+            },
+            "throughput_rps": self.throughput_rps(),
+            "elapsed_s": self.elapsed(),
+            "latency_s": {
+                **self.latency_percentiles(),
+                "mean": sum(xs) / len(xs) if xs else 0.0,
+                "max": max(xs) if xs else 0.0,
+            },
+            "batches": {
+                "count": len(self.batches),
+                "mean_size": self.mean_batch_size(),
+                "size_histogram": {str(k): v for k, v in self.batch_size_histogram().items()},
+                "padding_overhead": self.padding_overhead(),
+                "triggers": self.trigger_counts(),
+            },
+            "queue_depth": self.queue_depth_stats(),
+            "engine_busy_fraction": self.engine_busy_fraction(),
+        }

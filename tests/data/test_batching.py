@@ -20,11 +20,28 @@ def test_pad_to_max_length():
     assert not out[3:, 0].any()  # padding is zero
 
 
-def test_pad_to_explicit_length_crops():
-    xs = seqs([6])
-    out, _ = pad_sequences(xs, length=4)
-    assert out.shape == (4, 1, 3)
-    assert np.array_equal(out[:, 0], xs[0][:4])
+def test_pad_to_longer_explicit_length():
+    xs = seqs([3, 2])
+    out, _ = pad_sequences(xs, length=6)
+    assert out.shape == (6, 2, 3)
+    assert np.array_equal(out[:3, 0], xs[0])
+    assert not out[3:].any()
+
+
+def test_pad_explicit_length_too_short_raises():
+    with pytest.raises(ValueError, match="never truncates"):
+        pad_sequences(seqs([6, 3]), length=4)
+
+
+def test_pad_rejects_1d_sequences():
+    with pytest.raises(ValueError, match="2-D"):
+        pad_sequences([np.zeros(5, dtype=np.float32)])
+
+
+def test_pad_rejects_mixed_feature_widths():
+    xs = [np.zeros((4, 3), dtype=np.float32), np.zeros((4, 2), dtype=np.float32)]
+    with pytest.raises(ValueError, match="feature"):
+        pad_sequences(xs)
 
 
 def test_pad_empty_raises():

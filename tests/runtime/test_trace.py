@@ -75,3 +75,46 @@ def test_merge_traces_with_offset():
     assert merged.makespan == pytest.approx(6.0)
     # records are copied, not aliased
     assert merged.records[1] is not t2.records[0]
+
+
+def test_percentile_function():
+    from repro.runtime.trace import percentile
+
+    xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(xs, 0) == 1.0
+    assert percentile(xs, 50) == 3.0
+    assert percentile(xs, 100) == 5.0
+    assert percentile(xs, 25) == pytest.approx(2.0)
+    assert percentile([7.0], 99) == 7.0
+    # interpolates like numpy's default method
+    assert percentile([0.0, 10.0], 95) == pytest.approx(9.5)
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile(xs, 101)
+
+
+def test_duration_percentiles_and_filtering():
+    t = trace([rec(i, 0, float(i + 1), kind="cell") for i in range(4)]
+              + [rec(9, 0, 100.0, kind="merge")])
+    pcts = t.duration_percentiles()
+    assert set(pcts) == {"p50", "p95", "p99"}
+    assert pcts["p50"] <= pcts["p95"] <= pcts["p99"]
+    # kind filter excludes the 100 s merge outlier
+    assert t.duration_percentile(100, kind="cell") == pytest.approx(4.0)
+    assert t.duration_percentile(100) == pytest.approx(100.0)
+
+
+def test_summary_dict():
+    t = trace([rec(0, 0, 2, core=0), rec(1, 0, 1, core=1)])
+    s = t.summary()
+    assert s["num_tasks"] == 2
+    assert s["makespan_s"] == pytest.approx(2.0)
+    assert s["task_duration_mean_s"] == pytest.approx(1.5)
+    assert s["task_duration_p50_s"] == pytest.approx(1.5)
+    assert s["task_duration_min_s"] == 1.0
+    assert s["task_duration_max_s"] == 2.0
+    assert 0 < s["parallel_efficiency"] <= 1.0
+    # empty traces still summarise without raising
+    empty = trace([]).summary()
+    assert empty["num_tasks"] == 0 and "task_duration_p50_s" not in empty

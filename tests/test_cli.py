@@ -14,7 +14,7 @@ def test_describe_runs(capsys):
 
 def test_all_paper_commands_registered():
     for cmd in ("table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7",
-                "fig8", "granularity", "memory", "describe"):
+                "fig8", "granularity", "memory", "describe", "serve-bench"):
         assert cmd in COMMANDS
 
 
@@ -28,3 +28,27 @@ def test_memory_command_runs(capsys):
     assert main(["memory"]) == 0
     out = capsys.readouterr().out
     assert "barrier-free" in out and "with barriers" in out
+
+
+def test_serve_bench_emits_json_report(capsys, tmp_path):
+    import json
+
+    out_file = tmp_path / "report.json"
+    # tiny model + short window so the command stays test-suite fast
+    assert main([
+        "serve-bench", "--arrival-rate", "50", "--duration", "0.3",
+        "--executor", "sim", "--max-batch-size", "8", "--hidden", "16",
+        "--layers", "2", "--input-size", "8", "--seq-min", "8",
+        "--seq-max", "24", "--bucket-width", "8", "--mbs", "1",
+        "--output", str(out_file),
+    ]) == 0
+    printed = json.loads(capsys.readouterr().out)
+    on_disk = json.loads(out_file.read_text())
+    assert printed == on_disk
+    results = printed["results"]
+    for key in ("p50", "p95", "p99"):
+        assert key in results["latency_s"]
+    assert results["throughput_rps"] > 0
+    assert "mean_size" in results["batches"]
+    assert "shed" in results["requests"]
+    assert printed["config"]["workers"] == 48  # the paper's machine by default

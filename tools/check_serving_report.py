@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Validate a serving JSON report against the expected schema.
+
+Used by the CI smoke target (``make smoke-serving``): a schema regression
+in ``python -m repro serve-bench`` / ``benchmarks/bench_serving.py`` fails
+the build even when the run itself succeeds.  Accepts either a CLI report
+(``{"config": ..., "results": ...}``) or a bench sweep report
+(``{"sweep": {"<batch size>": <results>, ...}, "speedup": ...}``).
+
+    python tools/check_serving_report.py report.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: (dotted path, type) pairs every results block must provide
+RESULTS_SCHEMA = [
+    ("requests.total", int),
+    ("requests.completed", int),
+    ("requests.shed", int),
+    ("requests.expired", int),
+    ("throughput_rps", (int, float)),
+    ("elapsed_s", (int, float)),
+    ("latency_s.p50", (int, float)),
+    ("latency_s.p95", (int, float)),
+    ("latency_s.p99", (int, float)),
+    ("latency_s.mean", (int, float)),
+    ("batches.count", int),
+    ("batches.mean_size", (int, float)),
+    ("batches.size_histogram", dict),
+    ("batches.padding_overhead", (int, float)),
+    ("queue_depth.mean", (int, float)),
+    ("queue_depth.max", (int, float)),
+]
+
+
+def lookup(obj, dotted):
+    for part in dotted.split("."):
+        if not isinstance(obj, dict) or part not in obj:
+            raise KeyError(dotted)
+        obj = obj[part]
+    return obj
+
+
+def check_results(results, label, errors):
+    for path, typ in RESULTS_SCHEMA:
+        try:
+            value = lookup(results, path)
+        except KeyError:
+            errors.append(f"{label}: missing key {path!r}")
+            continue
+        if isinstance(value, bool) or not isinstance(value, typ):
+            errors.append(f"{label}: {path!r} has type {type(value).__name__}")
+    try:
+        if lookup(results, "throughput_rps") <= 0:
+            errors.append(f"{label}: throughput_rps must be positive")
+        ordered = [lookup(results, f"latency_s.p{p}") for p in (50, 95, 99)]
+        if not ordered[0] <= ordered[1] <= ordered[2]:
+            errors.append(f"{label}: latency percentiles out of order {ordered}")
+        counted = sum(lookup(results, f"requests.{k}")
+                      for k in ("completed", "shed", "expired"))
+        if counted != lookup(results, "requests.total"):
+            errors.append(f"{label}: request accounting does not add up")
+    except KeyError:
+        pass  # already reported above
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as fh:
+        report = json.load(fh)
+
+    errors: list = []
+    if "results" in report:
+        check_results(report["results"], "results", errors)
+    elif "sweep" in report:
+        if not report["sweep"]:
+            errors.append("sweep: empty")
+        for key, results in report["sweep"].items():
+            check_results(results, f"sweep[{key}]", errors)
+        if not isinstance(report.get("speedup"), (int, float)):
+            errors.append("missing/invalid speedup")
+    else:
+        errors.append("report has neither a 'results' nor a 'sweep' block")
+
+    if errors:
+        for err in errors:
+            print(f"SCHEMA ERROR: {err}", file=sys.stderr)
+        return 1
+    print(f"{argv[1]}: serving report schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
