@@ -1,12 +1,13 @@
-# Convenience targets; CI (.github/workflows/ci.yml) runs `test` and
-# `smoke-serving` on every push.
+# Convenience targets; CI (.github/workflows/ci.yml) runs `test`,
+# `smoke-serving` and `smoke-fused` on every push.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 SMOKE_REPORT ?= /tmp/repro_serving_smoke.json
+SMOKE_FUSED_REPORT ?= /tmp/repro_fused_smoke.json
 
-.PHONY: test smoke-serving bench serve-bench clean
+.PHONY: test smoke-serving smoke-fused bench fused-bench serve-bench clean
 
 # tier-1: the full unit/integration/property suite (serving tests included)
 test:
@@ -22,13 +23,28 @@ smoke-serving:
 		--output $(SMOKE_REPORT) > /dev/null
 	$(PYTHON) tools/check_serving_report.py $(SMOKE_REPORT)
 
+# fast fused-projection smoke: numerical-equivalence tests, then a tiny
+# ablation end-to-end through the real CLI, then the JSON schema gate
+smoke-fused:
+	$(PYTHON) -m pytest tests/core/test_fused_projection.py tests/kernels/test_flops_accounting.py -x -q
+	$(PYTHON) -m repro fused-bench \
+		--cell lstm --input-size 256 --hidden 32 --layers 2 \
+		--seq-len 24 --batch 8 --iters 3 --mbs 1 \
+		--output $(SMOKE_FUSED_REPORT) > /dev/null
+	$(PYTHON) tools/check_bench_report.py $(SMOKE_FUSED_REPORT)
+
 # regenerate every paper table/figure + the serving sweep (minutes)
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# the acceptance-criteria fused-projection ablation (paper-scale input),
+# recording benchmarks/baselines/BENCH_fused_projection.json
+fused-bench:
+	$(PYTHON) -m pytest benchmarks/bench_fused_projection.py --benchmark-only -q
 
 # the acceptance-criteria serving run (paper machine, 200 req/s, 5 s)
 serve-bench:
 	$(PYTHON) -m repro serve-bench --arrival-rate 200 --duration 5 --executor sim
 
 clean:
-	rm -f $(SMOKE_REPORT) serving_report.json
+	rm -f $(SMOKE_REPORT) $(SMOKE_FUSED_REPORT) serving_report.json

@@ -14,6 +14,7 @@ import os
 import numpy as np
 import pytest
 
+from benchmarks.common import emit_bench_json, summarize_times
 from repro.core import BParEngine
 from repro.models.params import BRNNParams
 from repro.models.spec import BRNNSpec
@@ -25,6 +26,42 @@ SPEC = BRNNSpec(
     merge_mode="sum", head="many_to_one", num_classes=11,
 )
 SEQ_LEN, BATCH = 24, 64
+
+#: per-test wall-clock summaries, flushed to BENCH_threaded_real.json
+_RESULTS = {}
+
+
+def _record(name: str, benchmark) -> None:
+    """Summarise this test's raw timings into the module-level record."""
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:  # --benchmark-disable runs have nothing to record
+        return
+    _RESULTS[name] = summarize_times(list(stats.stats.data))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_report():
+    """After every test in this module ran, emit the machine-readable record."""
+    yield
+    if not _RESULTS:
+        return
+    results = dict(_RESULTS)
+    serial = results.get("serial_train_batch")
+    threaded = results.get("threaded_train_batch")
+    if serial and threaded:
+        results["speedup_median"] = {
+            "threaded_vs_serial_train": serial["median_s"] / threaded["median_s"]
+        }
+    emit_bench_json(
+        "threaded_real",
+        config={
+            "cell": SPEC.cell, "input_size": SPEC.input_size,
+            "hidden": SPEC.hidden_size, "layers": SPEC.num_layers,
+            "head": SPEC.head, "seq_len": SEQ_LEN, "batch": BATCH,
+            "workers": min(8, os.cpu_count() or 1),
+        },
+        results=results,
+    )
 
 
 def _batch():
@@ -42,6 +79,7 @@ def test_threaded_train_batch(benchmark):
     loss = benchmark(lambda: engine.train_batch(x, labels, lr=0.01))
     assert np.isfinite(loss)
     benchmark.extra_info["workers"] = workers
+    _record("threaded_train_batch", benchmark)
 
 
 def test_serial_train_batch(benchmark):
@@ -50,6 +88,7 @@ def test_serial_train_batch(benchmark):
                         executor=SerialExecutor())
     loss = benchmark(lambda: engine.train_batch(x, labels, lr=0.01))
     assert np.isfinite(loss)
+    _record("serial_train_batch", benchmark)
 
 
 def test_threaded_inference(benchmark):
@@ -59,6 +98,7 @@ def test_threaded_inference(benchmark):
                         executor=ThreadedExecutor(workers))
     logits = benchmark(lambda: engine.forward(x))
     assert logits.shape == (BATCH, SPEC.num_classes)
+    _record("threaded_inference", benchmark)
 
 
 def test_reference_train_batch(benchmark):
@@ -69,3 +109,4 @@ def test_reference_train_batch(benchmark):
     params = BRNNParams.initialize(SPEC, seed=0)
     loss = benchmark(lambda: reference_train_step(SPEC, params, x, labels, lr=0.01))
     assert np.isfinite(loss)
+    _record("reference_train_batch", benchmark)

@@ -6,6 +6,7 @@
     python -m repro fig3|fig4|fig5|fig6|fig7|fig8
     python -m repro granularity|memory
     python -m repro serve-bench [...]       # online-serving benchmark (JSON)
+    python -m repro fused-bench [...]       # fused input projection ablation (JSON)
 
 ``--full`` runs the paper's complete configuration grids (minutes); the
 default grids cover every regime in seconds.  The same drivers back the
@@ -158,6 +159,8 @@ def _cmd_serve_bench(args) -> None:
         mbs=args.mbs,
         n_cores=args.cores if args.executor == "sim" else None,
         seed=args.seed,
+        fused_input_projection=args.fused_input_projection,
+        proj_block=args.proj_block,
     )
     server_cfg = ServerConfig(
         queue_capacity=args.queue_capacity,
@@ -184,6 +187,8 @@ def _cmd_serve_bench(args) -> None:
             "max_wait_s": args.max_wait,
             "bucket_width": args.bucket_width,
             "seed": args.seed,
+            "fused_input_projection": engine.fused_input_projection,
+            "proj_block": args.proj_block,
         },
         "results": stats.summary(),
     }
@@ -193,6 +198,38 @@ def _cmd_serve_bench(args) -> None:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
         print(f"# report written to {args.output}", file=sys.stderr)
+
+
+def _cmd_fused_bench(args) -> None:
+    """Fused-vs-per-step input-projection ablation; emits a BENCH JSON."""
+    import json
+
+    from repro.harness.bench_json import write_bench_json
+    from repro.harness.fusedbench import run_fused_bench
+
+    point = run_fused_bench(
+        cell=args.cell,
+        input_size=args.input_size,
+        hidden=args.hidden,
+        layers=args.layers,
+        seq_len=args.seq_len,
+        batch=args.batch,
+        mbs=args.mbs,
+        iters=args.iters,
+        proj_block=args.proj_block,
+        sim_cores=args.cores,
+        seed=args.seed,
+    )
+    if args.output:
+        report = write_bench_json(
+            args.output, "fused_projection", point["config"], point["results"]
+        )
+        print(json.dumps(report, indent=2))
+        print(f"# report written to {args.output}", file=sys.stderr)
+    else:
+        print(json.dumps(
+            {"bench": "fused_projection", **point}, indent=2
+        ))
 
 
 def _cmd_memory(args) -> None:
@@ -216,6 +253,7 @@ COMMANDS = {
     "granularity": _cmd_granularity,
     "memory": _cmd_memory,
     "serve-bench": _cmd_serve_bench,
+    "fused-bench": _cmd_fused_bench,
 }
 
 
@@ -251,6 +289,17 @@ def _add_serve_bench_args(parser: argparse.ArgumentParser) -> None:
     g.add_argument("--seed", type=int, default=0)
     g.add_argument("--output", type=str, default=None,
                    help="also write the JSON report to this path")
+    g.add_argument("--fused-input-projection", choices=("on", "off", "auto"),
+                   default="auto",
+                   help="hoist X@W_x GEMMs off the recurrent critical path")
+    g.add_argument("--proj-block", type=int, default=None,
+                   help="timesteps per hoisted projection task (default 16)")
+    g.add_argument("--seq-len", type=int, default=100,
+                   help="(fused-bench) sequence length of the timed batch")
+    g.add_argument("--batch", type=int, default=32,
+                   help="(fused-bench) batch size of the timed batch")
+    g.add_argument("--iters", type=int, default=5,
+                   help="(fused-bench) timed iterations per mode")
 
 
 def main(argv=None) -> int:

@@ -43,6 +43,8 @@ class BParEngine:
         barrier_free: bool = True,
         momentum: float = 0.0,
         seed: int = 0,
+        fused_input_projection="off",
+        proj_block: Optional[int] = None,
     ) -> None:
         self.spec = spec
         self.params = params if params is not None else BRNNParams.initialize(spec, seed)
@@ -50,6 +52,9 @@ class BParEngine:
         self.mbs = mbs
         self.barrier_free = barrier_free
         self.momentum = momentum
+        #: "on"/"off"/"auto": hoist X@W_x off the recurrent critical path
+        self.fused_input_projection = fused_input_projection
+        self.proj_block = proj_block
         #: classical-momentum velocity buffers, allocated on first use
         self.velocity = BRNNParams.zeros_like(spec) if momentum > 0.0 else None
         self.last_trace: Optional[ExecutionTrace] = None
@@ -75,6 +80,8 @@ class BParEngine:
             mbs=self._effective_mbs(x.shape[1]),
             barrier_free=self.barrier_free,
             serialize_chunks=self.serialize_chunks,
+            fused_input_projection=self.fused_input_projection,
+            proj_block=self.proj_block,
         )
         self.last_trace = self.executor.run(result.graph)
         self.last_result = result
@@ -98,6 +105,8 @@ class BParEngine:
             serialize_chunks=self.serialize_chunks,
             momentum=self.momentum,
             velocity=self.velocity,
+            fused_input_projection=self.fused_input_projection,
+            proj_block=self.proj_block,
         )
         self.last_trace = self.executor.run(result.graph)
         self.last_result = result
@@ -115,6 +124,8 @@ class BParEngine:
             barrier_free=self.barrier_free,
             update_weights=False,
             serialize_chunks=self.serialize_chunks,
+            fused_input_projection=self.fused_input_projection,
+            proj_block=self.proj_block,
         )
         self.last_trace = self.executor.run(result.graph)
         self.last_result = result
@@ -134,4 +145,6 @@ class BParEngine:
             mbs=self.mbs,
             barrier_free=self.barrier_free,
             serialize_chunks=self.serialize_chunks,
+            fused_input_projection=self.fused_input_projection,
+            proj_block=self.proj_block,
         )

@@ -34,12 +34,58 @@ import numpy as np
 from repro.kernels.dense import dense_backward, dense_bwd_flops, dense_forward, dense_fwd_flops
 from repro.kernels.losses import softmax_cross_entropy
 from repro.kernels.merge import merge_backward, merge_flops, merge_forward
-from repro.models.cells import cell_backward, cell_bwd_flops, cell_forward, cell_fwd_flops
+from repro.models.cells import (
+    cell_backward,
+    cell_backward_proj,
+    cell_bwd_flops,
+    cell_bwd_step_proj_flops,
+    cell_forward,
+    cell_forward_proj,
+    cell_fwd_flops,
+    cell_fwd_step_proj_flops,
+    cell_input_projection,
+    cell_proj_bwd_flops,
+    cell_proj_flops,
+)
 from repro.models.params import BRNNParams
 from repro.models.spec import BRNNSpec
 from repro.core.state import ChunkState
 from repro.runtime.depgraph import TaskGraph
 from repro.runtime.task import INTERLEAVED_HOME, Region, RegionSpace
+
+#: Default ``proj_block`` (timesteps per hoisted-projection task).  Small
+#: enough that downstream cells start long before the whole sequence is
+#: projected, large enough that each block is still one efficient GEMM.
+DEFAULT_PROJ_BLOCK = 16
+
+#: Gate-preactivation width multiplier per cell type (``zx`` is ``(B, G·H)``).
+_GATE_MULT = {"lstm": 4, "gru": 3, "rnn": 1}
+
+
+def resolve_fused_layers(spec: BRNNSpec, mode) -> List[bool]:
+    """Per-layer fuse decision for ``fused_input_projection``.
+
+    ``"on"``/``True`` fuses every layer, ``"off"``/``False``/``None`` none.
+    ``"auto"`` fuses the layers where the hoisted GEMM demonstrably pays on
+    a real host: those whose input is at least twice the hidden size, where
+    the input half of the pre-activation dominates the cell GEMM.  (Square
+    inner layers keep the per-step path — there the per-step weight panel
+    stays cache-resident, which the sequence-length streaming GEMM forfeits.
+    Simulated-machine callers map ``auto`` to ``on`` instead: in the cost
+    model the critical path shrinks regardless of layer shape.)
+    """
+    n = spec.num_layers
+    if mode in (False, None) or mode == "off":
+        return [False] * n
+    if mode is True or mode == "on":
+        return [True] * n
+    if mode == "auto":
+        return [
+            spec.layer_input_size(layer) >= 2 * spec.hidden_size for layer in range(n)
+        ]
+    raise ValueError(
+        f"fused_input_projection must be 'on', 'off', 'auto' or bool, got {mode!r}"
+    )
 
 
 @dataclass
@@ -109,10 +155,17 @@ class _Builder:
         serialize_chunks: bool = False,
         momentum: float = 0.0,
         velocity: Optional[BRNNParams] = None,
+        fused_layers: Optional[List[bool]] = None,
+        proj_block: Optional[int] = None,
     ) -> None:
         self.serialize_chunks = serialize_chunks
         self.momentum = momentum
         self.velocity = velocity
+        self.fused_layers = fused_layers or [False] * spec.num_layers
+        if proj_block is not None and proj_block < 1:
+            raise ValueError("proj_block must be >= 1")
+        self.proj_block = min(seq_len, proj_block or DEFAULT_PROJ_BLOCK)
+        self.gate_mult = _GATE_MULT[spec.cell]
         self.spec = spec
         self.seq_len = seq_len
         self.chunk_batches = list(chunk_batches)
@@ -142,6 +195,30 @@ class _Builder:
         """Operand sweep count of one cell GEMM: grows with the row count
         (a blocked GEMM re-reads its weight panels once per row block)."""
         return min(6.0, 1.0 + self.chunk_batches[mb] / 32.0)
+
+    def _proj_reuse(self, mb: int, block_len: int) -> float:
+        """Sweep count of a block projection GEMM (``block_len·B`` rows)."""
+        return min(6.0, 1.0 + block_len * self.chunk_batches[mb] / 32.0)
+
+    def _proj_blocks(self, direction: str) -> List[tuple]:
+        """``(lo, hi)`` position ranges of the hoisted-projection blocks,
+        in the order the ``direction`` chain consumes them.
+
+        The forward chain consumes positions ascending, so blocks are cut
+        from the sequence start; the reverse chain consumes descending, so
+        blocks are cut from the end (each block still covers a contiguous
+        position range and the earliest-needed block is registered first).
+        """
+        T, K = self.seq_len, self.proj_block
+        if direction == "fwd":
+            return [(lo, min(lo + K, T)) for lo in range(0, T, K)]
+        blocks = []
+        hi = T
+        while hi > 0:
+            lo = max(0, hi - K)
+            blocks.append((lo, hi))
+            hi = lo
+        return blocks
 
     def r_serial(self, mb: int) -> Region:
         """Zero-byte token region serialising all tasks of chunk ``mb``.
@@ -173,7 +250,29 @@ class _Builder:
 
     def r_gw(self, mb: int, layer: int, direction: str) -> Region:
         (wr, wc), (bn,) = self.spec.cell_param_shapes(layer)
+        if self.fused_layers[layer]:
+            # Fused layer: the cell tasks only touch the recurrent rows
+            # ``dW[I:]`` and the bias; the input rows live in r_gwx.
+            wr = self.spec.hidden_size
         return self.regions.get(("gW", mb, layer, direction), (wr * wc + bn) * self.isz)
+
+    def r_gwx(self, mb: int, layer: int, direction: str) -> Region:
+        """Input-half weight-gradient rows ``dW[:I]``, written once per
+        projection block by ``proj_bwd`` — a region distinct from r_gw so
+        the hoisted accumulation stays off the recurrent backward chain."""
+        (wr, wc), (bn,) = self.spec.cell_param_shapes(layer)
+        input_rows = wr - self.spec.hidden_size
+        return self.regions.get(("gWx", mb, layer, direction), input_rows * wc * self.isz)
+
+    def r_zx(self, mb: int, layer: int, direction: str, pos: int) -> Region:
+        bc = self.chunk_batches[mb]
+        nbytes = bc * self.gate_mult * self.spec.hidden_size * self.isz
+        return self.regions.get(("zx", mb, layer, direction, pos), nbytes, streaming=True)
+
+    def r_dz(self, mb: int, layer: int, direction: str, pos: int) -> Region:
+        bc = self.chunk_batches[mb]
+        nbytes = bc * self.gate_mult * self.spec.hidden_size * self.isz
+        return self.regions.get(("dz", mb, layer, direction, pos), nbytes, streaming=True)
 
     def r_h(self, mb: int, layer: int, direction: str, step: int) -> Region:
         bc = self.chunk_batches[mb]
@@ -250,6 +349,53 @@ class _Builder:
             h, c, cache = cell_forward(
                 spec, state.layer_input(layer, pos), h_prev, c_prev, dp.W, dp.b
             )
+            if direction == "fwd":
+                state.h_f[layer][step] = h
+                state.c_f[layer][step] = c
+                state.cache_f[layer][step] = cache
+            else:
+                state.h_r[layer][step] = h
+                state.c_r[layer][step] = c
+                state.cache_r[layer][step] = cache
+
+        return fn
+
+    def _fn_proj(self, mb, layer, direction, lo, hi):
+        if not self.functional:
+            return None
+        state, spec, params = self.chunks[mb], self.spec, self.params
+
+        def fn():
+            dp = params.layers[layer].direction(direction)
+            xs = [state.layer_input(layer, pos) for pos in range(lo, hi)]
+            zxs = cell_input_projection(spec, xs, dp.W)
+            target = state.zx_f if direction == "fwd" else state.zx_r
+            for k, pos in enumerate(range(lo, hi)):
+                target[layer][pos] = zxs[k]
+
+        return fn
+
+    def _fn_cell_fwd_proj(self, mb, layer, direction, step):
+        if not self.functional:
+            return None
+        state, spec, params, T = self.chunks[mb], self.spec, self.params, self.seq_len
+        need_cache = self.training
+
+        def fn():
+            dp = params.layers[layer].direction(direction)
+            if direction == "fwd":
+                pos = step
+                zx = state.zx_f[layer][pos]
+                h_prev = state.h_f[layer][step - 1] if step > 0 else state.h0
+                c_prev = state.c_f[layer][step - 1] if step > 0 else state.c0
+            else:
+                pos = T - 1 - step
+                zx = state.zx_r[layer][pos]
+                h_prev = state.h_r[layer][step - 1] if step > 0 else state.h0
+                c_prev = state.c_r[layer][step - 1] if step > 0 else state.c0
+            if spec.cell != "lstm":
+                c_prev = None
+            h, c, cache = cell_forward_proj(spec, zx, h_prev, c_prev, dp.W, dp.b, need_cache)
             if direction == "fwd":
                 state.h_f[layer][step] = h
                 state.c_f[layer][step] = c
@@ -373,6 +519,61 @@ class _Builder:
 
         return fn
 
+    def _fn_cell_bwd_proj(self, mb, layer, direction, step):
+        if not self.functional:
+            return None
+        state, spec, params, T = self.chunks[mb], self.spec, self.params, self.seq_len
+
+        def fn():
+            dp = params.layers[layer].direction(direction)
+            gp = state.grads.layers[layer].direction(direction)
+            if direction == "fwd":
+                pos = step
+                dh, dc = state.dh_f[layer][step], state.dc_f[layer][step]
+                cache = state.cache_f[layer][step]
+            else:
+                pos = T - 1 - step
+                dh, dc = state.dh_r[layer][step], state.dc_r[layer][step]
+                cache = state.cache_r[layer][step]
+            dz, dh_prev, dc_prev = cell_backward_proj(spec, dh, dc, cache, dp.W, gp.W, gp.b)
+            target = state.dz_f if direction == "fwd" else state.dz_r
+            target[layer][pos] = dz
+            if step > 0:
+                if direction == "fwd":
+                    state.dh_f[layer][step - 1] += dh_prev
+                    if dc_prev is not None:
+                        state.dc_f[layer][step - 1] += dc_prev
+                else:
+                    state.dh_r[layer][step - 1] += dh_prev
+                    if dc_prev is not None:
+                        state.dc_r[layer][step - 1] += dc_prev
+
+        return fn
+
+    def _fn_proj_bwd(self, mb, layer, direction, lo, hi):
+        if not self.functional:
+            return None
+        state, spec, params = self.chunks[mb], self.spec, self.params
+        bc = self.chunk_batches[mb]
+
+        def fn():
+            dp = params.layers[layer].direction(direction)
+            gp = state.grads.layers[layer].direction(direction)
+            dz_grid = state.dz_f if direction == "fwd" else state.dz_r
+            positions = range(lo, hi)
+            xs = [state.layer_input(layer, pos) for pos in positions]
+            dzs = [dz_grid[layer][pos] for pos in positions]
+            X = xs[0] if len(xs) == 1 else np.concatenate(xs, axis=0)
+            dZ = dzs[0] if len(dzs) == 1 else np.concatenate(dzs, axis=0)
+            input_size = X.shape[1]
+            gp.W[:input_size] += X.T @ dZ
+            if layer > 0:
+                dX = dZ @ dp.W[:input_size].T
+                for k, pos in enumerate(positions):
+                    state.dmerged[layer - 1][pos] += dX[k * bc : (k + 1) * bc]
+
+        return fn
+
     def _fn_merge_bwd(self, mb, layer, t):
         if not self.functional:
             return None
@@ -490,12 +691,57 @@ class _Builder:
         for layer in range(self.spec.num_layers):
             self._build_forward_layer(mb, layer)
 
+    def _in_region(self, mb: int, layer: int, pos: int) -> Region:
+        """The region holding ``layer``'s input at sequence position ``pos``."""
+        return self.r_x(mb, pos) if layer == 0 else self.r_m(mb, layer - 1, pos)
+
+    def _build_proj_tasks(self, mb: int, layer: int) -> None:
+        """Hoisted input-projection tasks of a fused layer, both directions.
+
+        One task per (direction, K-timestep block) computes the block's
+        ``X @ W[:I]`` in a single GEMM and publishes per-timestep ``zx``
+        regions, so downstream cell tasks start as soon as *their* block
+        lands — no barrier, just Region dataflow.  Blocks of the two
+        directions are registered interleaved for ready-queue fairness.
+        """
+        spec = self.spec
+        bc = self.chunk_batches[mb]
+        pflops = cell_proj_flops(spec, bc, layer)
+        # interleave: fwd block 0, rev block 0, fwd block 1, ...
+        n_blocks = len(self._proj_blocks("fwd"))
+        for i in range(n_blocks):
+            for direction in ("fwd", "rev"):
+                lo, hi = self._proj_blocks(direction)[i]
+                self._add(
+                    f"proj[{mb}]L{layer}{direction}b{lo}-{hi}",
+                    self._fn_proj(mb, layer, direction, lo, hi),
+                    ins=[self._in_region(mb, layer, pos) for pos in range(lo, hi)]
+                    + [self.r_w(layer, direction)],
+                    outs=[self.r_zx(mb, layer, direction, pos) for pos in range(lo, hi)],
+                    flops=pflops * (hi - lo),
+                    kind="proj",
+                    meta={
+                        "mb": mb,
+                        "layer": layer,
+                        "dir": direction,
+                        "lo": lo,
+                        "hi": hi,
+                        "reuse": self._proj_reuse(mb, hi - lo),
+                    },
+                    mb=mb,
+                )
+
     def _build_forward_layer(self, mb: int, layer: int, serial_dirs: bool = False) -> None:
         spec, T = self.spec, self.seq_len
         bc = self.chunk_batches[mb]
         last = spec.num_layers - 1
+        fused = self.fused_layers[layer]
 
-        fwd_flops = cell_fwd_flops(spec, bc, layer)
+        if fused:
+            self._build_proj_tasks(mb, layer)
+            fwd_flops = cell_fwd_step_proj_flops(spec, bc)
+        else:
+            fwd_flops = cell_fwd_flops(spec, bc, layer)
         # Barrier-free mode interleaves the two chains' creation (purely a
         # ready-queue fairness matter); serial_dirs mode creates chain-major
         # so the reverse chain's first task can depend on the forward
@@ -506,7 +752,10 @@ class _Builder:
             schedule = [(d, s) for s in range(T) for d in ("fwd", "rev")]
         for direction, step in schedule:
                 pos = step if direction == "fwd" else T - 1 - step
-                x_region = self.r_x(mb, pos) if layer == 0 else self.r_m(mb, layer - 1, pos)
+                if fused:
+                    x_region = self.r_zx(mb, layer, direction, pos)
+                else:
+                    x_region = self._in_region(mb, layer, pos)
                 ins = [x_region, self.r_w(layer, direction)]
                 if step > 0:
                     ins.append(self.r_h(mb, layer, direction, step - 1))
@@ -514,14 +763,17 @@ class _Builder:
                     # framework discipline: reverse pass starts only after
                     # the forward pass of this layer has finished
                     ins.append(self.r_h(mb, layer, "fwd", T - 1))
+                outs = [self.r_h(mb, layer, direction, step)]
+                if not fused or self.training:
+                    # fused inference never materialises the per-step cache
+                    outs.append(self.r_cache(mb, layer, direction, step))
                 self._add(
                     f"{direction}[{mb}]L{layer}s{step}",
-                    self._fn_cell_fwd(mb, layer, direction, step),
+                    self._fn_cell_fwd_proj(mb, layer, direction, step)
+                    if fused
+                    else self._fn_cell_fwd(mb, layer, direction, step),
                     ins=ins,
-                    outs=[
-                        self.r_h(mb, layer, direction, step),
-                        self.r_cache(mb, layer, direction, step),
-                    ],
+                    outs=outs,
                     flops=fwd_flops,
                     kind="cell",
                     meta={
@@ -649,12 +901,61 @@ class _Builder:
                 mb=mb,
             )
 
+    def _build_proj_bwd_tasks(self, mb: int, layer: int) -> None:
+        """Hoisted backward tasks of a fused layer: per (direction, block),
+        ``dW_x += X^T·dZ`` once per block (and, above layer 0, ``dX`` back
+        into the merged-gradient accumulators).
+
+        ``dW_x`` lands in its own region (r_gwx), disjoint rows from the
+        cell tasks' r_gw, so these GEMMs run concurrently with — not on —
+        the recurrent backward chain; only the weight-update task joins the
+        two.  Blocks are cut the way the backward chain *produces* ``dz``:
+        descending positions for the fwd direction, ascending for rev —
+        i.e. the forward blocking of the opposite direction.
+        """
+        spec = self.spec
+        bc = self.chunk_batches[mb]
+        need_dx = layer > 0
+        pbflops = cell_proj_bwd_flops(spec, bc, layer, need_dx)
+        blocks = {"fwd": self._proj_blocks("rev"), "rev": self._proj_blocks("fwd")}
+        n_blocks = len(blocks["fwd"])
+        for i in range(n_blocks):
+            for direction in ("fwd", "rev"):
+                lo, hi = blocks[direction][i]
+                ins = [self.r_dz(mb, layer, direction, pos) for pos in range(lo, hi)]
+                ins += [self._in_region(mb, layer, pos) for pos in range(lo, hi)]
+                ins.append(self.r_w(layer, direction))
+                inouts = [self.r_gwx(mb, layer, direction)]
+                if need_dx:
+                    inouts += [self.r_dm(mb, layer - 1, pos) for pos in range(lo, hi)]
+                self._add(
+                    f"projBwd[{mb}]L{layer}{direction}b{lo}-{hi}",
+                    self._fn_proj_bwd(mb, layer, direction, lo, hi),
+                    ins=ins,
+                    inouts=inouts,
+                    flops=pbflops * (hi - lo),
+                    kind="proj_bwd",
+                    meta={
+                        "mb": mb,
+                        "layer": layer,
+                        "dir": direction,
+                        "lo": lo,
+                        "hi": hi,
+                        "reuse": self._proj_reuse(mb, hi - lo),
+                    },
+                    mb=mb,
+                )
+
     def _build_backward_layer(self, mb: int, layer: int, serial_dirs: bool = False) -> None:
         spec, T = self.spec, self.seq_len
         bc = self.chunk_batches[mb]
         mul = spec.merge_mode == "mul"
+        fused = self.fused_layers[layer]
         mbflops = 2.0 * merge_flops(spec.merge_mode, bc, spec.hidden_size)
-        bwd_flops = cell_bwd_flops(spec, bc, layer)
+        if fused:
+            bwd_flops = cell_bwd_step_proj_flops(spec, bc)
+        else:
+            bwd_flops = cell_bwd_flops(spec, bc, layer)
         # The two direction chains are created interleaved by chain
         # position.  Creation order fixes the WAW order on the shared
         # ``dm`` accumulators; pairing by position keeps each chain at
@@ -683,13 +984,21 @@ class _Builder:
                 inouts = [self.r_gw(mb, layer, direction)]
                 if step > 0:
                     inouts.append(self.r_dh(mb, layer, direction, step - 1))
-                if layer > 0:
+                outs = []
+                if fused:
+                    # dx is deferred: publish dz for the per-block proj_bwd
+                    pos = step if direction == "fwd" else T - 1 - step
+                    outs.append(self.r_dz(mb, layer, direction, pos))
+                elif layer > 0:
                     pos = step if direction == "fwd" else T - 1 - step
                     inouts.append(self.r_dm(mb, layer - 1, pos))
                 self._add(
                     f"{direction}Bwd[{mb}]L{layer}s{step}",
-                    self._fn_cell_bwd(mb, layer, direction, step),
+                    self._fn_cell_bwd_proj(mb, layer, direction, step)
+                    if fused
+                    else self._fn_cell_bwd(mb, layer, direction, step),
                     ins=ins,
+                    outs=outs,
                     inouts=inouts,
                     flops=bwd_flops,
                     kind="cell_bwd",
@@ -702,6 +1011,8 @@ class _Builder:
                     },
                     mb=mb,
                 )
+        if fused:
+            self._build_proj_bwd_tasks(mb, layer)
         if layer > 0:
             below = layer - 1
             for t in range(T - 1, -1, -1):
@@ -738,10 +1049,13 @@ class _Builder:
                         self.regions.get(("vel", layer, direction),
                                          self.r_w(layer, direction).nbytes)
                     )
+                grad_ins = [self.r_gw(mb, layer, direction) for mb in range(n_chunks)]
+                if self.fused_layers[layer]:
+                    grad_ins += [self.r_gwx(mb, layer, direction) for mb in range(n_chunks)]
                 g.add_task(
                     f"update.L{layer}.{direction}",
                     self._fn_weight_update(layer, direction),
-                    ins=[self.r_gw(mb, layer, direction) for mb in range(n_chunks)],
+                    ins=grad_ins,
                     inouts=inouts,
                     flops=uflops,
                     kind="weight_update",
@@ -789,6 +1103,8 @@ def build_brnn_graph(
     serialize_chunks: bool = False,
     momentum: float = 0.0,
     velocity: Optional[BRNNParams] = None,
+    fused_input_projection="off",
+    proj_block: Optional[int] = None,
 ) -> GraphBuildResult:
     """Build the B-Par task graph for one batch.
 
@@ -798,6 +1114,13 @@ def build_brnn_graph(
     data-parallel chunks (the paper's ``mbs:N``).  ``serialize_chunks``
     turns the graph into the B-Seq baseline: each chunk's tasks execute
     sequentially, so only data parallelism remains.
+
+    ``fused_input_projection`` (``"on"``/``"off"``/``"auto"``, see
+    :func:`resolve_fused_layers`) hoists each fused layer's ``X_t @ W_x``
+    GEMMs off the recurrent chain into per-block ``proj`` tasks of
+    ``proj_block`` timesteps each (default :data:`DEFAULT_PROJ_BLOCK`,
+    clamped to the sequence length); forward results stay bit-identical to
+    the sequential oracle.
     """
     functional = x is not None
     if functional:
@@ -839,5 +1162,7 @@ def build_brnn_graph(
         serialize_chunks=serialize_chunks,
         momentum=momentum,
         velocity=velocity,
+        fused_layers=resolve_fused_layers(spec, fused_input_projection),
+        proj_block=proj_block,
     )
     return builder.build()

@@ -36,6 +36,12 @@ class ChunkState:
         self.h_r: List[List[Optional[np.ndarray]]] = grid()
         self.c_r: List[List[Optional[np.ndarray]]] = grid()
         self.cache_r: List[list] = grid()
+        # Fused input projections (zx) and their backward counterparts (dz),
+        # indexed [layer][sequence position]; written only on the fused path.
+        self.zx_f: List[List[Optional[np.ndarray]]] = grid()
+        self.zx_r: List[List[Optional[np.ndarray]]] = grid()
+        self.dz_f: List[List[Optional[np.ndarray]]] = grid()
+        self.dz_r: List[List[Optional[np.ndarray]]] = grid()
         self.merged: List[List[Optional[np.ndarray]]] = [
             [None] * seq_len for _ in range(max(L - 1, 0))
         ]

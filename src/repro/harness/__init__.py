@@ -5,6 +5,19 @@ Each paper table/figure has a driver here that produces plain data rows;
 EXPERIMENTS.md records the measured-vs-paper comparison.
 """
 
+from repro.harness.bench_json import (
+    bench_json_path,
+    summarize_times,
+    write_bench_json,
+)
+from repro.harness.fusedbench import run_fused_bench
 from repro.harness.simtime import simulated_batch_time, SimTiming
 
-__all__ = ["simulated_batch_time", "SimTiming"]
+__all__ = [
+    "bench_json_path",
+    "run_fused_bench",
+    "simulated_batch_time",
+    "SimTiming",
+    "summarize_times",
+    "write_bench_json",
+]

@@ -1,0 +1,68 @@
+"""Machine-readable benchmark records (``BENCH_*.json``).
+
+Every wall-clock bench emits one JSON report so the perf trajectory of the
+repo is recorded, diffable, and machine-checkable (``tools/check_bench_report.py``)
+rather than scrolling by in pytest output.  Shape:
+
+    {
+      "bench": "<name>",            # selects the checker schema
+      "schema_version": 1,
+      "config": { ... },            # everything needed to re-run
+      "results": { ... }            # medians/percentiles/speedups
+    }
+
+Timing samples are summarised with the same percentile definition the
+serving latency collectors use (:func:`repro.runtime.trace.percentile`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence
+
+from repro.runtime.trace import percentile
+
+SCHEMA_VERSION = 1
+
+#: Default directory for recorded baselines (override with REPRO_BENCH_DIR).
+DEFAULT_BENCH_DIR = "benchmarks/baselines"
+
+
+def summarize_times(samples: Sequence[float]) -> Dict[str, float]:
+    """Median/p95/mean/min of a wall-clock sample set, in seconds."""
+    xs = list(samples)
+    return {
+        "median_s": percentile(xs, 50),
+        "p95_s": percentile(xs, 95),
+        "mean_s": sum(xs) / len(xs),
+        "min_s": min(xs),
+        "n": len(xs),
+    }
+
+
+def bench_output_dir() -> str:
+    """Where ``BENCH_*.json`` files land (``REPRO_BENCH_DIR`` overrides)."""
+    return os.environ.get("REPRO_BENCH_DIR", DEFAULT_BENCH_DIR)
+
+
+def write_bench_json(path: str, bench: str, config: Dict, results: Dict) -> Dict:
+    """Assemble the report, write it to ``path``, and return it."""
+    report = {
+        "bench": bench,
+        "schema_version": SCHEMA_VERSION,
+        "config": config,
+        "results": results,
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return report
+
+
+def bench_json_path(bench: str) -> str:
+    """Canonical location of a bench's recorded baseline."""
+    return os.path.join(bench_output_dir(), f"BENCH_{bench}.json")

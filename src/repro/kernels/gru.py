@@ -10,7 +10,7 @@ separate recurrent product because Eq. (9) applies the reset gate to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -29,18 +29,54 @@ def gru_fwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
     return gemm + elementwise
 
 
+def gru_bwd_data_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """Data-gradient GEMMs of one backward cell update (``dx``, ``drh``, ``dh_prev``)."""
+    return 2.0 * batch * (input_size + hidden_size) * 3 * hidden_size
+
+
+def gru_bwd_weight_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """Weight-gradient GEMMs of one backward cell update (the four ``dW`` blocks)."""
+    return 2.0 * batch * (input_size + hidden_size) * 3 * hidden_size
+
+
 def gru_bwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
     """Floating-point operations of one backward cell update (≈2× forward)."""
-    gemm = 4.0 * batch * (input_size + hidden_size) * 3 * hidden_size
     elementwise = 28.0 * batch * hidden_size
-    return gemm + elementwise
+    return (
+        gru_bwd_data_flops(batch, input_size, hidden_size)
+        + gru_bwd_weight_flops(batch, input_size, hidden_size)
+        + elementwise
+    )
+
+
+def gru_proj_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """One timestep's share of the hoisted input projection ``X_t @ W_x``."""
+    return 2.0 * batch * input_size * 3 * hidden_size
+
+
+def gru_fwd_step_proj_flops(batch: int, hidden_size: int) -> float:
+    """Forward flops of the shrunken cell step (recurrent GEMMs + elementwise)."""
+    return 2.0 * batch * hidden_size * 3 * hidden_size + 13.0 * batch * hidden_size
+
+
+def gru_bwd_step_proj_flops(batch: int, hidden_size: int) -> float:
+    """Backward flops of the shrunken cell step (recurrent data + weight GEMMs)."""
+    return 4.0 * batch * hidden_size * 3 * hidden_size + 28.0 * batch * hidden_size
+
+
+def gru_proj_bwd_flops(
+    batch: int, input_size: int, hidden_size: int, need_dx: bool = True
+) -> float:
+    """One timestep's share of the hoisted backward: ``dW_x = X^T·dZ`` (+ ``dX``)."""
+    gemm = 2.0 * batch * input_size * 3 * hidden_size
+    return gemm * (2.0 if need_dx else 1.0)
 
 
 @dataclass
 class GRUCache:
     """Forward activations retained for the backward pass."""
 
-    x: np.ndarray
+    x: Optional[np.ndarray]  # None on the fused-projection path (dx via proj_bwd)
     h_prev: np.ndarray
     z: np.ndarray
     r: np.ndarray
@@ -48,7 +84,11 @@ class GRUCache:
     rh: np.ndarray  # R_t ⊙ H_{t-1}
 
     def nbytes(self) -> int:
-        return sum(a.nbytes for a in (self.x, self.h_prev, self.z, self.r, self.hbar, self.rh))
+        return sum(
+            a.nbytes
+            for a in (self.x, self.h_prev, self.z, self.r, self.hbar, self.rh)
+            if a is not None
+        )
 
 
 def gru_forward_step(
@@ -117,3 +157,81 @@ def gru_backward_step(
     db[:two_h] += dzr.sum(axis=0)
     db[two_h:] += da.sum(axis=0)
     return dx, dh_prev
+
+
+def gru_forward_step_proj(
+    zx: np.ndarray,
+    h_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+    need_cache: bool = True,
+) -> Tuple[np.ndarray, Optional[GRUCache]]:
+    """One GRU cell update from a precomputed input projection.
+
+    ``zx (B, 3H)`` is this timestep's slice of the hoisted ``X @ W[:I]``
+    GEMM.  Bit-identical to :func:`gru_forward_step`: a column slice of the
+    stacked projection equals the per-gate GEMM exactly, and the remaining
+    additions commute.  ``need_cache=False`` (inference) skips the cache.
+    """
+    hidden = h_prev.shape[1]
+    input_size = W.shape[0] - hidden
+    two_h = 2 * hidden
+
+    zr = h_prev @ W[input_size:, :two_h]
+    zr += zx[:, :two_h]
+    zr += b[:two_h]
+    z = sigmoid(zr[:, :hidden])
+    r = sigmoid(zr[:, hidden:])
+
+    rh = r * h_prev
+    a = rh @ W[input_size:, two_h:]
+    a += zx[:, two_h:]
+    a += b[two_h:]
+    hbar = tanh(a)
+
+    h = z * hbar + (1.0 - z) * h_prev
+    if not need_cache:
+        return h, None
+    return h, GRUCache(x=None, h_prev=h_prev, z=z, r=r, hbar=hbar, rh=rh)
+
+
+def gru_backward_step_proj(
+    dh: np.ndarray,
+    cache: GRUCache,
+    W: np.ndarray,
+    dW: np.ndarray,
+    db: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backward of the shrunken cell step: emits ``dz (B, 3H)`` instead of ``dx``.
+
+    ``dz`` columns are ``[dz_zr | da]``, matching the fused weight layout, so
+    the per-block ``proj_bwd`` task can compute ``dW[:I] += X^T·dZ`` and
+    ``dX = dZ·W_x^T`` in one GEMM each.  Accumulates only the recurrent
+    halves ``dW[I:]``/``db``.  Returns ``(dz, dh_prev)``.
+    """
+    hidden = cache.h_prev.shape[1]
+    input_size = W.shape[0] - hidden
+    two_h = 2 * hidden
+    batch = dh.shape[0]
+
+    dz_gate = dh * (cache.hbar - cache.h_prev)
+    dhbar = dh * cache.z
+    dh_prev = dh * (1.0 - cache.z)
+
+    da = dhbar * dtanh(cache.hbar)
+    drh = da @ W[input_size:, two_h:].T
+    dr = drh * cache.h_prev
+    dh_prev += drh * cache.r
+
+    dz = np.empty((batch, 3 * hidden), dtype=dh.dtype)
+    dz[:, :hidden] = dz_gate * dsigmoid(cache.z)
+    dz[:, hidden:two_h] = dr * dsigmoid(cache.r)
+    dz[:, two_h:] = da
+    dzr = dz[:, :two_h]
+    dh_prev += dzr @ W[input_size:, :two_h].T
+
+    dW[input_size:, :two_h] += cache.h_prev.T @ dzr
+    dW[input_size:, two_h:] += cache.rh.T @ da
+    db[:two_h] += dzr.sum(axis=0)
+    db[two_h:] += da.sum(axis=0)
+    return dz, dh_prev

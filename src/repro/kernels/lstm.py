@@ -12,7 +12,7 @@ which avoids materialising the ``[X_t, H_{t-1}]`` concatenation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -31,18 +31,54 @@ def lstm_fwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
     return gemm + elementwise
 
 
+def lstm_bwd_data_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """Data-gradient GEMMs of one backward cell update: ``dx`` and ``dh_prev``."""
+    return 2.0 * batch * (input_size + hidden_size) * 4 * hidden_size
+
+
+def lstm_bwd_weight_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """Weight-gradient GEMMs of one backward cell update: ``X^T·dZ`` and ``H^T·dZ``."""
+    return 2.0 * batch * (input_size + hidden_size) * 4 * hidden_size
+
+
 def lstm_bwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
     """Floating-point operations of one backward cell update (≈2× forward)."""
-    gemm = 4.0 * batch * (input_size + hidden_size) * 4 * hidden_size
     elementwise = 30.0 * batch * hidden_size
-    return gemm + elementwise
+    return (
+        lstm_bwd_data_flops(batch, input_size, hidden_size)
+        + lstm_bwd_weight_flops(batch, input_size, hidden_size)
+        + elementwise
+    )
+
+
+def lstm_proj_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """One timestep's share of the hoisted input projection ``X_t @ W_x``."""
+    return 2.0 * batch * input_size * 4 * hidden_size
+
+
+def lstm_fwd_step_proj_flops(batch: int, hidden_size: int) -> float:
+    """Forward flops of the shrunken cell step (recurrent GEMM + elementwise)."""
+    return 2.0 * batch * hidden_size * 4 * hidden_size + 14.0 * batch * hidden_size
+
+
+def lstm_bwd_step_proj_flops(batch: int, hidden_size: int) -> float:
+    """Backward flops of the shrunken cell step (``dh_prev`` + ``dW_h`` GEMMs)."""
+    return 4.0 * batch * hidden_size * 4 * hidden_size + 30.0 * batch * hidden_size
+
+
+def lstm_proj_bwd_flops(
+    batch: int, input_size: int, hidden_size: int, need_dx: bool = True
+) -> float:
+    """One timestep's share of the hoisted backward: ``dW_x = X^T·dZ`` (+ ``dX``)."""
+    gemm = 2.0 * batch * input_size * 4 * hidden_size
+    return gemm * (2.0 if need_dx else 1.0)
 
 
 @dataclass
 class LSTMCache:
     """Forward activations retained for the backward pass."""
 
-    x: np.ndarray
+    x: Optional[np.ndarray]  # None on the fused-projection path (dx via proj_bwd)
     h_prev: np.ndarray
     c_prev: np.ndarray
     i: np.ndarray
@@ -53,7 +89,9 @@ class LSTMCache:
 
     def nbytes(self) -> int:
         return sum(
-            a.nbytes for a in (self.x, self.h_prev, self.c_prev, self.i, self.f, self.g, self.o, self.tc)
+            a.nbytes
+            for a in (self.x, self.h_prev, self.c_prev, self.i, self.f, self.g, self.o, self.tc)
+            if a is not None
         )
 
 
@@ -118,3 +156,71 @@ def lstm_backward_step(
     db += dz.sum(axis=0)
     dc_prev = dc * cache.f
     return dx, dh_prev, dc_prev
+
+
+def lstm_forward_step_proj(
+    zx: np.ndarray,
+    h_prev: np.ndarray,
+    c_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+    need_cache: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, Optional[LSTMCache]]:
+    """One LSTM cell update from a precomputed input projection.
+
+    ``zx (B, 4H)`` is this timestep's slice of the hoisted ``X @ W[:I]``
+    GEMM; only the recurrent product remains on the critical path.  Result
+    is bit-identical to :func:`lstm_forward_step`: the pre-activation is
+    assembled as ``(H_{t-1}·W_h) + zx + b``, and IEEE addition commutes, so
+    it matches the oracle's ``(X_t·W_x) + H_{t-1}·W_h + b`` exactly.
+    ``need_cache=False`` (inference) skips retaining activations.
+    """
+    hidden = h_prev.shape[1]
+    input_size = W.shape[0] - hidden
+    z = h_prev @ W[input_size:]
+    z += zx
+    z += b
+    i = sigmoid(z[:, :hidden])
+    f = sigmoid(z[:, hidden : 2 * hidden])
+    g = tanh(z[:, 2 * hidden : 3 * hidden])
+    o = sigmoid(z[:, 3 * hidden :])
+    c = f * c_prev
+    c += i * g
+    tc = tanh(c)
+    h = o * tc
+    if not need_cache:
+        return h, c, None
+    return h, c, LSTMCache(x=None, h_prev=h_prev, c_prev=c_prev, i=i, f=f, g=g, o=o, tc=tc)
+
+
+def lstm_backward_step_proj(
+    dh: np.ndarray,
+    dc_in: np.ndarray,
+    cache: LSTMCache,
+    W: np.ndarray,
+    dW: np.ndarray,
+    db: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward of the shrunken cell step: emits ``dz`` instead of ``dx``.
+
+    Accumulates only the *recurrent* halves ``dW[I:]``/``db``; the input
+    halves (``dW[:I] = X^T·dZ`` and ``dX = dZ·W_x^T``) are hoisted into the
+    per-block ``proj_bwd`` task.  Returns ``(dz, dh_prev, dc_prev)``.
+    """
+    hidden = cache.h_prev.shape[1]
+    input_size = W.shape[0] - hidden
+    batch = dh.shape[0]
+
+    do = dh * cache.tc
+    dc = dc_in + dh * cache.o * dtanh(cache.tc)
+    dz = np.empty((batch, 4 * hidden), dtype=dh.dtype)
+    dz[:, :hidden] = dc * cache.g * dsigmoid(cache.i)
+    dz[:, hidden : 2 * hidden] = dc * cache.c_prev * dsigmoid(cache.f)
+    dz[:, 2 * hidden : 3 * hidden] = dc * cache.i * dtanh(cache.g)
+    dz[:, 3 * hidden :] = do * dsigmoid(cache.o)
+
+    dh_prev = dz @ W[input_size:].T
+    dW[input_size:] += cache.h_prev.T @ dz
+    db += dz.sum(axis=0)
+    dc_prev = dc * cache.f
+    return dz, dh_prev, dc_prev

@@ -12,7 +12,7 @@ rows ``[I:]`` the recurrent state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -31,23 +31,59 @@ def rnn_fwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
     return gemm + elementwise
 
 
+def rnn_bwd_data_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """Data-gradient GEMMs of one backward cell update: ``dx`` and ``dh_prev``."""
+    return 2.0 * batch * (input_size + hidden_size) * hidden_size
+
+
+def rnn_bwd_weight_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """Weight-gradient GEMMs of one backward cell update: ``X^T·da`` and ``H^T·da``."""
+    return 2.0 * batch * (input_size + hidden_size) * hidden_size
+
+
 def rnn_bwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
     """Floating-point operations of one backward cell update (≈2× forward)."""
-    gemm = 4.0 * batch * (input_size + hidden_size) * hidden_size
     elementwise = 6.0 * batch * hidden_size
-    return gemm + elementwise
+    return (
+        rnn_bwd_data_flops(batch, input_size, hidden_size)
+        + rnn_bwd_weight_flops(batch, input_size, hidden_size)
+        + elementwise
+    )
+
+
+def rnn_proj_flops(batch: int, input_size: int, hidden_size: int) -> float:
+    """One timestep's share of the hoisted input projection ``X_t @ W_x``."""
+    return 2.0 * batch * input_size * hidden_size
+
+
+def rnn_fwd_step_proj_flops(batch: int, hidden_size: int) -> float:
+    """Forward flops of the shrunken cell step (recurrent GEMM + elementwise)."""
+    return 2.0 * batch * hidden_size * hidden_size + 3.0 * batch * hidden_size
+
+
+def rnn_bwd_step_proj_flops(batch: int, hidden_size: int) -> float:
+    """Backward flops of the shrunken cell step (``dh_prev`` + ``dW_h`` GEMMs)."""
+    return 4.0 * batch * hidden_size * hidden_size + 6.0 * batch * hidden_size
+
+
+def rnn_proj_bwd_flops(
+    batch: int, input_size: int, hidden_size: int, need_dx: bool = True
+) -> float:
+    """One timestep's share of the hoisted backward: ``dW_x = X^T·dZ`` (+ ``dX``)."""
+    gemm = 2.0 * batch * input_size * hidden_size
+    return gemm * (2.0 if need_dx else 1.0)
 
 
 @dataclass
 class RNNCache:
     """Forward activations retained for the backward pass."""
 
-    x: np.ndarray
+    x: Optional[np.ndarray]  # None on the fused-projection path (dx via proj_bwd)
     h_prev: np.ndarray
     h: np.ndarray  # tanh output (its own derivative input)
 
     def nbytes(self) -> int:
-        return self.x.nbytes + self.h_prev.nbytes + self.h.nbytes
+        return sum(a.nbytes for a in (self.x, self.h_prev, self.h) if a is not None)
 
 
 def rnn_forward_step(
@@ -84,3 +120,43 @@ def rnn_backward_step(
     dW[input_size:] += cache.h_prev.T @ da
     db += da.sum(axis=0)
     return dx, dh_prev
+
+
+def rnn_forward_step_proj(
+    zx: np.ndarray,
+    h_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+    need_cache: bool = True,
+) -> Tuple[np.ndarray, Optional[RNNCache]]:
+    """One basic-RNN cell update from a precomputed input projection ``zx (B, H)``."""
+    hidden = h_prev.shape[1]
+    input_size = W.shape[0] - hidden
+    a = h_prev @ W[input_size:]
+    a += zx
+    a += b
+    h = tanh(a)
+    if not need_cache:
+        return h, None
+    return h, RNNCache(x=None, h_prev=h_prev, h=h)
+
+
+def rnn_backward_step_proj(
+    dh: np.ndarray,
+    cache: RNNCache,
+    W: np.ndarray,
+    dW: np.ndarray,
+    db: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backward of the shrunken cell step: emits ``da`` instead of ``dx``.
+
+    Accumulates only the recurrent halves ``dW[I:]``/``db``; returns
+    ``(da, dh_prev)``.
+    """
+    hidden = cache.h_prev.shape[1]
+    input_size = W.shape[0] - hidden
+    da = dh * dtanh(cache.h)
+    dh_prev = da @ W[input_size:].T
+    dW[input_size:] += cache.h_prev.T @ da
+    db += da.sum(axis=0)
+    return da, dh_prev

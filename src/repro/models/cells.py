@@ -8,30 +8,48 @@ LSTM cells carry a cell state ``c``; for GRUs the ``c``/``dc`` slots are
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.kernels.gru import (
     GRUCache,
     gru_backward_step,
+    gru_backward_step_proj,
     gru_bwd_flops,
+    gru_bwd_step_proj_flops,
     gru_forward_step,
+    gru_forward_step_proj,
     gru_fwd_flops,
+    gru_fwd_step_proj_flops,
+    gru_proj_bwd_flops,
+    gru_proj_flops,
 )
 from repro.kernels.lstm import (
     LSTMCache,
     lstm_backward_step,
+    lstm_backward_step_proj,
     lstm_bwd_flops,
+    lstm_bwd_step_proj_flops,
     lstm_forward_step,
+    lstm_forward_step_proj,
     lstm_fwd_flops,
+    lstm_fwd_step_proj_flops,
+    lstm_proj_bwd_flops,
+    lstm_proj_flops,
 )
 from repro.kernels.rnn import (
     RNNCache,
     rnn_backward_step,
+    rnn_backward_step_proj,
     rnn_bwd_flops,
+    rnn_bwd_step_proj_flops,
     rnn_forward_step,
+    rnn_forward_step_proj,
     rnn_fwd_flops,
+    rnn_fwd_step_proj_flops,
+    rnn_proj_bwd_flops,
+    rnn_proj_flops,
 )
 from repro.models.spec import BRNNSpec
 
@@ -73,8 +91,85 @@ def cell_backward(
     return dx, dh_prev, None
 
 
+def cell_input_projection(
+    spec: BRNNSpec, xs: Sequence[np.ndarray], W: np.ndarray
+) -> List[np.ndarray]:
+    """Hoisted input projection of a block of timesteps: ``[x_t @ W[:I]]``.
+
+    Stacks the block's inputs into one ``(K·B, I)`` GEMM — the fused-
+    projection optimisation — and returns per-timestep ``(B, G·H)`` slices.
+    Bit-identity contract: BLAS computes each row block of a multi-row GEMM
+    exactly as the per-timestep ``(B, I) @ (I, G·H)`` product, *except* for
+    single-row operands, which NumPy dispatches to a different (matvec)
+    kernel — so a batch of 1 falls back to per-timestep products.
+    """
+    input_size = xs[0].shape[1]
+    Wx = W[:input_size]
+    batch = xs[0].shape[0]
+    if batch == 1:
+        return [x @ Wx for x in xs]
+    if len(xs) == 1:
+        return [xs[0] @ Wx]
+    zx = np.concatenate(xs, axis=0) @ Wx
+    return [zx[k * batch : (k + 1) * batch] for k in range(len(xs))]
+
+
+def cell_forward_proj(
+    spec: BRNNSpec,
+    zx: np.ndarray,
+    h_prev: np.ndarray,
+    c_prev: Optional[np.ndarray],
+    W: np.ndarray,
+    b: np.ndarray,
+    need_cache: bool = True,
+):
+    """Shrunken cell update from a precomputed ``Zx_t``; returns ``(h, c, cache)``."""
+    if spec.cell == "lstm":
+        return lstm_forward_step_proj(zx, h_prev, c_prev, W, b, need_cache)
+    if spec.cell == "gru":
+        h, cache = gru_forward_step_proj(zx, h_prev, W, b, need_cache)
+        return h, None, cache
+    h, cache = rnn_forward_step_proj(zx, h_prev, W, b, need_cache)
+    return h, None, cache
+
+
+def cell_backward_proj(
+    spec: BRNNSpec,
+    dh: np.ndarray,
+    dc: Optional[np.ndarray],
+    cache,
+    W: np.ndarray,
+    dW: np.ndarray,
+    db: np.ndarray,
+):
+    """Backward of the shrunken cell update; returns ``(dz, dh_prev, dc_prev)``."""
+    if spec.cell == "lstm":
+        return lstm_backward_step_proj(dh, dc, cache, W, dW, db)
+    if spec.cell == "gru":
+        dz, dh_prev = gru_backward_step_proj(dh, cache, W, dW, db)
+        return dz, dh_prev, None
+    dz, dh_prev = rnn_backward_step_proj(dh, cache, W, dW, db)
+    return dz, dh_prev, None
+
+
 _FWD_FLOPS = {"lstm": lstm_fwd_flops, "gru": gru_fwd_flops, "rnn": rnn_fwd_flops}
 _BWD_FLOPS = {"lstm": lstm_bwd_flops, "gru": gru_bwd_flops, "rnn": rnn_bwd_flops}
+_PROJ_FLOPS = {"lstm": lstm_proj_flops, "gru": gru_proj_flops, "rnn": rnn_proj_flops}
+_FWD_STEP_PROJ_FLOPS = {
+    "lstm": lstm_fwd_step_proj_flops,
+    "gru": gru_fwd_step_proj_flops,
+    "rnn": rnn_fwd_step_proj_flops,
+}
+_BWD_STEP_PROJ_FLOPS = {
+    "lstm": lstm_bwd_step_proj_flops,
+    "gru": gru_bwd_step_proj_flops,
+    "rnn": rnn_bwd_step_proj_flops,
+}
+_PROJ_BWD_FLOPS = {
+    "lstm": lstm_proj_bwd_flops,
+    "gru": gru_proj_bwd_flops,
+    "rnn": rnn_proj_bwd_flops,
+}
 
 
 def cell_fwd_flops(spec: BRNNSpec, batch: int, layer: int) -> float:
@@ -85,6 +180,31 @@ def cell_fwd_flops(spec: BRNNSpec, batch: int, layer: int) -> float:
 def cell_bwd_flops(spec: BRNNSpec, batch: int, layer: int) -> float:
     fn = _BWD_FLOPS[spec.cell]
     return fn(batch, spec.layer_input_size(layer), spec.hidden_size)
+
+
+def cell_proj_flops(spec: BRNNSpec, batch: int, layer: int) -> float:
+    """Per-timestep flops of the hoisted forward input projection."""
+    fn = _PROJ_FLOPS[spec.cell]
+    return fn(batch, spec.layer_input_size(layer), spec.hidden_size)
+
+
+def cell_fwd_step_proj_flops(spec: BRNNSpec, batch: int) -> float:
+    """Forward flops of the shrunken (fused-projection) cell step."""
+    return _FWD_STEP_PROJ_FLOPS[spec.cell](batch, spec.hidden_size)
+
+
+def cell_bwd_step_proj_flops(spec: BRNNSpec, batch: int) -> float:
+    """Backward flops of the shrunken (fused-projection) cell step."""
+    return _BWD_STEP_PROJ_FLOPS[spec.cell](batch, spec.hidden_size)
+
+
+def cell_proj_bwd_flops(
+    spec: BRNNSpec, batch: int, layer: int, need_dx: bool = True
+) -> float:
+    """Per-timestep flops of the hoisted backward (``dW_x`` and, above
+    layer 0, ``dX``)."""
+    fn = _PROJ_BWD_FLOPS[spec.cell]
+    return fn(batch, spec.layer_input_size(layer), spec.hidden_size, need_dx)
 
 
 def zeros_state(spec: BRNNSpec, batch: int) -> Tuple[np.ndarray, Optional[np.ndarray]]:

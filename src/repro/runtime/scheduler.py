@@ -98,11 +98,15 @@ class LocalityAwareScheduler(Scheduler):
         self.n_cores = n_cores
         self._global: Deque[Task] = deque()
         self._affinity: List[Deque[Task]] = [deque() for _ in range(n_cores)]
+        #: indices of nonempty affinity queues — steals scan only these,
+        #: not all n_cores deques (pathological on wide machines)
+        self._nonempty: set = set()
         self._size = 0
 
     def push(self, task: Task, hint: Optional[int] = None) -> None:
         if hint is not None and 0 <= hint < self.n_cores:
             self._affinity[hint].append(task)
+            self._nonempty.add(hint)
         else:
             self._global.append(task)
         self._size += 1
@@ -113,19 +117,29 @@ class LocalityAwareScheduler(Scheduler):
         own = self._affinity[core] if core < self.n_cores else None
         if own:
             self._size -= 1
-            return own.popleft()
+            task = own.popleft()
+            if not own:
+                self._nonempty.discard(core)
+            return task
         if self._global:
             self._size -= 1
             return self._global.popleft()
-        # Steal from the most loaded affinity queue (deterministic tie-break
-        # on the lowest core id).
-        victim = None
-        for q in self._affinity:
-            if q and (victim is None or len(q) > len(victim)):
-                victim = q
-        if victim:
+        # Steal from the most loaded affinity queue.  Ascending scan with a
+        # strict running max keeps the deterministic lowest-core-id
+        # tie-break of the original full scan.
+        victim_core = -1
+        victim_len = 0
+        for idx in sorted(self._nonempty):
+            qlen = len(self._affinity[idx])
+            if qlen > victim_len:
+                victim_core, victim_len = idx, qlen
+        if victim_core >= 0:
+            victim = self._affinity[victim_core]
             self._size -= 1
-            return victim.popleft()
+            task = victim.popleft()
+            if not victim:
+                self._nonempty.discard(victim_core)
+            return task
         return None
 
     def __len__(self) -> int:
@@ -151,6 +165,8 @@ class WorkStealingScheduler(Scheduler):
             raise ValueError("n_cores must be >= 1")
         self.n_cores = n_cores
         self._deques: List[Deque[Task]] = [deque() for _ in range(n_cores)]
+        #: indices of nonempty deques (see LocalityAwareScheduler)
+        self._nonempty: set = set()
         self._rr = 0
         self._size = 0
 
@@ -159,21 +175,32 @@ class WorkStealingScheduler(Scheduler):
             hint = self._rr
             self._rr = (self._rr + 1) % self.n_cores
         self._deques[hint].append(task)
+        self._nonempty.add(hint)
         self._size += 1
 
     def pop(self, core: int) -> Optional[Task]:
         if self._size == 0:
             return None
         if core < self.n_cores and self._deques[core]:
+            own = self._deques[core]
             self._size -= 1
-            return self._deques[core].pop()  # own work: newest first
-        victim = None
-        for q in self._deques:
-            if q and (victim is None or len(q) > len(victim)):
-                victim = q
-        if victim:
+            task = own.pop()  # own work: newest first
+            if not own:
+                self._nonempty.discard(core)
+            return task
+        victim_core = -1
+        victim_len = 0
+        for idx in sorted(self._nonempty):
+            qlen = len(self._deques[idx])
+            if qlen > victim_len:
+                victim_core, victim_len = idx, qlen
+        if victim_core >= 0:
+            victim = self._deques[victim_core]
             self._size -= 1
-            return victim.popleft()  # steal: oldest first
+            task = victim.popleft()  # steal: oldest first
+            if not victim:
+                self._nonempty.discard(victim_core)
+            return task
         return None
 
     def __len__(self) -> int:

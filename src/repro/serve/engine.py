@@ -70,6 +70,14 @@ class InferenceEngine:
         creation bring-up) charged in ``sim`` mode — the quantity dynamic
         batching amortises; same convention as
         :func:`~repro.harness.simtime.simulated_batch_time`.
+    fused_input_projection:
+        ``"on"``/``"off"``/``"auto"``: hoist each layer's ``X_t @ W_x``
+        GEMMs off the recurrent chain (inference never needs the per-step
+        cache, so the fused path is pure win on the critical path).  In
+        ``sim`` mode ``"auto"`` resolves to ``"on"`` — the modelled
+        critical path shrinks for every layer shape; in ``threaded`` mode
+        it fuses only the layers where the hoisted GEMM pays on a real
+        host (see :func:`~repro.core.graph_builder.resolve_fused_layers`).
     """
 
     def __init__(
@@ -85,6 +93,8 @@ class InferenceEngine:
         scheduler: str = "locality",
         batch_fixed_s: float = 8e-3,
         seed: int = 0,
+        fused_input_projection: str = "auto",
+        proj_block: Optional[int] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -94,6 +104,10 @@ class InferenceEngine:
         self.executor = executor
         self.mbs = mbs
         self.batch_fixed_s = batch_fixed_s
+        if executor == "sim" and fused_input_projection == "auto":
+            fused_input_projection = "on"
+        self.fused_input_projection = fused_input_projection
+        self.proj_block = proj_block
         if executor == "sim":
             self.machine = machine or xeon_8160_2s()
             self._sim = SimulatedExecutor(
@@ -110,6 +124,48 @@ class InferenceEngine:
             )
         #: memoised (service_time, trace) per batch shape, sim mode only
         self._cost_cache: Dict[Tuple[int, int], Tuple[float, ExecutionTrace]] = {}
+        #: memoised fused-vs-per-step critical-path comparison per shape
+        self._cp_cache: Dict[Tuple[int, int], Dict[str, float]] = {}
+
+    def _build(self, *, fused=None, **kwargs):
+        """build_brnn_graph with this engine's fused-projection policy."""
+        return build_brnn_graph(
+            self.spec,
+            training=False,
+            fused_input_projection=self.fused_input_projection if fused is None else fused,
+            proj_block=self.proj_block,
+            **kwargs,
+        )
+
+    def critical_path_reduction(self, padded_len: int, size: int) -> Dict[str, float]:
+        """Flop-weighted critical-path comparison, fused vs per-step.
+
+        Built from cost-only graphs of the batch shape (cheap, memoised):
+        the schedule-independent statement of what the hoisted projection
+        buys — reported alongside latency SLOs in :class:`ServerStats`.
+        """
+        key = (padded_len, size)
+        cached = self._cp_cache.get(key)
+        if cached is None:
+            mbs = self._effective_mbs(size)
+            weight = lambda t: t.flops
+            per_step = self._build(
+                seq_len=padded_len, batch=size, mbs=mbs, fused="off"
+            ).graph.critical_path_length(weight)
+            fused = self._build(
+                seq_len=padded_len, batch=size, mbs=mbs
+            ).graph.critical_path_length(weight)
+            cached = {
+                "per_step_flops": per_step,
+                "fused_flops": fused,
+                "reduction": 1.0 - fused / per_step if per_step > 0 else 0.0,
+            }
+            self._cp_cache[key] = cached
+        return cached
+
+    def critical_path_report(self) -> Dict[str, Dict[str, float]]:
+        """Every batch shape executed so far, keyed ``"<padded_len>x<size>"``."""
+        return {f"{t}x{b}": dict(v) for (t, b), v in sorted(self._cp_cache.items())}
 
     @property
     def n_workers(self) -> int:
@@ -129,13 +185,12 @@ class InferenceEngine:
 
     def _execute_simulated(self, batch: Batch) -> BatchExecution:
         key = (batch.padded_len, batch.size)
+        self.critical_path_reduction(batch.padded_len, batch.size)
         cached = self._cost_cache.get(key)
         if cached is None:
-            graph = build_brnn_graph(
-                self.spec,
+            graph = self._build(
                 seq_len=batch.padded_len,
                 batch=batch.size,
-                training=False,
                 mbs=self._effective_mbs(batch.size),
             ).graph
             # warm run: weights NUMA-homed / cache-resident, as in a steady
@@ -150,12 +205,11 @@ class InferenceEngine:
 
     def _execute_threaded(self, batch: Batch) -> BatchExecution:
         x = batch.padded_input()
+        self.critical_path_reduction(batch.padded_len, batch.size)
         t0 = time.perf_counter()
-        result = build_brnn_graph(
-            self.spec,
+        result = self._build(
             x=x,
             params=self.params,
-            training=False,
             mbs=self._effective_mbs(batch.size),
         )
         trace = self._threaded.run(result.graph)

@@ -140,6 +140,13 @@ class Server:
                 break
             now = min(candidates)
 
+        # What the fused input projection bought, per batch shape served
+        # (memoised cost-only graphs; works for both executors).
+        report = getattr(self.engine, "critical_path_report", None)
+        if report is not None:
+            cp = report()
+            if cp:
+                stats.critical_path = cp
         return stats
 
 

@@ -51,6 +51,9 @@ class ServerStats:
         self._batch_traces: List[Tuple[float, ExecutionTrace]] = []
         #: (time, depth) samples taken by the serving loop
         self.queue_depth_samples: List[Tuple[float, int]] = []
+        #: per-shape fused-vs-per-step critical-path comparison, attached by
+        #: the serving loop from the engine's memoised cost graphs
+        self.critical_path: Optional[Dict[str, Dict[str, float]]] = None
 
     # -- recording -------------------------------------------------------------
 
@@ -181,4 +184,9 @@ class ServerStats:
             },
             "queue_depth": self.queue_depth_stats(),
             "engine_busy_fraction": self.engine_busy_fraction(),
+            **(
+                {"critical_path": self.critical_path}
+                if self.critical_path is not None
+                else {}
+            ),
         }

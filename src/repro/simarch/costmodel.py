@@ -30,6 +30,8 @@ from repro.simarch.machine import MachineSpec
 DEFAULT_REUSE: Dict[str, float] = {
     "cell": 2.0,       # 4-gate GEMM pair, operands swept per N-panel
     "cell_bwd": 2.0,
+    "proj": 2.0,       # hoisted X@W_x block GEMM (builders annotate by rows)
+    "proj_bwd": 2.0,   # hoisted X^T·dZ / dZ·W_x^T block GEMMs
     "merge": 1.0,
     "merge_bwd": 1.0,
     "head": 2.0,
@@ -43,7 +45,7 @@ DEFAULT_REUSE: Dict[str, float] = {
 
 #: Task kinds whose arithmetic runs at GEMM rate (everything else runs at
 #: the elementwise rate).
-GEMM_KINDS = {"cell", "cell_bwd", "head", "head_bwd"}
+GEMM_KINDS = {"cell", "cell_bwd", "proj", "proj_bwd", "head", "head_bwd"}
 
 #: Fraction of the faster roofline component that does NOT overlap with the
 #: slower one (prefetchers hide memory behind compute only partially).

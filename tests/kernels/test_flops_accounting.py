@@ -1,0 +1,112 @@
+"""Pin the kernel flop-accounting formulas (the cost model's inputs).
+
+The simulated machine charges task durations from these counts, so a
+silent formula drift skews every simulated table/figure.  Each count is
+pinned against a hand-derived expression, plus two structural invariants:
+
+* ``bwd = bwd_data + bwd_weight + elementwise`` — the backward split
+  introduced so weight-gradient GEMMs (off the recurrent chain when
+  fused) are accounted separately from data-gradient GEMMs.
+* ``proj + fwd_step_proj = fwd`` — hoisting the input projection moves
+  flops, it does not create or destroy them.
+"""
+
+import pytest
+
+from repro.kernels.gru import (
+    gru_bwd_data_flops,
+    gru_bwd_flops,
+    gru_bwd_step_proj_flops,
+    gru_bwd_weight_flops,
+    gru_fwd_flops,
+    gru_fwd_step_proj_flops,
+    gru_proj_bwd_flops,
+    gru_proj_flops,
+)
+from repro.kernels.lstm import (
+    lstm_bwd_data_flops,
+    lstm_bwd_flops,
+    lstm_bwd_step_proj_flops,
+    lstm_bwd_weight_flops,
+    lstm_fwd_flops,
+    lstm_fwd_step_proj_flops,
+    lstm_proj_bwd_flops,
+    lstm_proj_flops,
+)
+from repro.kernels.rnn import (
+    rnn_bwd_data_flops,
+    rnn_bwd_flops,
+    rnn_bwd_step_proj_flops,
+    rnn_bwd_weight_flops,
+    rnn_fwd_flops,
+    rnn_fwd_step_proj_flops,
+    rnn_proj_bwd_flops,
+    rnn_proj_flops,
+)
+
+B, I, H = 8, 6, 5  # batch, input, hidden — arbitrary but distinct
+
+#: (gate multiplier, elementwise fwd, elementwise bwd) per cell
+CELLS = {
+    "lstm": (4, 14, 30),
+    "gru": (3, 13, 28),
+    "rnn": (1, 3, 6),
+}
+
+FNS = {
+    "lstm": (lstm_fwd_flops, lstm_bwd_flops, lstm_bwd_data_flops,
+             lstm_bwd_weight_flops, lstm_proj_flops, lstm_fwd_step_proj_flops,
+             lstm_bwd_step_proj_flops, lstm_proj_bwd_flops),
+    "gru": (gru_fwd_flops, gru_bwd_flops, gru_bwd_data_flops,
+            gru_bwd_weight_flops, gru_proj_flops, gru_fwd_step_proj_flops,
+            gru_bwd_step_proj_flops, gru_proj_bwd_flops),
+    "rnn": (rnn_fwd_flops, rnn_bwd_flops, rnn_bwd_data_flops,
+            rnn_bwd_weight_flops, rnn_proj_flops, rnn_fwd_step_proj_flops,
+            rnn_bwd_step_proj_flops, rnn_proj_bwd_flops),
+}
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_formulas_pinned(cell):
+    g, ew_f, ew_b = CELLS[cell]
+    fwd, bwd, bwd_data, bwd_weight, proj, fwd_sp, bwd_sp, proj_bwd = FNS[cell]
+    gemm_full = 2.0 * B * (I + H) * g * H   # (B, I+H) x (I+H, gH), mul+add
+    gemm_rec = 2.0 * B * H * g * H          # recurrent half only
+    gemm_inp = 2.0 * B * I * g * H          # input half only
+
+    assert fwd(B, I, H) == gemm_full + ew_f * B * H
+    assert bwd_data(B, I, H) == gemm_full       # dZ x W^T
+    assert bwd_weight(B, I, H) == gemm_full     # [X|H]^T x dZ
+    assert bwd(B, I, H) == 2 * gemm_full + ew_b * B * H
+
+    assert proj(B, I, H) == gemm_inp
+    assert fwd_sp(B, H) == gemm_rec + ew_f * B * H
+    assert bwd_sp(B, H) == 2 * gemm_rec + ew_b * B * H
+    assert proj_bwd(B, I, H, need_dx=False) == gemm_inp      # dW_x only
+    assert proj_bwd(B, I, H, need_dx=True) == 2 * gemm_inp   # + dX
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_backward_split_invariant(cell):
+    """data + weight + elementwise must reconstitute the total exactly."""
+    _, ew_f, ew_b = CELLS[cell]
+    _, bwd, bwd_data, bwd_weight, *_ = FNS[cell]
+    assert bwd(B, I, H) == bwd_data(B, I, H) + bwd_weight(B, I, H) + ew_b * B * H
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_hoisting_conserves_flops(cell):
+    """Fusing relocates the input GEMM; totals are conserved per step."""
+    fwd, bwd, _, _, proj, fwd_sp, bwd_sp, proj_bwd = FNS[cell]
+    assert proj(B, I, H) + fwd_sp(B, H) == fwd(B, I, H)
+    # backward: hoisted dW_x + dX blocks + shrunken step == full step
+    assert proj_bwd(B, I, H, need_dx=True) + bwd_sp(B, H) == bwd(B, I, H)
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_weight_gradient_share_scales_with_input(cell):
+    """The weight-gradient share must track I+H, not just H."""
+    _, _, bwd_data, bwd_weight, *_ = FNS[cell]
+    wide = bwd_weight(B, 4 * I, H)
+    assert wide == pytest.approx(bwd_data(B, 4 * I, H))
+    assert wide > bwd_weight(B, I, H)

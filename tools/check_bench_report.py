@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Validate a ``BENCH_*.json`` benchmark record against its schema.
+
+Used by the CI smoke target (``make smoke-fused``): a schema regression in
+the machine-readable bench records (``benchmarks/baselines/BENCH_*.json``,
+emitted by ``benchmarks/bench_fused_projection.py``,
+``benchmarks/bench_threaded_real.py`` and ``python -m repro fused-bench``)
+fails the build even when the run itself succeeds.  The ``bench`` field
+selects the per-bench results schema.
+
+    python tools/check_bench_report.py BENCH_fused_projection.json [...]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: (dotted path, type) pairs every timing summary block provides
+TIMING_SCHEMA = [
+    ("median_s", (int, float)),
+    ("p95_s", (int, float)),
+    ("mean_s", (int, float)),
+    ("min_s", (int, float)),
+    ("n", int),
+]
+
+#: per-bench results schema, keyed by the record's ``bench`` field
+RESULTS_SCHEMA = {
+    "fused_projection": [
+        ("threaded.off", dict),
+        ("threaded.on", dict),
+        ("threaded.speedup_median.on", (int, float)),
+        ("threaded.speedup_median.auto", (int, float)),
+        ("sim.off.batch_s", (int, float)),
+        ("sim.on.batch_s", (int, float)),
+        ("sim.off.critical_path_flops", (int, float)),
+        ("sim.on.critical_path_flops", (int, float)),
+        ("sim.critical_path_reduction", (int, float)),
+        ("sim.sim_speedup", (int, float)),
+    ],
+    "threaded_real": [
+        ("threaded_train_batch", dict),
+        ("serial_train_batch", dict),
+        ("threaded_inference", dict),
+        ("reference_train_batch", dict),
+        ("speedup_median.threaded_vs_serial_train", (int, float)),
+    ],
+}
+
+#: results paths that must hold a timing summary block
+TIMING_BLOCKS = {
+    "fused_projection": ["threaded.off", "threaded.on", "threaded.auto"],
+    "threaded_real": [
+        "threaded_train_batch", "serial_train_batch",
+        "threaded_inference", "reference_train_batch",
+    ],
+}
+
+
+def lookup(obj, dotted):
+    for part in dotted.split("."):
+        if not isinstance(obj, dict) or part not in obj:
+            raise KeyError(dotted)
+        obj = obj[part]
+    return obj
+
+
+def check_schema(obj, schema, label, errors):
+    for path, typ in schema:
+        try:
+            value = lookup(obj, path)
+        except KeyError:
+            errors.append(f"{label}: missing key {path!r}")
+            continue
+        if isinstance(value, bool) or not isinstance(value, typ):
+            errors.append(f"{label}: {path!r} has type {type(value).__name__}")
+
+
+def check_report(report, label, errors):
+    bench = report.get("bench")
+    if bench not in RESULTS_SCHEMA:
+        errors.append(f"{label}: unknown bench {bench!r} "
+                      f"(expected one of {sorted(RESULTS_SCHEMA)})")
+        return
+    if not isinstance(report.get("config"), dict):
+        errors.append(f"{label}: missing/invalid 'config' block")
+    results = report.get("results")
+    if not isinstance(results, dict):
+        errors.append(f"{label}: missing/invalid 'results' block")
+        return
+    check_schema(results, RESULTS_SCHEMA[bench], label, errors)
+    for block in TIMING_BLOCKS[bench]:
+        try:
+            summary = lookup(results, block)
+        except KeyError:
+            continue  # already reported
+        check_schema(summary, TIMING_SCHEMA, f"{label}.{block}", errors)
+        try:
+            if lookup(summary, "median_s") > lookup(summary, "p95_s"):
+                errors.append(f"{label}.{block}: median_s exceeds p95_s")
+            if lookup(summary, "median_s") <= 0:
+                errors.append(f"{label}.{block}: median_s must be positive")
+        except KeyError:
+            pass
+    if bench == "fused_projection":
+        try:
+            reduction = lookup(results, "sim.critical_path_reduction")
+            # acceptance: the simulated critical path *strictly* decreases
+            if not 0.0 < reduction < 1.0:
+                errors.append(
+                    f"{label}: sim.critical_path_reduction={reduction} "
+                    "not strictly inside (0, 1)"
+                )
+        except KeyError:
+            pass
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    errors: list = []
+    for path in argv[1:]:
+        with open(path) as fh:
+            report = json.load(fh)
+        check_report(report, path, errors)
+    if errors:
+        for err in errors:
+            print(f"SCHEMA ERROR: {err}", file=sys.stderr)
+        return 1
+    for path in argv[1:]:
+        print(f"{path}: bench record schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
