@@ -1,5 +1,5 @@
 # Convenience targets; CI (.github/workflows/ci.yml) runs `test`,
-# `smoke-serving` and `smoke-fused` on every push.
+# `smoke-serving`, `smoke-fused` and `smoke-racecheck` on every push.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -7,7 +7,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 SMOKE_REPORT ?= /tmp/repro_serving_smoke.json
 SMOKE_FUSED_REPORT ?= /tmp/repro_fused_smoke.json
 
-.PHONY: test smoke-serving smoke-fused bench fused-bench serve-bench clean
+.PHONY: test smoke-serving smoke-fused smoke-racecheck bench fused-bench serve-bench clean
 
 # tier-1: the full unit/integration/property suite (serving tests included)
 test:
@@ -32,6 +32,13 @@ smoke-fused:
 		--seq-len 24 --batch 8 --iters 3 --mbs 1 \
 		--output $(SMOKE_FUSED_REPORT) > /dev/null
 	$(PYTHON) tools/check_bench_report.py $(SMOKE_FUSED_REPORT)
+
+# race-detector smoke: the checker's own unit tests, then the mutation
+# self-test gate (clean graph -> zero findings; each seeded dependence
+# deletion -> detected; fuzzed schedules -> bitwise identical to FIFO)
+smoke-racecheck:
+	$(PYTHON) -m pytest tests/runtime/test_racecheck.py tests/runtime/test_schedule_fuzz.py -x -q
+	$(PYTHON) tools/check_racecheck.py
 
 # regenerate every paper table/figure + the serving sweep (minutes)
 bench:

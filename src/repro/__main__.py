@@ -7,6 +7,7 @@
     python -m repro granularity|memory
     python -m repro serve-bench [...]       # online-serving benchmark (JSON)
     python -m repro fused-bench [...]       # fused input projection ablation (JSON)
+    python -m repro racecheck [...]         # dependency-declaration race check
 
 ``--full`` runs the paper's complete configuration grids (minutes); the
 default grids cover every regime in seconds.  The same drivers back the
@@ -232,6 +233,99 @@ def _cmd_fused_bench(args) -> None:
         ))
 
 
+def _cmd_racecheck(args) -> int:
+    """Race-check a built graph: observation + ordering + fuzz + mutation.
+
+    Model size comes from the shared flags (--hidden/--layers/--seq-len/
+    --batch); the dynamic observation pass executes one full batch
+    serially, so prefer small models (the smoke configuration is
+    ``--hidden 16 --layers 2 --seq-len 6 --batch 8``).
+    """
+    import json
+
+    from repro.core.graph_builder import build_brnn_graph
+    from repro.models.params import BRNNParams
+    from repro.runtime.racecheck import (
+        check_build,
+        fuzz_equivalence_sweep,
+        mutation_probe,
+        record_schedule,
+        replay_schedule,
+    )
+    from repro.runtime.scheduler import ScheduleRecord
+    import numpy as np
+
+    spec = BRNNSpec(
+        cell=args.cell,
+        input_size=args.input_size,
+        hidden_size=args.hidden,
+        num_layers=args.layers,
+        merge_mode="sum",
+        head=args.head,
+        num_classes=11,
+    )
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal((args.seq_len, args.batch, spec.input_size)).astype(spec.dtype)
+    if spec.head == "many_to_one":
+        labels = rng.integers(0, spec.num_classes, size=args.batch)
+    else:
+        labels = rng.integers(0, spec.num_classes, size=(args.seq_len, args.batch))
+    training = not args.infer
+
+    def build():
+        params = BRNNParams.initialize(spec, seed=args.seed + 1)
+        return build_brnn_graph(
+            spec,
+            x=x,
+            labels=labels if training else None,
+            params=params,
+            training=training,
+            mbs=args.mbs,
+            lr=0.05,
+            fused_input_projection=args.fused_input_projection,
+            proj_block=args.proj_block,
+        )
+
+    failed = False
+    report = check_build(build())
+    print(report.summary())
+    for f in report.findings:
+        print("  " + f.describe())
+    failed |= not report.ok
+
+    if args.mutations:
+        graph = build().graph
+        for seed in range(args.mutations):
+            probe = mutation_probe(graph, seed=seed)
+            status = "detected" if probe["detected"] else "MISSED"
+            print(f"mutation seed {seed}: dropped {probe['edge_names'][0]} -> "
+                  f"{probe['edge_names'][1]} (region {probe['region']}) ... {status}")
+            failed |= not probe["detected"]
+
+    if args.fuzz_seeds:
+        sweep = fuzz_equivalence_sweep(build, range(args.fuzz_seeds), n_workers=2)
+        print(sweep.summary())
+        failed |= not sweep.ok
+
+    if args.record_schedule:
+        record, _ = record_schedule(build().graph, scheduler=f"fuzz:{args.seed}")
+        record.save(args.record_schedule)
+        print(f"# schedule ({len(record.order)} tasks) written to {args.record_schedule}")
+    if args.replay_schedule:
+        record = ScheduleRecord.load(args.replay_schedule)
+        trace = replay_schedule(build().graph, record)
+        match = trace.execution_order() == record.order
+        print(f"replaying schedule of {len(record.order)} tasks: "
+              f"{'order reproduced' if match else 'ORDER DIVERGED'}")
+        failed |= not match
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"# report written to {args.output}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_memory(args) -> None:
     free, barred = figures.memory_study()
     print(f"barrier-free : {free.mean_live_tasks:5.1f} live tasks, "
@@ -254,6 +348,7 @@ COMMANDS = {
     "memory": _cmd_memory,
     "serve-bench": _cmd_serve_bench,
     "fused-bench": _cmd_fused_bench,
+    "racecheck": _cmd_racecheck,
 }
 
 
@@ -302,6 +397,22 @@ def _add_serve_bench_args(parser: argparse.ArgumentParser) -> None:
                    help="(fused-bench) timed iterations per mode")
 
 
+def _add_racecheck_args(parser: argparse.ArgumentParser) -> None:
+    g = parser.add_argument_group("racecheck options")
+    g.add_argument("--head", choices=("many_to_one", "many_to_many"),
+                   default="many_to_one")
+    g.add_argument("--infer", action="store_true",
+                   help="check a forward-only (inference) graph")
+    g.add_argument("--mutations", type=int, default=0,
+                   help="run N seeded dependence-deletion probes (each must be detected)")
+    g.add_argument("--fuzz-seeds", type=int, default=0,
+                   help="fuzz N schedule seeds; results must be bitwise-identical to FIFO")
+    g.add_argument("--record-schedule", type=str, default=None,
+                   help="record one fuzzed schedule to this JSON path")
+    g.add_argument("--replay-schedule", type=str, default=None,
+                   help="replay a recorded schedule JSON against a fresh build")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -311,9 +422,9 @@ def main(argv=None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="use the paper's complete configuration grids")
     _add_serve_bench_args(parser)
+    _add_racecheck_args(parser)
     args = parser.parse_args(argv)
-    COMMANDS[args.command](args)
-    return 0
+    return int(COMMANDS[args.command](args) or 0)
 
 
 if __name__ == "__main__":

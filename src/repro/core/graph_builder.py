@@ -101,6 +101,8 @@ class GraphBuildResult:
     functional: bool
     chunks: Optional[List[ChunkState]] = None
     params: Optional[BRNNParams] = None
+    fused_layers: Optional[List[bool]] = None
+    velocity: Optional[BRNNParams] = None
 
     @property
     def total_batch(self) -> int:
@@ -132,6 +134,160 @@ class GraphBuildResult:
         for chunk in self.chunks:
             total.add_scaled_(chunk.grads, 1.0)
         return total
+
+    # -- region-to-storage mapping (race checking) ------------------------------
+
+    def region_storage(self, key) -> tuple:
+        """Current backing arrays of the region named ``key``.
+
+        The race checker (:mod:`repro.runtime.racecheck`) diffs a task's
+        *observed* memory accesses against its declared regions; this
+        method is the ground truth tying each region key of the builder's
+        vocabulary to the ChunkState/params buffers it stands for.  Slots
+        not yet materialised resolve to fewer (or zero) arrays; regions
+        with no storage at all (the zero-byte ``serial`` token) resolve to
+        ``()``.  Functional graphs only.
+        """
+        if not self.functional:
+            raise RuntimeError("cost-only graphs carry no data to resolve")
+        kind = key[0]
+        spec = self.spec
+        if kind == "x":
+            _, mb, t = key
+            return (self.chunks[mb].x[t],)
+        if kind == "W":
+            _, layer, d = key
+            dp = self.params.layers[layer].direction(d)
+            return (dp.W, dp.b)
+        if kind == "Wout":
+            return (self.params.head.W, self.params.head.b)
+        if kind == "gW":
+            _, mb, layer, d = key
+            gp = self.chunks[mb].grads.layers[layer].direction(d)
+            if self.fused_layers and self.fused_layers[layer]:
+                # fused layer: cell tasks own only the recurrent rows + bias
+                return (gp.W[spec.layer_input_size(layer):], gp.b)
+            return (gp.W, gp.b)
+        if kind == "gWx":
+            _, mb, layer, d = key
+            gp = self.chunks[mb].grads.layers[layer].direction(d)
+            return (gp.W[: spec.layer_input_size(layer)],)
+        if kind == "gWout":
+            _, mb = key
+            gh = self.chunks[mb].grads.head
+            return (gh.W, gh.b)
+        if kind in ("h", "dh"):
+            _, mb, layer, d, step = key
+            state = self.chunks[mb]
+            if kind == "h":
+                h = (state.h_f if d == "fwd" else state.h_r)[layer][step]
+                c = (state.c_f if d == "fwd" else state.c_r)[layer][step]
+            else:
+                h = (state.dh_f if d == "fwd" else state.dh_r)[layer][step]
+                c = (state.dc_f if d == "fwd" else state.dc_r)[layer][step]
+            if spec.cell != "lstm":
+                c = None
+            return tuple(a for a in (h, c) if a is not None)
+        if kind == "cache":
+            _, mb, layer, d, step = key
+            state = self.chunks[mb]
+            slot = (state.cache_f if d == "fwd" else state.cache_r)[layer][step]
+            if slot is None:
+                return ()
+            return tuple(
+                a for a in vars(slot).values() if isinstance(a, np.ndarray)
+            )
+        if kind in ("zx", "dz"):
+            _, mb, layer, d, pos = key
+            state = self.chunks[mb]
+            grids = {
+                "zx": (state.zx_f, state.zx_r),
+                "dz": (state.dz_f, state.dz_r),
+            }[kind]
+            slot = (grids[0] if d == "fwd" else grids[1])[layer][pos]
+            return (slot,) if slot is not None else ()
+        if kind in ("m", "dm"):
+            _, mb, layer, t = key
+            state = self.chunks[mb]
+            grid = state.merged if kind == "m" else state.dmerged
+            slot = grid[layer][t]
+            return (slot,) if slot is not None else ()
+        if kind in ("mlast", "logits", "dlogits", "dmlast"):
+            _, mb, slot_idx = key
+            state = self.chunks[mb]
+            attr = {
+                "mlast": "last_merged",
+                "logits": "logits",
+                "dlogits": "dlogits",
+                "dmlast": "dlast_merged",
+            }[kind]
+            rows = getattr(state, attr, None)  # dlast_merged: training only
+            row = rows[slot_idx] if rows is not None else None
+            return (row,) if row is not None else ()
+        if kind == "vel":
+            if self.velocity is None:
+                return ()
+            if key[1] == "head":
+                return (self.velocity.head.W, self.velocity.head.b)
+            _, layer, d = key
+            vp = self.velocity.layers[layer].direction(d)
+            return (vp.W, vp.b)
+        if kind == "serial":
+            return ()
+        raise KeyError(f"unknown region key vocabulary: {key!r}")
+
+    def map_storage(self, fn) -> None:
+        """Rebind every rebindable storage array through ``fn(array)``.
+
+        Visits the same buffers :meth:`region_storage` resolves — params,
+        gradients, velocity, and every ChunkState slot (including cache
+        dataclass fields) — replacing each ndarray ``a`` with ``fn(a)``.
+        The race checker uses this to swap tracked views in and out; ``fn``
+        must return an array sharing the original's memory.
+        """
+        if not self.functional:
+            raise RuntimeError("cost-only graphs carry no data to map")
+
+        def map_params(p: Optional[BRNNParams]) -> None:
+            if p is None:
+                return
+            for lp in p.layers:
+                for dp in (lp.fwd, lp.rev):
+                    dp.W = fn(dp.W)
+                    dp.b = fn(dp.b)
+            p.head.W = fn(p.head.W)
+            p.head.b = fn(p.head.b)
+
+        def map_list(row: list) -> None:
+            for i, a in enumerate(row):
+                if isinstance(a, np.ndarray):
+                    row[i] = fn(a)
+                elif a is not None and hasattr(a, "__dict__"):  # cell cache
+                    for name, v in vars(a).items():
+                        if isinstance(v, np.ndarray):
+                            setattr(a, name, fn(v))
+
+        map_params(self.params)
+        map_params(self.velocity)
+        for state in self.chunks:
+            state.x = fn(state.x)
+            for grid in (
+                state.h_f, state.c_f, state.cache_f,
+                state.h_r, state.c_r, state.cache_r,
+                state.zx_f, state.zx_r, state.dz_f, state.dz_r,
+                state.merged,
+            ):
+                for row in grid:
+                    map_list(row)
+            map_list(state.last_merged)
+            map_list(state.logits)
+            map_list(state.dlogits)
+            if self.training:
+                for grid in (state.dh_f, state.dh_r, state.dc_f, state.dc_r, state.dmerged):
+                    for row in grid:
+                        map_list(row)
+                map_list(state.dlast_merged)
+                map_params(state.grads)
 
 
 def _axpy(dst: np.ndarray, alpha: float, src: np.ndarray) -> None:
@@ -685,6 +841,8 @@ class _Builder:
             functional=self.functional,
             chunks=self.chunks,
             params=self.params,
+            fused_layers=list(self.fused_layers),
+            velocity=self.velocity,
         )
 
     def _build_forward(self, mb: int) -> None:

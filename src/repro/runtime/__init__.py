@@ -17,17 +17,35 @@ semantics of OmpSs/OpenMP task dependences), ready-queue schedulers
 """
 
 from repro.runtime.task import AccessMode, Region, RegionSpace, Task
-from repro.runtime.depgraph import TaskGraph
+from repro.runtime.depgraph import TaskGraph, descendants_bitsets
 from repro.runtime.scheduler import (
     FIFOScheduler,
+    FuzzScheduler,
     LIFOScheduler,
     LocalityAwareScheduler,
+    RecordingScheduler,
+    ReplayScheduler,
+    ScheduleRecord,
     Scheduler,
     WorkStealingScheduler,
+    make_scheduler,
+    resolve_scheduler,
 )
 from repro.runtime.trace import ExecutionTrace, TaskRecord
 from repro.runtime.executor import SerialExecutor, ThreadedExecutor
 from repro.runtime.simexec import SimulatedExecutor
+from repro.runtime.racecheck import (
+    RaceError,
+    RaceFinding,
+    RaceReport,
+    check_build,
+    fuzz_equivalence_sweep,
+    mutation_probe,
+    order_defining_edges,
+    ordering_findings,
+    record_schedule,
+    replay_schedule,
+)
 
 __all__ = [
     "AccessMode",
@@ -35,14 +53,31 @@ __all__ = [
     "RegionSpace",
     "Task",
     "TaskGraph",
+    "descendants_bitsets",
     "Scheduler",
     "FIFOScheduler",
     "LIFOScheduler",
     "LocalityAwareScheduler",
     "WorkStealingScheduler",
+    "FuzzScheduler",
+    "RecordingScheduler",
+    "ReplayScheduler",
+    "ScheduleRecord",
+    "make_scheduler",
+    "resolve_scheduler",
     "ExecutionTrace",
     "TaskRecord",
     "SerialExecutor",
     "ThreadedExecutor",
     "SimulatedExecutor",
+    "RaceError",
+    "RaceFinding",
+    "RaceReport",
+    "check_build",
+    "fuzz_equivalence_sweep",
+    "mutation_probe",
+    "order_defining_edges",
+    "ordering_findings",
+    "record_schedule",
+    "replay_schedule",
 ]

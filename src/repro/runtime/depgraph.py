@@ -15,9 +15,28 @@ the graph is acyclic by construction.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.runtime.task import Region, Task
+
+
+def descendants_bitsets(successors: Sequence[Sequence[int]]) -> List[int]:
+    """Transitive-closure bitsets of a DAG given in topological tid order.
+
+    ``result[t]`` is an int whose bit ``s`` is set iff there is a path
+    ``t → … → s``.  Requires the task list to be stored in a topological
+    order (true by construction for :class:`TaskGraph`), so one reverse
+    sweep suffices.  Python ints make this O(V·E/word) — cheap even for
+    graphs of tens of thousands of tasks.
+    """
+    n = len(successors)
+    desc = [0] * n
+    for tid in range(n - 1, -1, -1):
+        bits = 0
+        for succ in successors[tid]:
+            bits |= desc[succ] | (1 << succ)
+        desc[tid] = bits
+    return desc
 
 
 class TaskGraph:
@@ -133,6 +152,39 @@ class TaskGraph:
 
     def num_edges(self) -> int:
         return sum(len(s) for s in self.successors)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """All dependence edges as ``(pred_tid, succ_tid)`` pairs."""
+        for pred, succs in enumerate(self.successors):
+            for succ in succs:
+                yield pred, succ
+
+    # -- reachability ---------------------------------------------------------
+
+    def descendants_bitsets(self) -> List[int]:
+        """Per-task transitive-closure bitsets (see module-level helper).
+
+        Compute once and pass to :meth:`has_path`/:meth:`unordered` when
+        querying many pairs — the closure is O(V·E/word), each query O(1).
+        """
+        return descendants_bitsets(self.successors)
+
+    def has_path(self, src: int, dst: int, bits: Optional[List[int]] = None) -> bool:
+        """True when a dependence path ``src → … → dst`` exists."""
+        if bits is None:
+            bits = self.descendants_bitsets()
+        return bool((bits[src] >> dst) & 1)
+
+    def unordered(self, a: int, b: int, bits: Optional[List[int]] = None) -> bool:
+        """True when no dependence path orders ``a`` and ``b`` either way.
+
+        The question the race checker asks: two such tasks may execute
+        concurrently under *some* legal schedule, so any data conflict
+        between them is a race.
+        """
+        if bits is None:
+            bits = self.descendants_bitsets()
+        return not ((bits[a] >> b) & 1 or (bits[b] >> a) & 1)
 
     def is_topological_order(self, order: Iterable[int]) -> bool:
         """Check that ``order`` (tids) respects every edge."""

@@ -18,7 +18,7 @@ import time
 from typing import Callable, Optional
 
 from repro.runtime.depgraph import TaskGraph
-from repro.runtime.scheduler import LocalityAwareScheduler, Scheduler
+from repro.runtime.scheduler import LocalityAwareScheduler, Scheduler, resolve_scheduler
 from repro.runtime.task import Task
 from repro.runtime.trace import ExecutionTrace, TaskRecord
 
@@ -80,7 +80,14 @@ class SerialExecutor:
 
 
 class ThreadedExecutor:
-    """Pool of worker threads draining a dependence-aware ready queue."""
+    """Pool of worker threads draining a dependence-aware ready queue.
+
+    ``scheduler_factory`` may be a factory callable, a policy name
+    (``"fifo"``/``"fuzz:7"``/…), or a ready :class:`Scheduler` instance —
+    the latter lets the race-checking harness inject a primed
+    ``RecordingScheduler``/``ReplayScheduler`` (single-use: pass a fresh
+    instance per ``run``).
+    """
 
     def __init__(
         self,
@@ -93,7 +100,7 @@ class ThreadedExecutor:
         self._scheduler_factory = scheduler_factory
 
     def run(self, graph: TaskGraph) -> ExecutionTrace:
-        scheduler = self._scheduler_factory(self.n_workers)
+        scheduler = resolve_scheduler(self._scheduler_factory, self.n_workers)
         trace = ExecutionTrace(
             n_cores=self.n_workers, scheduler=getattr(scheduler, "name", "?")
         )
@@ -115,7 +122,12 @@ class ThreadedExecutor:
                         if remaining == 0 or errors:
                             work_available.notify_all()
                             return
-                        task = scheduler.pop(core)
+                        try:
+                            task = scheduler.pop(core)
+                        except BaseException as exc:  # e.g. replay mismatch
+                            errors.append(exc)
+                            work_available.notify_all()
+                            return
                         if task is not None:
                             break
                         work_available.wait()

@@ -1,0 +1,782 @@
+"""Dynamic dependency-declaration checking and schedule fuzzing.
+
+B-Par's correctness rests entirely on the completeness of the ``Region``
+in/out/inout declarations: one missing dependence lets a scheduler reorder
+a reader past a writer and silently corrupt results — the classic hazard
+of OmpSs-style runtimes.  This module *proves* the declarations instead of
+trusting them, with three independent instruments:
+
+1. **Access observation** (:func:`observe_accesses`): run a functional
+   graph serially with every parameter/state buffer swapped for a
+   :class:`TrackedArray` view that records the byte ranges each NumPy
+   operation actually reads and writes.  Rebinding writes (``slot = new``)
+   are caught by re-resolving every region's storage after each task.
+2. **Declaration diff** (:func:`declaration_findings`): any observed byte
+   range that falls inside *some* region's storage but is not covered by
+   the task's own declarations is an undeclared access — the precise bug
+   class a missing ``in(...)``/``out(...)`` clause creates.
+3. **Order audit** (:func:`ordering_findings`): every pair of tasks whose
+   declared accesses conflict (shared region, at least one writer) must be
+   connected by a dependence path; an unordered conflicting pair can run
+   concurrently under some legal schedule and is reported as a race.  This
+   audit needs no payloads, so it also covers cost-only (simulated)
+   graphs.
+
+On top of the checker sits the schedule fuzzer: a
+:class:`~repro.runtime.scheduler.FuzzScheduler` permutes ready-queue pop
+order under a seed (:func:`fuzz_equivalence_sweep` asserts bitwise-equal
+results across seeds), and :func:`record_schedule` /
+:func:`replay_schedule` serialise one schedule to JSON and re-execute it
+deterministically.  Finally, :func:`mutation_probe` *deletes* one declared
+dependence and asserts the order audit notices — the self-test that keeps
+the checker itself honest.
+
+Layering: this module depends only on the runtime substrate and NumPy; it
+reaches graph-builder storage exclusively through the duck-typed
+``GraphBuildResult.region_storage``/``map_storage`` interface.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.runtime.depgraph import TaskGraph, descendants_bitsets
+from repro.runtime.executor import ThreadedExecutor
+from repro.runtime.scheduler import (
+    RecordingScheduler,
+    ReplayScheduler,
+    ScheduleRecord,
+    resolve_scheduler,
+)
+from repro.runtime.task import AccessMode, Task
+from repro.runtime.trace import ExecutionTrace
+
+try:  # NumPy >= 2.0
+    from numpy.lib.array_utils import byte_bounds
+except ImportError:  # pragma: no cover - NumPy 1.x
+    byte_bounds = np.byte_bounds  # type: ignore[attr-defined]
+
+#: half-open byte range ``[lo, hi)`` of one array's memory extent
+Interval = Tuple[int, int]
+
+
+class RaceError(RuntimeError):
+    """Raised when dependency validation finds races (see ``report``)."""
+
+    def __init__(self, report: "RaceReport") -> None:
+        super().__init__(report.summary())
+        self.report = report
+
+
+# ---------------------------------------------------------------------------
+# Access recording
+# ---------------------------------------------------------------------------
+
+#: recorder of the task currently executing under observation (observation
+#: is strictly serial, so a single module-level slot suffices)
+_RECORDER: Optional["AccessRecorder"] = None
+
+
+class AccessRecorder:
+    """Byte ranges one task's payload actually touched."""
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self) -> None:
+        self.reads: Set[Interval] = set()
+        self.writes: Set[Interval] = set()
+
+    def log_read(self, arr: np.ndarray) -> None:
+        if arr.size:
+            self.reads.add(byte_bounds(arr))
+
+    def log_write(self, arr: np.ndarray) -> None:
+        if arr.size:
+            bounds = byte_bounds(arr)
+            self.writes.add(bounds)
+            self.reads.discard(bounds)  # pure write ranges stay writes
+
+
+def _plain(a):
+    return a.view(np.ndarray) if isinstance(a, TrackedArray) else a
+
+
+def _strip(obj):
+    """Recursively replace TrackedArray with plain views in args/kwargs."""
+    if isinstance(obj, TrackedArray):
+        return obj.view(np.ndarray)
+    if isinstance(obj, tuple):
+        return tuple(_strip(o) for o in obj)
+    if isinstance(obj, list):
+        return [_strip(o) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _strip(v) for k, v in obj.items()}
+    return obj
+
+
+def _log_reads(obj, rec: AccessRecorder) -> None:
+    if isinstance(obj, np.ndarray):
+        rec.log_read(obj)
+    elif isinstance(obj, (tuple, list)):
+        for o in obj:
+            _log_reads(o, rec)
+    elif isinstance(obj, dict):
+        for o in obj.values():
+            _log_reads(o, rec)
+
+
+class TrackedArray(np.ndarray):
+    """ndarray view that reports its participation in NumPy operations.
+
+    While a recorder is active, ufunc inputs log reads, ``out=`` operands
+    and ``__setitem__`` targets log writes, and array functions
+    (``np.concatenate`` etc.) log every array argument.  Inputs are
+    stripped back to plain ndarrays before delegation, so results are
+    ordinary arrays and instrumentation never compounds.
+    """
+
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        rec = _RECORDER
+        out = kwargs.get("out")
+        if rec is not None:
+            for a in inputs:
+                if isinstance(a, np.ndarray):
+                    rec.log_read(a)
+            if out:
+                for o in out:
+                    if isinstance(o, np.ndarray):
+                        rec.log_write(o)
+            if method == "at" and inputs and isinstance(inputs[0], np.ndarray):
+                rec.log_write(inputs[0])
+        inputs = tuple(_plain(a) for a in inputs)
+        if out:
+            kwargs["out"] = tuple(_plain(o) for o in out)
+        return getattr(ufunc, method)(*inputs, **kwargs)
+
+    def __array_function__(self, func, types, args, kwargs):
+        rec = _RECORDER
+        if rec is not None:
+            _log_reads(args, rec)
+            _log_reads(kwargs, rec)
+            out = kwargs.get("out")
+            if out is not None:
+                _log = rec.log_write
+                for o in out if isinstance(out, tuple) else (out,):
+                    if isinstance(o, np.ndarray):
+                        _log(o)
+            if func is np.copyto and args and isinstance(args[0], np.ndarray):
+                rec.log_write(args[0])
+        return func(*_strip(args), **_strip(kwargs))
+
+    def __setitem__(self, key, value):
+        rec = _RECORDER
+        if rec is not None:
+            # ``A[I:] += B`` routes through here with ``self`` the *full*
+            # array; log the bounds of the indexed sub-view, not the whole
+            # buffer, or every slice-write looks like a write to its
+            # neighbours.  Fancy indexing yields a copy (unusable bounds),
+            # so fall back to the conservative whole-array extent.
+            target = self.view(np.ndarray)
+            sub = None
+            try:
+                cand = target[key]
+            except Exception:
+                cand = None
+            if (
+                isinstance(cand, np.ndarray)
+                and cand.size
+                and np.shares_memory(cand, target)
+            ):
+                sub = cand
+            rec.log_write(sub if sub is not None else target)
+            if isinstance(value, np.ndarray):
+                rec.log_read(value)
+        super().__setitem__(key, _plain(value))
+
+
+def _wrap(a: np.ndarray) -> np.ndarray:
+    return a if isinstance(a, TrackedArray) else a.view(TrackedArray)
+
+
+def _unwrap(a: np.ndarray) -> np.ndarray:
+    return a.view(np.ndarray) if isinstance(a, TrackedArray) else a
+
+
+# ---------------------------------------------------------------------------
+# Findings and report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RaceFinding:
+    """One violation: an undeclared access or an unordered conflict."""
+
+    kind: str  # "undeclared_read" | "undeclared_write" | "unordered_conflict"
+    tid: int
+    task: str
+    region: str
+    other_tid: Optional[int] = None
+    other: Optional[str] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        if self.kind == "unordered_conflict":
+            return (
+                f"[{self.kind}] {self.task} (tid {self.tid}) and {self.other} "
+                f"(tid {self.other_tid}) conflict on region {self.region} with "
+                f"no dependence path between them{': ' + self.detail if self.detail else ''}"
+            )
+        return (
+            f"[{self.kind}] {self.task} (tid {self.tid}) touched region "
+            f"{self.region} without declaring it"
+            f"{': ' + self.detail if self.detail else ''}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "tid": self.tid,
+            "task": self.task,
+            "region": self.region,
+            "other_tid": self.other_tid,
+            "other": self.other,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class RaceReport:
+    """All findings of one check plus coverage statistics."""
+
+    findings: List[RaceFinding] = field(default_factory=list)
+    n_tasks: int = 0
+    n_regions: int = 0
+    observed_tasks: int = 0
+    checked_pairs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.kind] = counts.get(f.kind, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"racecheck OK: {self.n_tasks} tasks, {self.n_regions} regions, "
+                f"{self.observed_tasks} payloads observed, "
+                f"{self.checked_pairs} conflicting pairs ordered"
+            )
+        kinds = ", ".join(f"{k}: {v}" for k, v in sorted(self.by_kind().items()))
+        return f"racecheck FAILED ({len(self.findings)} findings — {kinds})"
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "n_tasks": self.n_tasks,
+            "n_regions": self.n_regions,
+            "observed_tasks": self.observed_tasks,
+            "checked_pairs": self.checked_pairs,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Observation: instrumented serial execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TaskObservation:
+    """Observed accesses of one task (byte ranges, declaration-agnostic)."""
+
+    reads: Set[Interval] = field(default_factory=set)
+    writes: Set[Interval] = field(default_factory=set)
+    #: region keys whose storage was rebound (slot = new array) by the task
+    rebound: List = field(default_factory=list)
+
+
+def _region_bounds(storage: Sequence[np.ndarray]) -> Tuple[Interval, ...]:
+    return tuple(byte_bounds(a) for a in storage if a.size)
+
+
+def observe_accesses(result) -> Dict[int, TaskObservation]:
+    """Run a functional graph serially, recording actual accesses per task.
+
+    Executes payloads in registration order (the reference schedule), so
+    the graph's numerics run exactly once — pass a freshly built result
+    and treat its buffers as consumed.  Returns one
+    :class:`TaskObservation` per tid.
+    """
+    global _RECORDER
+    if not getattr(result, "functional", False):
+        raise ValueError("observe_accesses needs a functional graph (x=... build)")
+    result.map_storage(_wrap)
+    regions = {r.key: r for r in result.regions.regions()}
+
+    # Bounds cache keyed by the storage arrays' identities: wrapping is
+    # idempotent, so regions a task leaves alone resolve to the *same*
+    # array objects as last time and skip the byte_bounds recomputation.
+    # Holding the arrays (not just bounds) also pins their buffers, so no
+    # address is freed and reused mid-task, which would mask a rebind.
+    cache: Dict = {}
+
+    def resolve_all() -> Dict:
+        out = {}
+        for key in regions:
+            storage = result.region_storage(key)
+            ids = tuple(map(id, storage))
+            hit = cache.get(key)
+            if hit is not None and hit[0] == ids:
+                out[key] = hit[1]
+            else:
+                entry = (storage, _region_bounds(storage))
+                cache[key] = (ids, entry)
+                out[key] = entry
+        return out
+
+    observations: Dict[int, TaskObservation] = {}
+    pre = resolve_all()
+    for task in result.graph:
+        obs = TaskObservation()
+        if task.fn is not None:
+            rec = AccessRecorder()
+            _RECORDER = rec
+            try:
+                task.run()
+            finally:
+                _RECORDER = None
+            obs.reads = rec.reads
+            obs.writes = rec.writes
+        result.map_storage(_wrap)  # newly stored slots become tracked
+        post = resolve_all()
+        for key, (_, bounds) in post.items():
+            if bounds != pre[key][1]:
+                obs.rebound.append(key)
+        observations[task.tid] = obs
+        obs.pre, obs.post = pre, post  # type: ignore[attr-defined]
+        pre = post
+    result.map_storage(_unwrap)
+    return observations
+
+
+def _subtract(interval: Interval, cover: List[Interval]) -> List[Interval]:
+    """Parts of ``interval`` not covered by any interval in ``cover``."""
+    lo, hi = interval
+    segments = [(lo, hi)]
+    for clo, chi in cover:
+        nxt: List[Interval] = []
+        for slo, shi in segments:
+            if chi <= slo or clo >= shi:
+                nxt.append((slo, shi))
+                continue
+            if slo < clo:
+                nxt.append((slo, clo))
+            if chi < shi:
+                nxt.append((chi, shi))
+        segments = nxt
+        if not segments:
+            break
+    return segments
+
+
+class _IntervalIndex:
+    """Sorted region-interval index for byte-range → region attribution."""
+
+    def __init__(self, entries: Iterable[Tuple[int, int, object]]) -> None:
+        self._entries = sorted(set(entries))
+        self._los = [e[0] for e in self._entries]
+
+    def overlapping(self, lo: int, hi: int) -> List[Tuple[int, int, object]]:
+        out = []
+        idx = bisect_right(self._los, lo)
+        # entries starting at or before lo may still extend past it
+        j = idx - 1
+        while j >= 0:
+            elo, ehi, key = self._entries[j]
+            if ehi > lo:
+                out.append(self._entries[j])
+                j -= 1
+            else:
+                # region extents never nest across allocations, so the
+                # first non-overlap ends the leftward scan
+                break
+        j = idx
+        while j < len(self._entries) and self._entries[j][0] < hi:
+            out.append(self._entries[j])
+            j += 1
+        return out
+
+
+def declaration_findings(
+    result, observations: Dict[int, TaskObservation]
+) -> List[RaceFinding]:
+    """Diff observed accesses against each task's declared regions."""
+    findings: List[RaceFinding] = []
+    for task in result.graph:
+        obs = observations.get(task.tid)
+        if obs is None:
+            continue
+        pre, post = obs.pre, obs.post  # type: ignore[attr-defined]
+
+        def intervals(key) -> List[Interval]:
+            return list(pre[key][1]) + [
+                b for b in post[key][1] if b not in pre[key][1]
+            ]
+
+        entries = []
+        for key in pre:
+            for lo, hi in intervals(key):
+                entries.append((lo, hi, key))
+        index = _IntervalIndex(entries)
+
+        declared_read_cover: List[Interval] = []
+        declared_write_cover: List[Interval] = []
+        for region in task.regions():
+            mode = task.access_mode(region)
+            cover = intervals(region.key)
+            declared_read_cover.extend(cover)  # any declaration orders reads
+            if mode in (AccessMode.OUT, AccessMode.INOUT):
+                declared_write_cover.extend(cover)
+
+        def audit(ranges: Set[Interval], cover: List[Interval], kind: str) -> None:
+            hit: Set = set()
+            for lo, hi in sorted(ranges):
+                for ulo, uhi in _subtract((lo, hi), cover):
+                    for _, _, key in index.overlapping(ulo, uhi):
+                        if key not in hit:
+                            hit.add(key)
+                            findings.append(
+                                RaceFinding(
+                                    kind=kind,
+                                    tid=task.tid,
+                                    task=task.name,
+                                    region=repr(key),
+                                    detail=f"touched bytes [{ulo}, {uhi})",
+                                )
+                            )
+
+        audit(obs.reads, declared_read_cover, "undeclared_read")
+        audit(obs.writes, declared_write_cover, "undeclared_write")
+
+        declared_write_keys = {r.key for r in task.writes()}
+        for key in obs.rebound:
+            if key not in declared_write_keys:
+                findings.append(
+                    RaceFinding(
+                        kind="undeclared_write",
+                        tid=task.tid,
+                        task=task.name,
+                        region=repr(key),
+                        detail="storage slot was rebound without an out/inout declaration",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Ordering audit
+# ---------------------------------------------------------------------------
+
+
+def _declared_conflict(a: Task, b: Task) -> Optional[object]:
+    """A region key both tasks touch with at least one writer, if any."""
+    b_writes = {id(r): r for r in b.writes()}
+    b_all = {id(r): r for r in b.regions()}
+    for r in a.writes():
+        hit = b_all.get(id(r))
+        if hit is not None:
+            return hit.key
+    for r in a.reads():
+        hit = b_writes.get(id(r))
+        if hit is not None:
+            return hit.key
+    return None
+
+
+def ordering_findings(
+    graph: TaskGraph,
+    successors: Optional[List[List[int]]] = None,
+    max_findings: Optional[int] = None,
+) -> Tuple[List[RaceFinding], int]:
+    """Audit that every declared-conflicting task pair is ordered.
+
+    ``successors`` overrides the graph's edge lists (used by the mutation
+    self-test to re-audit a graph with one dependence deleted).  Returns
+    ``(findings, checked_pairs)``.
+    """
+    succ = graph.successors if successors is None else successors
+    desc = descendants_bitsets(succ)
+    tasks = graph.tasks
+
+    readers: Dict[int, List[int]] = {}
+    writers: Dict[int, List[int]] = {}
+    region_of: Dict[int, object] = {}
+    for task in tasks:
+        for r in task.reads():
+            readers.setdefault(id(r), []).append(task.tid)
+            region_of[id(r)] = r
+        for r in task.writes():
+            writers.setdefault(id(r), []).append(task.tid)
+            region_of[id(r)] = r
+
+    findings: List[RaceFinding] = []
+    seen_pairs: Set[Tuple[int, int]] = set()
+    reported: Set[Tuple[int, int]] = set()
+    for rid, wlist in writers.items():
+        accessors = sorted(set(wlist) | set(readers.get(rid, [])))
+        for i, w in enumerate(wlist):
+            for other in accessors:
+                if other == w:
+                    continue
+                pair = (w, other) if w < other else (other, w)
+                if pair in seen_pairs:
+                    continue
+                seen_pairs.add(pair)
+                a, b = pair
+                if not ((desc[a] >> b) & 1 or (desc[b] >> a) & 1):
+                    if pair not in reported:
+                        reported.add(pair)
+                        key = region_of[rid].key
+                        findings.append(
+                            RaceFinding(
+                                kind="unordered_conflict",
+                                tid=a,
+                                task=tasks[a].name,
+                                region=repr(key),
+                                other_tid=b,
+                                other=tasks[b].name,
+                                detail="both may run concurrently under a legal schedule",
+                            )
+                        )
+                        if max_findings is not None and len(findings) >= max_findings:
+                            return findings, len(seen_pairs)
+    return findings, len(seen_pairs)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def check_build(
+    result,
+    *,
+    observe: Optional[bool] = None,
+    ordering: bool = True,
+) -> RaceReport:
+    """Full race check of one built graph.
+
+    ``observe`` (default: functional graphs only) executes the payloads
+    serially under instrumentation and diffs observed vs declared
+    accesses; ``ordering`` audits that declared-conflicting pairs are
+    ordered.  Pass a freshly built result when observing — the numerics
+    run once (weight updates included).
+    """
+    if observe is None:
+        observe = bool(getattr(result, "functional", False))
+    report = RaceReport(
+        n_tasks=len(result.graph), n_regions=len(result.regions)
+    )
+    if observe:
+        observations = observe_accesses(result)
+        report.observed_tasks = sum(
+            1 for t in result.graph if t.fn is not None
+        )
+        report.findings.extend(declaration_findings(result, observations))
+    if ordering:
+        findings, pairs = ordering_findings(result.graph)
+        report.findings.extend(findings)
+        report.checked_pairs = pairs
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Mutation self-test
+# ---------------------------------------------------------------------------
+
+
+def order_defining_edges(graph: TaskGraph) -> List[Tuple[int, int]]:
+    """Edges whose removal actually relaxes the partial order.
+
+    An edge ``a → b`` is *redundant* when another path ``a → … → b``
+    exists (dependence still enforced transitively); deleting it changes
+    nothing and genuinely introduces no race.  The mutation self-test
+    therefore only deletes order-defining edges — and additionally only
+    those whose endpoints conflict on a declared region, since a barrier
+    edge with no shared data is not detectable from declarations.
+    """
+    desc = graph.descendants_bitsets()
+    edges = []
+    for a, b in graph.edges():
+        redundant = any(
+            s != b and (desc[s] >> b) & 1 for s in graph.successors[a]
+        )
+        if redundant:
+            continue
+        if _declared_conflict(graph.tasks[a], graph.tasks[b]) is None:
+            continue
+        edges.append((a, b))
+    return edges
+
+
+def mutation_probe(graph: TaskGraph, seed: int = 0) -> dict:
+    """Delete one random declared dependence; ask the checker to notice.
+
+    Picks a seeded order-defining edge, removes it, and re-runs the
+    ordering audit.  ``detected`` must be True for a sound checker: the
+    deleted edge's endpoints conflict on a region and are no longer
+    connected.  This is the repo's guard against the checker itself
+    rotting into silence.
+    """
+    candidates = order_defining_edges(graph)
+    if not candidates:
+        raise ValueError("graph has no order-defining conflicting edges to delete")
+    rng = random.Random(seed)
+    a, b = candidates[rng.randrange(len(candidates))]
+    mutated = [list(s) for s in graph.successors]
+    mutated[a].remove(b)
+    findings, pairs = ordering_findings(graph, successors=mutated)
+    flagged = any(
+        {f.tid, f.other_tid} == {a, b} for f in findings
+    )
+    return {
+        "edge": (a, b),
+        "edge_names": (graph.tasks[a].name, graph.tasks[b].name),
+        "region": repr(_declared_conflict(graph.tasks[a], graph.tasks[b])),
+        "candidates": len(candidates),
+        "findings": len(findings),
+        "checked_pairs": pairs,
+        "detected": flagged,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Schedule fuzzing, record and replay
+# ---------------------------------------------------------------------------
+
+
+def record_schedule(
+    graph: TaskGraph, scheduler="fuzz:0", n_workers: int = 1
+) -> Tuple[ScheduleRecord, ExecutionTrace]:
+    """Execute ``graph`` recording the scheduler's pop order.
+
+    With ``n_workers=1`` the recorded order is a pure function of the
+    scheduler (reproducible); more workers record whatever interleaving
+    the host produced — still a valid, replayable schedule.
+    """
+    recording = RecordingScheduler(resolve_scheduler(scheduler, n_workers))
+    trace = ThreadedExecutor(n_workers, recording).run(graph)
+    return recording.record(), trace
+
+
+def replay_schedule(
+    graph: TaskGraph, record: ScheduleRecord, n_workers: int = 1
+) -> ExecutionTrace:
+    """Re-execute ``graph`` releasing tasks exactly in ``record`` order."""
+    if len(record.order) != len(graph):
+        raise ValueError(
+            f"schedule records {len(record.order)} tasks, graph has {len(graph)}"
+        )
+    return ThreadedExecutor(n_workers, ReplayScheduler(record)).run(graph)
+
+
+@dataclass
+class FuzzMismatch:
+    """One fuzz seed whose results diverged from the reference schedule."""
+
+    seed: int
+    arrays: List[str]
+
+
+@dataclass
+class FuzzSweepResult:
+    """Outcome of a multi-seed schedule-fuzzing sweep."""
+
+    seeds: List[int]
+    mismatches: List[FuzzMismatch]
+    reference_scheduler: str = "fifo"
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"fuzz OK: {len(self.seeds)} seeds bitwise-identical to reference"
+        bad = ", ".join(str(m.seed) for m in self.mismatches)
+        return f"fuzz FAILED: seeds [{bad}] diverged from the reference schedule"
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seeds": self.seeds,
+            "reference_scheduler": self.reference_scheduler,
+            "mismatches": [
+                {"seed": m.seed, "arrays": m.arrays} for m in self.mismatches
+            ],
+        }
+
+
+def _result_fingerprint(result) -> Dict[str, bytes]:
+    """Bitwise snapshot of params and per-chunk gradients after a run."""
+    out: Dict[str, bytes] = {}
+    if result.params is not None:
+        for name, arr in result.params.arrays():
+            out[f"params.{name}"] = arr.tobytes()
+    if result.chunks:
+        for mb, chunk in enumerate(result.chunks):
+            if chunk.grads is not None:
+                for name, arr in chunk.grads.arrays():
+                    out[f"chunk{mb}.grads.{name}"] = arr.tobytes()
+    return out
+
+
+def fuzz_equivalence_sweep(
+    make_build: Callable[[], object],
+    seeds: Iterable[int],
+    *,
+    n_workers: int = 1,
+    reference_scheduler: str = "fifo",
+) -> FuzzSweepResult:
+    """Run ``make_build()`` once per schedule and compare results bitwise.
+
+    ``make_build`` must return a *freshly built* functional graph each
+    call (fresh params from the same deterministic init), so every
+    schedule starts from identical state.  The reference schedule (FIFO
+    by default) fixes the expected bits; every fuzz seed must reproduce
+    them exactly — the dataflow-determinism claim of the paper, asserted
+    rather than assumed.
+    """
+    seeds = list(seeds)
+    reference = make_build()
+    ThreadedExecutor(n_workers, resolve_scheduler(reference_scheduler, n_workers)).run(
+        reference.graph
+    )
+    expected = _result_fingerprint(reference)
+
+    mismatches: List[FuzzMismatch] = []
+    for seed in seeds:
+        result = make_build()
+        ThreadedExecutor(n_workers, f"fuzz:{seed}").run(result.graph)
+        got = _result_fingerprint(result)
+        bad = sorted(
+            name
+            for name in expected
+            if got.get(name) != expected[name]
+        )
+        if bad or set(got) != set(expected):
+            bad = bad or sorted(set(got) ^ set(expected))
+            mismatches.append(FuzzMismatch(seed=seed, arrays=bad))
+    return FuzzSweepResult(
+        seeds=seeds, mismatches=mismatches, reference_scheduler=reference_scheduler
+    )

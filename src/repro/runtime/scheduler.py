@@ -11,11 +11,22 @@ used by the queue-order ablation bench.
 Schedulers are *not* thread-safe on their own; executors serialise access
 (the threaded executor under its lock, the simulated executor by being
 single-threaded).
+
+Three additional schedulers back the race-checking harness
+(:mod:`repro.runtime.racecheck`): :class:`FuzzScheduler` pops a seeded
+pseudo-random ready task (exploring the legal-schedule space),
+:class:`RecordingScheduler` wraps any scheduler and logs its pop order,
+and :class:`ReplayScheduler` re-executes a recorded pop order
+deterministically.  A recorded schedule round-trips through JSON via
+:class:`ScheduleRecord`.
 """
 
 from __future__ import annotations
 
+import json
+import random
 from collections import deque
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
 from repro.runtime.task import Task
@@ -207,18 +218,204 @@ class WorkStealingScheduler(Scheduler):
         return self._size
 
 
+class FuzzScheduler(Scheduler):
+    """Pops a seeded pseudo-random ready task (schedule-space fuzzing).
+
+    Any pop order it produces is a legal schedule (only ready tasks are
+    ever queued), so a dataflow-deterministic graph must compute bitwise
+    identical results under every seed — the property the fuzz regression
+    suite asserts.  With a single-threaded executor the pop sequence is a
+    pure function of the seed, making failures reproducible.
+    """
+
+    name = "fuzz"
+    locality_aware = False
+
+    def __init__(self, n_cores: int = 1, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._queue: List[Task] = []
+
+    def push(self, task: Task, hint: Optional[int] = None) -> None:
+        self._queue.append(task)
+
+    def pop(self, core: int) -> Optional[Task]:
+        if not self._queue:
+            return None
+        i = self._rng.randrange(len(self._queue))
+        self._queue[i], self._queue[-1] = self._queue[-1], self._queue[i]
+        return self._queue.pop()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+@dataclass
+class ScheduleRecord:
+    """A serialisable pop order of one graph execution.
+
+    ``order`` holds tids in the sequence the scheduler released them;
+    ``names`` the matching task names, kept so a replay against a drifted
+    graph fails with a diagnosable mismatch instead of silently replaying
+    a different program.
+    """
+
+    order: List[int]
+    names: List[str]
+    scheduler: str = "?"
+    seed: Optional[int] = None
+    format: str = "repro.schedule.v1"
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {
+                "format": self.format,
+                "scheduler": self.scheduler,
+                "seed": self.seed,
+                "n_tasks": len(self.order),
+                "order": self.order,
+                "names": self.names,
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScheduleRecord":
+        data = json.loads(text)
+        if data.get("format") != "repro.schedule.v1":
+            raise ValueError(f"not a schedule record: format={data.get('format')!r}")
+        return cls(
+            order=list(data["order"]),
+            names=list(data["names"]),
+            scheduler=data.get("scheduler", "?"),
+            seed=data.get("seed"),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ScheduleRecord":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+
+class RecordingScheduler(Scheduler):
+    """Wraps any scheduler and logs the order tasks were popped in.
+
+    ``record()`` snapshots the log as a :class:`ScheduleRecord` that
+    :class:`ReplayScheduler` re-executes deterministically.
+    """
+
+    locality_aware = False
+
+    def __init__(self, inner: Scheduler) -> None:
+        self.inner = inner
+        self.name = f"record({inner.name})"
+        self.popped: List[Task] = []
+
+    def push(self, task: Task, hint: Optional[int] = None) -> None:
+        self.inner.push(task, hint)
+
+    def pop(self, core: int) -> Optional[Task]:
+        task = self.inner.pop(core)
+        if task is not None:
+            self.popped.append(task)
+        return task
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def record(self) -> ScheduleRecord:
+        return ScheduleRecord(
+            order=[t.tid for t in self.popped],
+            names=[t.name for t in self.popped],
+            scheduler=self.inner.name,
+            seed=getattr(self.inner, "seed", None),
+        )
+
+
+class ReplayScheduler(Scheduler):
+    """Releases tasks only in a prescribed (recorded) tid order.
+
+    ``pop`` returns the next prescribed task once it has been pushed
+    (i.e. become ready) and ``None`` until then.  A recorded order is a
+    topological order of the graph it was recorded from, so every
+    prescribed task's predecessors appear earlier in the order and are
+    already running or finished — executors that wait on completions make
+    progress and never deadlock.  Replaying against a graph whose tids or
+    names no longer match the record raises immediately.
+    """
+
+    name = "replay"
+    locality_aware = False
+
+    def __init__(self, record: ScheduleRecord, n_cores: int = 1) -> None:
+        self.record_ = record
+        self._order = record.order
+        self._names = record.names
+        self._next = 0
+        self._ready: Dict[int, Task] = {}
+
+    def push(self, task: Task, hint: Optional[int] = None) -> None:
+        if task.tid in self._ready:
+            raise ValueError(f"task {task.tid} pushed twice")
+        self._ready[task.tid] = task
+
+    def pop(self, core: int) -> Optional[Task]:
+        if self._next >= len(self._order):
+            return None
+        tid = self._order[self._next]
+        task = self._ready.get(tid)
+        if task is None:
+            return None  # prescribed task not ready yet; caller waits
+        if task.name != self._names[self._next]:
+            raise ValueError(
+                f"schedule replay mismatch at position {self._next}: recorded "
+                f"{self._names[self._next]!r}, graph has {task.name!r} (tid {tid})"
+            )
+        del self._ready[tid]
+        self._next += 1
+        return task
+
+    def __len__(self) -> int:
+        return len(self._ready)
+
+
 SCHEDULERS: Dict[str, type] = {
     "fifo": FIFOScheduler,
     "lifo": LIFOScheduler,
     "locality": LocalityAwareScheduler,
     "steal": WorkStealingScheduler,
+    "fuzz": FuzzScheduler,
 }
 
 
 def make_scheduler(policy: str, n_cores: int) -> Scheduler:
-    """Instantiate a scheduler by policy name (``fifo``/``lifo``/``locality``)."""
+    """Instantiate a scheduler by policy name (``fifo``/``lifo``/``locality``/
+    ``steal``/``fuzz``).  ``"fuzz:SEED"`` selects the fuzz seed."""
+    if policy.startswith("fuzz:"):
+        return FuzzScheduler(n_cores, seed=int(policy.split(":", 1)[1]))
     try:
         cls = SCHEDULERS[policy]
     except KeyError:
         raise ValueError(f"unknown scheduler policy {policy!r}; options: {sorted(SCHEDULERS)}")
     return cls(n_cores)
+
+
+def resolve_scheduler(spec, n_cores: int) -> Scheduler:
+    """Turn a policy name, factory callable, or ready instance into a scheduler.
+
+    The common front door for both executors: strings go through
+    :func:`make_scheduler`, callables are invoked with ``n_cores``, and
+    :class:`Scheduler` instances (e.g. a primed :class:`ReplayScheduler`)
+    are used as-is.
+    """
+    if isinstance(spec, Scheduler):
+        return spec
+    if isinstance(spec, str):
+        return make_scheduler(spec, n_cores)
+    if callable(spec):
+        return spec(n_cores)
+    raise TypeError(f"cannot resolve scheduler from {spec!r}")

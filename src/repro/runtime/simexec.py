@@ -19,7 +19,7 @@ from typing import List, Optional, Set, Tuple
 
 from repro.runtime.depgraph import TaskGraph
 from repro.runtime.executor import locality_hint
-from repro.runtime.scheduler import Scheduler, make_scheduler
+from repro.runtime.scheduler import Scheduler, resolve_scheduler
 from repro.runtime.trace import ExecutionTrace, TaskRecord
 from repro.simarch.cache import CacheModel
 from repro.simarch.costmodel import CostModel
@@ -37,8 +37,11 @@ class SimulatedExecutor:
         Use only the first ``n_cores`` cores (paper methodology: runs with
         ≤ 24 cores stay on one socket).  Defaults to all cores.
     scheduler:
-        Ready-queue policy name: ``"locality"`` (B-Par default), ``"fifo"``
-        (locality-oblivious), or ``"lifo"``.
+        Ready-queue policy name — ``"locality"`` (B-Par default),
+        ``"fifo"`` (locality-oblivious), ``"lifo"``, or ``"fuzz:SEED"``
+        (schedule fuzzing) — or a factory callable ``n_cores -> Scheduler``
+        (e.g. to inject a ``RecordingScheduler``/``ReplayScheduler`` from
+        the race-checking harness; a factory is invoked once per ``run``).
     execute_payloads:
         Run task payload functions in dependence order while simulating.
     persistent_cache:
@@ -79,8 +82,10 @@ class SimulatedExecutor:
         if not self.persistent_cache:
             self.reset_cache()
         cache = self._cache
-        scheduler = make_scheduler(self.scheduler_policy, self.n_cores)
-        trace = ExecutionTrace(n_cores=self.n_cores, scheduler=self.scheduler_policy)
+        scheduler = resolve_scheduler(self.scheduler_policy, self.n_cores)
+        trace = ExecutionTrace(
+            n_cores=self.n_cores, scheduler=getattr(scheduler, "name", "?")
+        )
 
         indegree = list(graph.indegree)
         remaining = len(graph.tasks)

@@ -184,5 +184,20 @@ class Task:
         """True when the two tasks touch at least one common region."""
         return not self.region_ids().isdisjoint(other.region_ids())
 
+    def access_mode(self, region: Region) -> Optional[AccessMode]:
+        """Declared mode for ``region`` (``None`` when undeclared).
+
+        ``inout`` wins over a duplicate ``in``/``out`` listing; the race
+        checker uses this to phrase findings in OmpSs vocabulary.
+        """
+        rid = id(region)
+        if any(id(r) == rid for r in self.inouts):
+            return AccessMode.INOUT
+        if any(id(r) == rid for r in self.outs):
+            return AccessMode.OUT
+        if any(id(r) == rid for r in self.ins):
+            return AccessMode.IN
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Task({self.tid}, {self.name!r}, kind={self.kind})"

@@ -78,6 +78,13 @@ class InferenceEngine:
         critical path shrinks for every layer shape; in ``threaded`` mode
         it fuses only the layers where the hoisted GEMM pays on a real
         host (see :func:`~repro.core.graph_builder.resolve_fused_layers`).
+    validate_dependencies:
+        Audit every *new* batch shape's graph with the race checker's
+        ordering pass (:func:`repro.runtime.racecheck.ordering_findings`)
+        before serving it, raising :class:`~repro.runtime.racecheck.RaceError`
+        on any unordered conflicting task pair.  One audit per shape
+        (memoised), so steady-state serving pays nothing; intended for
+        CI and staging, not hot production paths.
     """
 
     def __init__(
@@ -95,6 +102,7 @@ class InferenceEngine:
         seed: int = 0,
         fused_input_projection: str = "auto",
         proj_block: Optional[int] = None,
+        validate_dependencies: bool = False,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -122,10 +130,13 @@ class InferenceEngine:
             self._threaded = (
                 default_executor() if n_workers is None else ThreadedExecutor(n_workers)
             )
+        self.validate_dependencies = validate_dependencies
         #: memoised (service_time, trace) per batch shape, sim mode only
         self._cost_cache: Dict[Tuple[int, int], Tuple[float, ExecutionTrace]] = {}
         #: memoised fused-vs-per-step critical-path comparison per shape
         self._cp_cache: Dict[Tuple[int, int], Dict[str, float]] = {}
+        #: batch shapes whose graphs already passed the ordering audit
+        self._validated_shapes: set = set()
 
     def _build(self, *, fused=None, **kwargs):
         """build_brnn_graph with this engine's fused-projection policy."""
@@ -175,6 +186,28 @@ class InferenceEngine:
     def _effective_mbs(self, batch_size: int) -> int:
         return max(1, min(self.mbs, batch_size))
 
+    def _validate_shape(self, graph, padded_len: int, size: int) -> None:
+        """Ordering-audit ``graph`` once per batch shape; raise on races."""
+        key = (padded_len, size)
+        if key in self._validated_shapes:
+            return
+        from repro.runtime.racecheck import (
+            RaceError,
+            RaceReport,
+            ordering_findings,
+        )
+
+        findings, pairs = ordering_findings(graph)
+        if findings:
+            raise RaceError(
+                RaceReport(
+                    findings=findings,
+                    n_tasks=len(graph),
+                    checked_pairs=pairs,
+                )
+            )
+        self._validated_shapes.add(key)
+
     # -- execution -------------------------------------------------------------
 
     def execute(self, batch: Batch) -> BatchExecution:
@@ -193,6 +226,8 @@ class InferenceEngine:
                 batch=batch.size,
                 mbs=self._effective_mbs(batch.size),
             ).graph
+            if self.validate_dependencies:
+                self._validate_shape(graph, batch.padded_len, batch.size)
             # warm run: weights NUMA-homed / cache-resident, as in a steady
             # serving loop that reuses the same buffers batch after batch
             self._sim.run(graph)
@@ -212,6 +247,8 @@ class InferenceEngine:
             params=self.params,
             mbs=self._effective_mbs(batch.size),
         )
+        if self.validate_dependencies:
+            self._validate_shape(result.graph, batch.padded_len, batch.size)
         trace = self._threaded.run(result.graph)
         service = time.perf_counter() - t0
         return BatchExecution(

@@ -186,3 +186,55 @@ def test_functional_and_cost_only_have_same_structure():
     assert functional.graph.num_edges() == cost_only.graph.num_edges()
     for a, b in zip(functional.graph, cost_only.graph):
         assert a.name == b.name and a.kind == b.kind and a.flops == b.flops
+
+
+def test_fused_proj_bwd_runs_concurrently_with_cell_backward():
+    """The fused backward's concurrency claim, stated as graph reachability.
+
+    A fused layer splits its weight-gradient array by rows: cell-backward
+    tasks accumulate the recurrent rows (``dW[I:]``, region ``gW``) while
+    per-block ``proj_bwd`` tasks accumulate the input rows (``dW[:I]``,
+    region ``gWx``) — disjoint rows of the same buffer.  A ``proj_bwd``
+    block is ordered after the cell-backward tasks *whose dz it consumes*,
+    but must be genuinely unordered w.r.t. cell-backward tasks at other
+    positions: that unordered pair is exactly the overlap the fusion buys.
+    """
+    spec = small_spec(num_layers=2)
+    T = 5
+    res = build_brnn_graph(
+        spec, seq_len=T, batch=6, training=True,
+        fused_input_projection="on", proj_block=1,
+    )
+    g = res.graph
+    bits = g.descendants_bitsets()
+    byname = {t.name: t.tid for t in g}
+
+    for direction in ("fwd", "rev"):
+        # proj_bwd of the FIRST backward step (dz at the last block)...
+        first_pos = T - 1 if direction == "fwd" else 0
+        proj = byname[f"projBwd[0]L1{direction}b{first_pos}-{first_pos + 1}"]
+        # ...is ordered after the same-position cell backward (RAW on dz):
+        producer = byname[f"{direction}Bwd[0]L1s{T - 1}"]
+        assert g.has_path(producer, proj, bits)
+        # ...but unordered w.r.t. every later cell-backward step of the
+        # same (layer, direction), despite both writing rows of dW:
+        for step in range(T - 2, -1, -1):
+            cell_bwd = byname[f"{direction}Bwd[0]L1s{step}"]
+            assert g.unordered(proj, cell_bwd, bits), (
+                f"projBwd@{first_pos} should overlap {direction}Bwd s{step}"
+            )
+
+
+def test_unfused_weight_gradient_serialises_backward_chain():
+    """Control for the test above: without fusion the single ``gW`` inout
+    region chains every cell-backward of a (layer, direction) totally."""
+    spec = small_spec(num_layers=2)
+    T = 5
+    res = build_brnn_graph(spec, seq_len=T, batch=6, training=True,
+                           fused_input_projection="off")
+    g = res.graph
+    bits = g.descendants_bitsets()
+    byname = {t.name: t.tid for t in g}
+    steps = [byname[f"fwdBwd[0]L1s{s}"] for s in range(T)]
+    for a, b in zip(steps[1:][::-1], steps[:-1][::-1]):
+        assert not g.unordered(a, b, bits)

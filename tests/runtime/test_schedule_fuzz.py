@@ -1,0 +1,132 @@
+"""Schedule-fuzzing regression: dataflow determinism across pop orders.
+
+The barrier-free graph's results must be a function of the dataflow only,
+never of the schedule.  :class:`~repro.runtime.scheduler.FuzzScheduler`
+permutes ready-queue pops under a seed — every seed is a legal schedule —
+so 20 fuzzed executions of a BLSTM train step must produce parameters and
+gradients *bitwise* identical to the FIFO reference.  A recorded schedule
+committed under ``tests/fixtures/`` is replayed as a golden regression:
+graph registration order, tids, and names must stay reproducible across
+code changes, or the replay raises a diagnosable mismatch.
+
+Regenerate the fixture (after an intentional builder change) with::
+
+    PYTHONPATH=src python tests/runtime/test_schedule_fuzz.py regen
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.graph_builder import build_brnn_graph
+from repro.models.params import BRNNParams
+from repro.runtime.racecheck import (
+    fuzz_equivalence_sweep,
+    record_schedule,
+    replay_schedule,
+)
+from repro.runtime.scheduler import FuzzScheduler, RecordingScheduler, ScheduleRecord
+from repro.runtime.executor import ThreadedExecutor
+from tests.conftest import make_batch, small_spec
+
+FIXTURE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "fixtures",
+    "blstm_train_schedule.json",
+)
+
+#: seed of the fuzzed schedule frozen in the fixture
+FIXTURE_SEED = 7
+
+
+def _fixture_build():
+    """The deterministic BLSTM train-step build the fixture was recorded from."""
+    spec = small_spec(num_layers=2)
+    x, labels = make_batch(spec)
+    params = BRNNParams.initialize(spec, seed=11)
+    return build_brnn_graph(
+        spec, x=x, labels=labels, params=params, training=True, mbs=2, lr=0.05
+    )
+
+
+def _param_bytes(result):
+    return [arr.tobytes() for _, arr in result.params.arrays()]
+
+
+def _grad_bytes(result):
+    return [
+        arr.tobytes()
+        for chunk in result.chunks
+        for _, arr in chunk.grads.arrays()
+    ]
+
+
+def test_twenty_fuzz_seeds_are_bitwise_identical_to_fifo():
+    sweep = fuzz_equivalence_sweep(_fixture_build, range(20), n_workers=2)
+    assert sweep.ok, sweep.summary()
+    assert len(sweep.seeds) == 20
+
+
+def test_fuzz_scheduler_pop_order_is_seed_deterministic():
+    orders = []
+    for _ in range(2):
+        rec = RecordingScheduler(FuzzScheduler(seed=FIXTURE_SEED))
+        ThreadedExecutor(1, rec).run(_fixture_build().graph)
+        orders.append(rec.record().order)
+    assert orders[0] == orders[1]
+    assert orders[0] != sorted(orders[0])  # the fuzz actually permutes
+
+
+def test_golden_schedule_replays_bitwise():
+    record = ScheduleRecord.load(FIXTURE)
+    assert record.scheduler == "fuzz" and record.seed == FIXTURE_SEED
+
+    reference = _fixture_build()
+    ThreadedExecutor(1).run(reference.graph)
+
+    replayed = _fixture_build()
+    trace = replay_schedule(replayed.graph, record, n_workers=1)
+
+    assert trace.execution_order() == record.order
+    assert [t.name for t in replayed.graph] == [
+        record.names[record.order.index(t.tid)] for t in replayed.graph
+    ]
+    assert _param_bytes(replayed) == _param_bytes(reference)
+    assert _grad_bytes(replayed) == _grad_bytes(reference)
+
+
+def test_replay_rejects_drifted_graph():
+    record = ScheduleRecord.load(FIXTURE)
+    drifted = _fixture_build()
+    drifted.graph.tasks[record.order[0]].name = "not-the-recorded-task"
+    with pytest.raises(ValueError, match="mismatch"):
+        replay_schedule(drifted.graph, record, n_workers=1)
+
+
+def test_schedule_record_json_roundtrip(tmp_path):
+    record, _ = record_schedule(
+        _fixture_build().graph, scheduler=f"fuzz:{FIXTURE_SEED}", n_workers=1
+    )
+    path = tmp_path / "sched.json"
+    record.save(str(path))
+    loaded = ScheduleRecord.load(str(path))
+    assert loaded.order == record.order
+    assert loaded.names == record.names
+    assert loaded.seed == FIXTURE_SEED
+
+
+def _regen():  # pragma: no cover - fixture maintenance
+    record, _ = record_schedule(
+        _fixture_build().graph, scheduler=f"fuzz:{FIXTURE_SEED}", n_workers=1
+    )
+    os.makedirs(os.path.dirname(FIXTURE), exist_ok=True)
+    record.save(FIXTURE)
+    print(f"wrote {FIXTURE} ({len(record.order)} tasks)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if len(sys.argv) > 1 and sys.argv[1] == "regen":
+        _regen()
