@@ -1,13 +1,15 @@
-# Convenience targets; CI (.github/workflows/ci.yml) runs `test`,
-# `smoke-serving`, `smoke-fused` and `smoke-racecheck` on every push.
+# Convenience targets; CI (.github/workflows/ci.yml) runs `test`, `lint`,
+# `smoke-serving`, `smoke-fused`, `smoke-racecheck` and `smoke-analysis`
+# on every push.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 SMOKE_REPORT ?= /tmp/repro_serving_smoke.json
 SMOKE_FUSED_REPORT ?= /tmp/repro_fused_smoke.json
+SMOKE_ANALYSIS_REPORT ?= /tmp/repro_analysis_smoke.json
 
-.PHONY: test smoke-serving smoke-fused smoke-racecheck bench fused-bench serve-bench clean
+.PHONY: test lint smoke-serving smoke-fused smoke-racecheck smoke-analysis bench fused-bench serve-bench clean
 
 # tier-1: the full unit/integration/property suite (serving tests included)
 test:
@@ -33,6 +35,25 @@ smoke-fused:
 		--output $(SMOKE_FUSED_REPORT) > /dev/null
 	$(PYTHON) tools/check_bench_report.py $(SMOKE_FUSED_REPORT)
 
+# AST lint over the whole package: payload-closure capture audit,
+# mutable defaults, swallowed exceptions, float64 creep in the kernels.
+# Zero findings required; waive individual lines with `# lint: waive <rule>`.
+lint:
+	$(PYTHON) -m repro analyze --skip-graph --lint src/repro
+
+# static-analysis smoke: the analysis suite's own tests (graph linter,
+# over-declaration analyzer, AST lint, 64-config conformance sweep), then
+# a tiny graph end-to-end through the real CLI, then the JSON gate that
+# enforces zero findings and the serialization-debt budget — on both the
+# smoke report and the committed paper-scale baseline
+smoke-analysis:
+	$(PYTHON) -m pytest tests/analysis/test_graphlint.py tests/analysis/test_pylint.py tests/analysis/test_analysis_conformance.py -x -q
+	$(PYTHON) -m repro analyze \
+		--hidden 5 --layers 2 --input-size 6 --seq-len 4 --batch 4 --mbs 2 \
+		--output $(SMOKE_ANALYSIS_REPORT) > /dev/null
+	$(PYTHON) tools/check_analysis.py $(SMOKE_ANALYSIS_REPORT) \
+		benchmarks/baselines/BENCH_graph_analysis.json
+
 # race-detector smoke: the checker's own unit tests, then the mutation
 # self-test gate (clean graph -> zero findings; each seeded dependence
 # deletion -> detected; fuzzed schedules -> bitwise identical to FIFO)
@@ -54,4 +75,4 @@ serve-bench:
 	$(PYTHON) -m repro serve-bench --arrival-rate 200 --duration 5 --executor sim
 
 clean:
-	rm -f $(SMOKE_REPORT) $(SMOKE_FUSED_REPORT) serving_report.json
+	rm -f $(SMOKE_REPORT) $(SMOKE_FUSED_REPORT) $(SMOKE_ANALYSIS_REPORT) serving_report.json

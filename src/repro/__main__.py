@@ -8,6 +8,7 @@
     python -m repro serve-bench [...]       # online-serving benchmark (JSON)
     python -m repro fused-bench [...]       # fused input projection ablation (JSON)
     python -m repro racecheck [...]         # dependency-declaration race check
+    python -m repro analyze [...]           # static graph lint + AST lint
 
 ``--full`` runs the paper's complete configuration grids (minutes); the
 default grids cover every regime in seconds.  The same drivers back the
@@ -326,6 +327,92 @@ def _cmd_racecheck(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_analyze(args) -> int:
+    """Static analysis: graph lint, parallelism metrics, and AST lint.
+
+    The graph half runs on a *cost-only* build (graph structure is
+    independent of hidden size, so even paper-scale configs lint in
+    seconds); ``--lint [PATH]`` adds the AST pass over the source tree;
+    ``--skip-graph`` makes it lint-only.  Exit 1 on any finding.
+    """
+    from repro.analysis.graphlint import lint_graph
+    from repro.analysis.parallelism import analyze_graph
+    from repro.analysis.pylint import lint_paths
+    from repro.harness.bench_json import write_bench_json
+
+    failed = False
+    results = {}
+    config = {
+        "cell": args.cell,
+        "input_size": args.input_size,
+        "hidden": args.hidden,
+        "layers": args.layers,
+        "seq_len": args.seq_len,
+        "batch": args.batch,
+        "mbs": args.mbs,
+        "head": args.head,
+        "training": not args.infer,
+        "barrier_free": not args.barriers,
+        "serialize_chunks": args.serialize_chunks,
+        "fused_input_projection": args.fused_input_projection,
+        "proj_block": args.proj_block,
+        "lint_paths": [args.lint] if args.lint else [],
+    }
+
+    if not args.skip_graph:
+        from repro.core.graph_builder import build_brnn_graph
+
+        spec = BRNNSpec(
+            cell=args.cell,
+            input_size=args.input_size,
+            hidden_size=args.hidden,
+            num_layers=args.layers,
+            merge_mode="sum",
+            head=args.head,
+            num_classes=11,
+        )
+        built = build_brnn_graph(
+            spec,
+            seq_len=args.seq_len,
+            batch=args.batch,
+            mbs=args.mbs,
+            training=not args.infer,
+            barrier_free=not args.barriers,
+            serialize_chunks=args.serialize_chunks,
+            fused_input_projection=args.fused_input_projection,
+            proj_block=args.proj_block,
+        )
+        glint = lint_graph(built.graph)
+        print(glint.summary())
+        for f in glint.findings:
+            print("  " + f.describe())
+        par = analyze_graph(built.graph)
+        print(par.summary())
+        for f in par.findings:
+            print("  " + f.describe())
+        failed |= not (glint.ok and par.ok)
+        results["graphlint"] = glint.to_dict()
+        results["parallelism"] = par.to_dict()
+
+    if args.lint:
+        findings = lint_paths([args.lint])
+        status = "clean" if not findings else f"{len(findings)} findings"
+        print(f"pylint: {args.lint} {status}")
+        for f in findings:
+            print("  " + f.describe())
+        failed |= bool(findings)
+        results["pylint"] = {
+            "ok": not findings,
+            "n_findings": len(findings),
+            "findings": [f.to_dict() for f in findings],
+        }
+
+    if args.output:
+        write_bench_json(args.output, "graph_analysis", config, results)
+        print(f"# report written to {args.output}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_memory(args) -> None:
     free, barred = figures.memory_study()
     print(f"barrier-free : {free.mean_live_tasks:5.1f} live tasks, "
@@ -349,6 +436,7 @@ COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "fused-bench": _cmd_fused_bench,
     "racecheck": _cmd_racecheck,
+    "analyze": _cmd_analyze,
 }
 
 
@@ -413,6 +501,19 @@ def _add_racecheck_args(parser: argparse.ArgumentParser) -> None:
                    help="replay a recorded schedule JSON against a fresh build")
 
 
+def _add_analyze_args(parser: argparse.ArgumentParser) -> None:
+    g = parser.add_argument_group("analyze options")
+    g.add_argument("--lint", nargs="?", const="src/repro", default=None,
+                   metavar="PATH",
+                   help="run the AST lint over PATH (default src/repro)")
+    g.add_argument("--skip-graph", action="store_true",
+                   help="skip the graph build/lint half (AST lint only)")
+    g.add_argument("--barriers", action="store_true",
+                   help="analyze the per-layer-barrier (framework) graph variant")
+    g.add_argument("--serialize-chunks", action="store_true",
+                   help="analyze the B-Seq (chunk-serialised) graph variant")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -423,6 +524,7 @@ def main(argv=None) -> int:
                         help="use the paper's complete configuration grids")
     _add_serve_bench_args(parser)
     _add_racecheck_args(parser)
+    _add_analyze_args(parser)
     args = parser.parse_args(argv)
     return int(COMMANDS[args.command](args) or 0)
 

@@ -1,7 +1,20 @@
-"""Measurement and reporting over execution traces (§IV-B analyses)."""
+"""Measurement, reporting, and static analysis of task graphs.
+
+Two halves: trace analyses over *executed* graphs (§IV-B granularity and
+working-set studies), and static analyses over *declared* graphs — the
+structural linter, the over-declaration/parallelism analyzer, and the
+AST payload lint — which need no execution at all.
+"""
 
 from repro.analysis.granularity import GranularityStats, granularity_stats
+from repro.analysis.graphlint import GraphLintReport, LintFinding, lint_graph
 from repro.analysis.memory import WorkingSetStats, working_set_stats
+from repro.analysis.parallelism import (
+    ParallelismReport,
+    analyze_graph,
+    dataflow_successors,
+)
+from repro.analysis.pylint import PyLintFinding, lint_file, lint_paths, lint_source
 from repro.analysis.report import format_table, speedup
 
 __all__ = [
@@ -11,4 +24,14 @@ __all__ = [
     "working_set_stats",
     "format_table",
     "speedup",
+    "GraphLintReport",
+    "LintFinding",
+    "lint_graph",
+    "ParallelismReport",
+    "analyze_graph",
+    "dataflow_successors",
+    "PyLintFinding",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
 ]

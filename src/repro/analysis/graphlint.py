@@ -1,0 +1,345 @@
+"""Static structural linting of declared task graphs (no execution).
+
+The dynamic race checker (:mod:`repro.runtime.racecheck`) proves the
+declarations of the configurations we *run*; this module audits the
+declared structure of any :class:`~repro.runtime.depgraph.TaskGraph` —
+functional or cost-only — with zero payload execution.  It catches the
+bug classes a wrong declaration creates at the graph level:
+
+* ``cycle`` — the dependence relation is not a partial order (impossible
+  for graphs built through ``TaskGraph.add``, but hand-assembled or
+  mutated edge sets are linted too);
+* ``orphan_task`` — a task with no dependence edges at all in a
+  multi-task graph: it constrains nothing and nothing constrains it,
+  which almost always means its declarations were dropped;
+* ``uninitialized_read`` — a task declares a pure ``in`` on a region
+  that the graph itself produces (it has a pure ``out`` writer) but no
+  writer is ordered before the reader, so the read observes garbage
+  under every legal schedule;
+* ``dead_write`` — a pure ``out`` whose value no task ever consumes
+  before the next write, on a region other tasks do access: the write
+  costs WAR/WAW serialisation yet feeds nobody (the static face of an
+  over-declared ``out``);
+* ``duplicate_declaration`` — one task lists the same region twice
+  (including ``in`` + ``out`` instead of ``inout``), which inflates the
+  dependence bookkeeping and usually means a declaration typo;
+* ``aliased_region_key`` — two *distinct* :class:`Region` objects share
+  one key.  Dependences match on object identity, so aliased keys mean
+  the tracker silently treats one datum as two and derives no ordering
+  between their accessors — broken interning, the static mirror of the
+  dynamic checker's rebind detection.
+
+Conventions the rules rely on (both hold for every graph the builder
+emits): task registration order is a sequentially valid order, and
+zero-byte regions (``nbytes == 0``) are pure serialisation tokens that
+carry no data — they are exempt from the dataflow rules
+(``uninitialized_read`` / ``dead_write``) but still checked for
+duplicates and aliasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.runtime.depgraph import TaskGraph
+from repro.runtime.task import Region
+
+
+@dataclass
+class LintFinding:
+    """One structural violation, attributed to a task and a region."""
+
+    rule: str
+    tid: int
+    task: str
+    region: Optional[str] = None
+    site: Optional[str] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        where = f" [built by {self.site}]" if self.site else ""
+        what = f" region {self.region}" if self.region is not None else ""
+        sep = ": " if self.detail else ""
+        return f"[{self.rule}] {self.task} (tid {self.tid}){what}{where}{sep}{self.detail}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "tid": self.tid,
+            "task": self.task,
+            "region": self.region,
+            "site": self.site,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class GraphLintReport:
+    """All findings of one structural lint pass."""
+
+    findings: List[LintFinding] = field(default_factory=list)
+    n_tasks: int = 0
+    n_edges: int = 0
+    n_regions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"graphlint OK: {self.n_tasks} tasks, {self.n_edges} edges, "
+                f"{self.n_regions} regions"
+            )
+        rules = ", ".join(f"{k}: {v}" for k, v in sorted(self.by_rule().items()))
+        return f"graphlint FAILED ({len(self.findings)} findings — {rules})"
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "n_tasks": self.n_tasks,
+            "n_edges": self.n_edges,
+            "n_regions": self.n_regions,
+            "by_rule": self.by_rule(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def topological_order(successors: Sequence[Sequence[int]]) -> Optional[List[int]]:
+    """Kahn topological order of the edge set, or ``None`` when cyclic.
+
+    Unlike the :class:`TaskGraph` reachability helpers this makes *no*
+    assumption that tids are already topologically sorted, so it is safe
+    on hand-assembled or mutated successor lists.
+    """
+    n = len(successors)
+    indeg = [0] * n
+    for succs in successors:
+        for s in succs:
+            indeg[s] += 1
+    stack = [tid for tid in range(n) if indeg[tid] == 0]
+    order: List[int] = []
+    while stack:
+        tid = stack.pop()
+        order.append(tid)
+        for s in successors[tid]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                stack.append(s)
+    return order if len(order) == n else None
+
+
+def find_cycle(successors: Sequence[Sequence[int]]) -> List[int]:
+    """One dependence cycle (as a tid list) of a cyclic edge set."""
+    n = len(successors)
+    color = [0] * n  # 0 unvisited, 1 on stack, 2 done
+    parent: Dict[int, int] = {}
+
+    for root in range(n):
+        if color[root]:
+            continue
+        stack = [(root, iter(successors[root]))]
+        color[root] = 1
+        while stack:
+            tid, it = stack[-1]
+            advanced = False
+            for s in it:
+                if color[s] == 0:
+                    color[s] = 1
+                    parent[s] = tid
+                    stack.append((s, iter(successors[s])))
+                    advanced = True
+                    break
+                if color[s] == 1:  # back edge: unwind the cycle
+                    cycle = [s, tid]
+                    cur = tid
+                    while cur != s:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                color[tid] = 2
+                stack.pop()
+    return []
+
+
+def _site(task) -> Optional[str]:
+    meta = getattr(task, "meta", None) or {}
+    return meta.get("site")
+
+
+def lint_graph(
+    graph: TaskGraph,
+    successors: Optional[List[List[int]]] = None,
+) -> GraphLintReport:
+    """Run every structural rule against ``graph``.
+
+    ``successors`` overrides the graph's edge lists (mutation studies lint
+    a graph with edges added or deleted without rebuilding it).
+    """
+    succ = graph.successors if successors is None else successors
+    tasks = graph.tasks
+    report = GraphLintReport(
+        n_tasks=len(tasks),
+        n_edges=sum(len(s) for s in succ),
+    )
+    findings = report.findings
+
+    # -- per-task rules (never need reachability) ---------------------------
+    key_to_ids: Dict[object, Set[int]] = {}
+    regions_seen: Dict[int, Region] = {}
+    for task in tasks:
+        for r in task.ins + task.outs + task.inouts:
+            regions_seen[id(r)] = r
+            key_to_ids.setdefault(r.key, set()).add(id(r))
+        counts: Dict[int, List[str]] = {}
+        for mode, bag in (("in", task.ins), ("out", task.outs), ("inout", task.inouts)):
+            for r in bag:
+                counts.setdefault(id(r), []).append(mode)
+        for rid, modes in counts.items():
+            if len(modes) > 1:
+                region = regions_seen[rid]
+                hint = (
+                    "declare it once as inout"
+                    if "in" in modes and "out" in modes
+                    else "declare it once"
+                )
+                findings.append(
+                    LintFinding(
+                        rule="duplicate_declaration",
+                        tid=task.tid,
+                        task=task.name,
+                        region=repr(region.key),
+                        site=_site(task),
+                        detail=f"listed as {'+'.join(modes)}; {hint}",
+                    )
+                )
+    report.n_regions = len(regions_seen)
+
+    for key, ids in key_to_ids.items():
+        if len(ids) > 1:
+            # attribute to the first task touching any aliased instance
+            for task in tasks:
+                hit = [r for r in task.regions() if r.key == key]
+                if hit:
+                    findings.append(
+                        LintFinding(
+                            rule="aliased_region_key",
+                            tid=task.tid,
+                            task=task.name,
+                            region=repr(key),
+                            site=_site(task),
+                            detail=f"{len(ids)} distinct Region objects share this key; "
+                            "dependences match on identity, so their accessors are "
+                            "never ordered against each other",
+                        )
+                    )
+                    break
+
+    # -- cycle check gates the order-dependent rules ------------------------
+    topo = topological_order(succ)
+    if topo is None:
+        cycle = find_cycle(succ)
+        names = " -> ".join(tasks[tid].name for tid in cycle)
+        tid = cycle[0] if cycle else 0
+        findings.append(
+            LintFinding(
+                rule="cycle",
+                tid=tid,
+                task=tasks[tid].name if tasks else "<empty>",
+                site=_site(tasks[tid]) if tasks else None,
+                detail=f"dependence cycle: {names}",
+            )
+        )
+        return report  # reachability-based rules are meaningless on a cycle
+
+    # -- orphan tasks -------------------------------------------------------
+    if len(tasks) > 1:
+        has_pred = [False] * len(tasks)
+        for succs in succ:
+            for s in succs:
+                has_pred[s] = True
+        for task in tasks:
+            if not succ[task.tid] and not has_pred[task.tid]:
+                findings.append(
+                    LintFinding(
+                        rule="orphan_task",
+                        tid=task.tid,
+                        task=task.name,
+                        site=_site(task),
+                        detail="no dependence edges at all — declarations dropped?",
+                    )
+                )
+
+    # -- dataflow rules (registration order == sequential order) ------------
+    # Per region: the ordered access history (tid, reads?, pure-out?).
+    history: Dict[int, List[Tuple[int, bool, bool]]] = {}
+    has_pure_out: Dict[int, bool] = {}
+    for task in tasks:
+        in_ids = {id(r) for r in task.ins}
+        out_ids = {id(r) for r in task.outs}
+        inout_ids = {id(r) for r in task.inouts}
+        for rid in in_ids | out_ids | inout_ids:
+            reads = rid in in_ids or rid in inout_ids
+            pure_out = rid in out_ids and not reads
+            history.setdefault(rid, []).append((task.tid, reads, pure_out))
+            if pure_out:
+                has_pure_out[rid] = True
+
+    for rid, accesses in history.items():
+        region = regions_seen[rid]
+        if region.nbytes == 0:
+            continue  # serialisation token: carries no data
+        writers_before = 0
+        produced = has_pure_out.get(rid, False)
+        for i, (tid, reads, pure_out) in enumerate(accesses):
+            writes = pure_out or (reads and any(
+                id(r) == rid for r in tasks[tid].inouts
+            ))
+            if reads and not writes and writers_before == 0 and produced:
+                findings.append(
+                    LintFinding(
+                        rule="uninitialized_read",
+                        tid=tid,
+                        task=tasks[tid].name,
+                        region=repr(region.key),
+                        site=_site(tasks[tid]),
+                        detail="pure `in` with no writer ordered before it, on a "
+                        "region the graph itself produces (`out` exists later)",
+                    )
+                )
+            if pure_out and len(accesses) > 1:
+                # The value is live until the next pure `out` overwrites it;
+                # a read (including the read half of an inout) consumes it.
+                consumed = i + 1 == len(accesses)  # terminal value: graph output
+                for _, later_reads, later_pure_out in accesses[i + 1:]:
+                    if later_reads:
+                        consumed = True
+                        break
+                    if later_pure_out:
+                        break
+                if not consumed:
+                    findings.append(
+                        LintFinding(
+                            rule="dead_write",
+                            tid=tid,
+                            task=tasks[tid].name,
+                            region=repr(region.key),
+                            site=_site(tasks[tid]),
+                            detail="`out` value never consumed before the next write, "
+                            "yet the declaration serialises this task against the "
+                            "region's other accessors",
+                        )
+                    )
+            if writes:
+                writers_before += 1
+    return report

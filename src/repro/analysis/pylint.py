@@ -1,0 +1,569 @@
+"""Project-specific ``ast`` lint over the repro source tree.
+
+Generic Python linters cannot know that a task payload closure must only
+touch memory its callsite *declared*, or that ``src/repro/kernels`` is a
+float32 zone.  This pass encodes those project rules:
+
+``mutable-default``
+    A list/dict/set literal (or constructor call) as a default argument
+    is shared across calls — the classic aliasing trap.
+
+``swallowed-exception``
+    A bare ``except:`` or ``except Exception/BaseException`` whose body
+    neither re-raises nor uses the bound exception discards failures the
+    runtime needs to surface (the rule that flagged — and whose fix
+    narrowed — the broad catch in ``runtime/racecheck.py``).
+
+``float64-creep``
+    Any ``float64`` literal/dtype inside ``src/repro/kernels``: the
+    kernels must honour the spec dtype; a stray float64 silently doubles
+    bandwidth and desyncs bit-exactness with the oracle.
+
+``undeclared-closure-capture``
+    A ``_fn_*`` payload factory's closure touches a region family (via
+    the state/params attribute vocabulary below) that no declaration at
+    its build site covers — the *static* mirror of the dynamic race
+    checker's observed-vs-declared diff, and it runs on every config at
+    once instead of only the ones we execute.
+
+``inplace-mutation-in-only``
+    A payload closure mutates (``+=``, slice/index assignment) storage
+    whose region family the build site declares only as ``in``.
+
+Waivers: append ``# lint: waive <rule>[, <rule>...]`` (or ``waive all``)
+on the finding's line or the line above.
+
+The closure rules are driven by two project vocabularies: region
+*accessor* methods (``r_x`` … — their family is read out of the
+``self.regions.get(("<kind>", …))`` call inside each accessor, so new
+accessors are picked up automatically) and :data:`FAMILY_IDENTS`, which
+maps state/params attribute names to the region families their storage
+backs (the static analogue of ``GraphBuildResult.region_storage``).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+RULES = (
+    "mutable-default",
+    "swallowed-exception",
+    "float64-creep",
+    "undeclared-closure-capture",
+    "inplace-mutation-in-only",
+)
+
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set"}
+
+#: Identifier → region families whose storage that identifier backs.
+#: Mirrors ``GraphBuildResult.region_storage``: ``state.h_f`` rows are the
+#: ``("h", …)`` regions, ``params`` holds the ``W``/``Wout`` regions, a
+#: ``grads`` container spans all three gradient families, and
+#: ``layer_input`` resolves to the layer's input region (``x`` or ``m``).
+#: Identifiers absent from the table (``h0``, ``labels``, ``loss_sums``,
+#: locals) back no region and never lint.
+FAMILY_IDENTS: Dict[str, FrozenSet[str]] = {
+    "h_f": frozenset({"h"}), "h_r": frozenset({"h"}),
+    "c_f": frozenset({"h"}), "c_r": frozenset({"h"}),
+    "cache_f": frozenset({"cache"}), "cache_r": frozenset({"cache"}),
+    "zx_f": frozenset({"zx"}), "zx_r": frozenset({"zx"}),
+    "dz_f": frozenset({"dz"}), "dz_r": frozenset({"dz"}),
+    "dh_f": frozenset({"dh"}), "dh_r": frozenset({"dh"}),
+    "dc_f": frozenset({"dh"}), "dc_r": frozenset({"dh"}),
+    "merged": frozenset({"m"}),
+    "dmerged": frozenset({"dm"}),
+    "last_merged": frozenset({"mlast"}),
+    "dlast_merged": frozenset({"dmlast"}),
+    "logits": frozenset({"logits"}),
+    "dlogits": frozenset({"dlogits"}),
+    "layer_input": frozenset({"x", "m"}),
+    "x": frozenset({"x"}),
+    "grads": frozenset({"gW", "gWx", "gWout"}),
+    "params": frozenset({"W", "Wout"}),
+    "velocity": frozenset({"vel"}),
+}
+
+
+@dataclass
+class PyLintFinding:
+    """One source-level lint violation."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+# -- waivers --------------------------------------------------------------
+
+
+def _waivers(source: str) -> Dict[int, Set[str]]:
+    """``{line: waived rule names}`` from ``# lint: waive …`` comments."""
+    waived: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            text = tok.string.lstrip("#").strip()
+            if not text.startswith("lint:"):
+                continue
+            directive = text[len("lint:"):].strip()
+            if not directive.startswith("waive"):
+                continue
+            names = directive[len("waive"):].replace(",", " ").split()
+            waived.setdefault(tok.start[0], set()).update(names or {"all"})
+    except tokenize.TokenError:
+        pass
+    return waived
+
+
+def _is_waived(finding: PyLintFinding, waived: Dict[int, Set[str]]) -> bool:
+    for line in (finding.line, finding.line - 1):
+        rules = waived.get(line)
+        if rules and (finding.rule in rules or "all" in rules):
+            return True
+    return False
+
+
+# -- generic rules --------------------------------------------------------
+
+
+def _mutable_default_findings(tree: ast.AST, path: str) -> List[PyLintFinding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            bad = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CONSTRUCTORS
+            )
+            if bad:
+                name = getattr(node, "name", "<lambda>")
+                findings.append(
+                    PyLintFinding(
+                        rule="mutable-default",
+                        path=path,
+                        line=default.lineno,
+                        message=f"mutable default argument in `{name}` is shared "
+                        "across calls; default to None and build it inside",
+                    )
+                )
+    return findings
+
+
+def _swallowed_exception_findings(tree: ast.AST, path: str) -> List[PyLintFinding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is not None:
+            names = set()
+            for t in ast.walk(node.type):
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+                elif isinstance(t, ast.Attribute):
+                    names.add(t.attr)
+            if not names & _BROAD_EXCEPTIONS:
+                continue
+        reraises = any(isinstance(n, ast.Raise) for stmt in node.body for n in ast.walk(stmt))
+        uses_exc = node.name is not None and any(
+            isinstance(n, ast.Name) and n.id == node.name and isinstance(n.ctx, ast.Load)
+            for stmt in node.body
+            for n in ast.walk(stmt)
+        )
+        if not reraises and not uses_exc:
+            caught = "bare except" if node.type is None else "except Exception"
+            findings.append(
+                PyLintFinding(
+                    rule="swallowed-exception",
+                    path=path,
+                    line=node.lineno,
+                    message=f"{caught} discards the failure — catch the specific "
+                    "error, re-raise, or record the bound exception",
+                )
+            )
+    return findings
+
+
+def _float64_findings(tree: ast.AST, path: str) -> List[PyLintFinding]:
+    parts = os.path.normpath(path).split(os.sep)
+    if "kernels" not in parts:
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        hit = (
+            (isinstance(node, ast.Name) and node.id == "float64")
+            or (isinstance(node, ast.Attribute) and node.attr == "float64")
+            or (isinstance(node, ast.Constant) and node.value == "float64")
+        )
+        if hit:
+            findings.append(
+                PyLintFinding(
+                    rule="float64-creep",
+                    path=path,
+                    line=node.lineno,
+                    message="float64 inside the kernels — kernels must honour the "
+                    "spec dtype (float32 by default)",
+                )
+            )
+    return findings
+
+
+# -- closure/declaration rules -------------------------------------------
+
+
+def _accessor_families(cls: ast.ClassDef) -> Dict[str, FrozenSet[str]]:
+    """Region family of each accessor method, read from its key literal.
+
+    A second pass resolves one level of indirection (``_in_region``
+    returns ``r_x`` or ``r_m``), so indirect accessors map to the union
+    of the families they can return.
+    """
+    methods = {n.name: n for n in cls.body if isinstance(n, ast.FunctionDef)}
+    families: Dict[str, FrozenSet[str]] = {}
+    for name, method in methods.items():
+        fams: Set[str] = set()
+        for node in ast.walk(method):
+            fam = _regions_get_family(node)
+            if fam:
+                fams |= fam
+        if fams:
+            families[name] = frozenset(fams)
+    for name, method in methods.items():
+        if name in families:
+            continue
+        fams = set()
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+                and node.func.attr in families
+            ):
+                fams |= families[node.func.attr]
+        if fams:
+            families[name] = frozenset(fams)
+    return families
+
+
+def _regions_get_family(node: ast.AST) -> Optional[Set[str]]:
+    """Family of an inline ``self.regions.get(("<kind>", …), …)`` call."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and isinstance(node.func.value, ast.Attribute)
+        and node.func.value.attr == "regions"
+        and node.args
+        and isinstance(node.args[0], ast.Tuple)
+        and node.args[0].elts
+        and isinstance(node.args[0].elts[0], ast.Constant)
+        and isinstance(node.args[0].elts[0].value, str)
+    ):
+        return {node.args[0].elts[0].value}
+    return None
+
+
+def _accessor_call_families(
+    node: ast.AST, accessors: Dict[str, FrozenSet[str]]
+) -> Set[str]:
+    """Families named by every accessor call inside ``node``'s subtree."""
+    fams: Set[str] = set()
+    for n in ast.walk(node):
+        inline = _regions_get_family(n)
+        if inline:
+            fams |= inline
+        elif (
+            isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Attribute)
+            and isinstance(n.func.value, ast.Name)
+            and n.func.value.id == "self"
+            and n.func.attr in accessors
+        ):
+            fams |= accessors[n.func.attr]
+    return fams
+
+
+_BUCKET_OF = {"ins": "ins", "outs": "writes", "inouts": "writes"}
+
+
+def _declaration_buckets(
+    method: ast.FunctionDef, accessors: Dict[str, FrozenSet[str]]
+) -> Dict[str, Set[str]]:
+    """Region families a build method declares, split by access mode.
+
+    ``ins``/``writes`` hold the families whose accessor calls appear in
+    recognisably ``in``- / ``out``+``inout``-flavoured positions (the
+    keyword arguments of task-creation calls, or assignments/appends to
+    variables literally named ``ins``/``outs``/``inouts``); every other
+    accessor call lands in ``other`` — mode unknown, but still declared.
+    """
+    buckets: Dict[str, Set[str]] = {"ins": set(), "writes": set(), "other": set()}
+    claimed: Set[int] = set()
+
+    def claim(subtree: ast.AST, bucket: str) -> None:
+        buckets[bucket] |= _accessor_call_families(subtree, accessors)
+        for n in ast.walk(subtree):
+            claimed.add(id(n))
+
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg in _BUCKET_OF:
+                    claim(kw.value, _BUCKET_OF[kw.arg])
+            # ins.append(...) / inouts.extend(...)
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("append", "extend")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in _BUCKET_OF
+            ):
+                for arg in node.args:
+                    claim(arg, _BUCKET_OF[node.func.value.id])
+        elif isinstance(node, ast.Assign):
+            if (
+                len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id in _BUCKET_OF
+            ):
+                claim(node.value, _BUCKET_OF[node.targets[0].id])
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and node.target.id in _BUCKET_OF:
+                claim(node.value, _BUCKET_OF[node.target.id])
+
+    for node in ast.walk(method):
+        if id(node) in claimed:
+            continue
+        inline = _regions_get_family(node)
+        if inline:
+            buckets["other"] |= inline
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+            and node.func.attr in accessors
+        ):
+            buckets["other"] |= accessors[node.func.attr]
+    return buckets
+
+
+def _ident_families(node: ast.AST, aliases: Dict[str, FrozenSet[str]]) -> Set[str]:
+    """Union of region families named by any identifier in ``node``."""
+    fams: Set[str] = set()
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name):
+            fams |= aliases.get(n.id, FAMILY_IDENTS.get(n.id, frozenset()))
+        elif isinstance(n, ast.Attribute):
+            fams |= FAMILY_IDENTS.get(n.attr, frozenset())
+    return fams
+
+
+def _collect_aliases(
+    body: Sequence[ast.stmt], aliases: Dict[str, FrozenSet[str]]
+) -> None:
+    """Fold simple local assignments into the alias map, in source order.
+
+    Handles tuple unpacking and conditional expressions, so e.g.
+    ``target = state.zx_f if fwd else state.zx_r`` gives ``target`` the
+    ``zx`` family.  Mutates ``aliases`` in place.
+    """
+    for stmt in body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+            if isinstance(target, ast.Name):
+                aliases[target.id] = frozenset(_ident_families(value, aliases))
+            elif (
+                isinstance(target, ast.Tuple)
+                and isinstance(value, ast.Tuple)
+                and len(target.elts) == len(value.elts)
+            ):
+                for t, v in zip(target.elts, value.elts):
+                    if isinstance(t, ast.Name):
+                        aliases[t.id] = frozenset(_ident_families(v, aliases))
+        elif isinstance(stmt, (ast.If, ast.For, ast.While, ast.With)):
+            _collect_aliases(stmt.body, aliases)
+            _collect_aliases(getattr(stmt, "orelse", []), aliases)
+
+
+def _closure_findings(tree: ast.AST, path: str) -> List[PyLintFinding]:
+    findings: List[PyLintFinding] = []
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        methods = {n.name: n for n in cls.body if isinstance(n, ast.FunctionDef)}
+        factories = [m for m in methods.values() if m.name.startswith("_fn_")]
+        if not factories:
+            continue
+        accessors = _accessor_families(cls)
+
+        # Which build methods reference which payload factory.
+        refs: Dict[str, List[str]] = {}
+        for method in methods.values():
+            if method.name.startswith("_fn_"):
+                continue
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr.startswith("_fn_")
+                ):
+                    refs.setdefault(node.func.attr, []).append(method.name)
+
+        bucket_cache: Dict[str, Dict[str, Set[str]]] = {}
+        for factory in factories:
+            sites = refs.get(factory.name, [])
+            if not sites:
+                continue  # unused factory: no declaration context to check
+            ins: Set[str] = set()
+            writes: Set[str] = set()
+            other: Set[str] = set()
+            for site in sites:
+                if site not in bucket_cache:
+                    bucket_cache[site] = _declaration_buckets(methods[site], accessors)
+                b = bucket_cache[site]
+                ins |= b["ins"]
+                writes |= b["writes"]
+                other |= b["other"]
+            declared = ins | writes | other
+            site_label = "/".join(sorted(set(sites)))
+
+            aliases: Dict[str, FrozenSet[str]] = {}
+            _collect_aliases(factory.body, aliases)
+            inner_fns = [n for n in factory.body if isinstance(n, ast.FunctionDef)]
+            for fn in inner_fns:
+                fn_aliases = dict(aliases)
+                _collect_aliases(fn.body, fn_aliases)
+
+                # undeclared-closure-capture: any storage identifier whose
+                # families miss the build site's declarations entirely.
+                reported: Set[str] = set()
+                for node in ast.walk(fn):
+                    ident = None
+                    if isinstance(node, ast.Attribute):
+                        ident = node.attr
+                    elif isinstance(node, ast.Name):
+                        ident = node.id
+                    if ident is None or ident in reported:
+                        continue
+                    fams = (
+                        fn_aliases.get(ident, FAMILY_IDENTS.get(ident, frozenset()))
+                        if isinstance(node, ast.Name)
+                        else FAMILY_IDENTS.get(ident, frozenset())
+                    )
+                    if fams and not (fams & declared):
+                        reported.add(ident)
+                        findings.append(
+                            PyLintFinding(
+                                rule="undeclared-closure-capture",
+                                path=path,
+                                line=node.lineno,
+                                message=f"payload closure in `{factory.name}` touches "
+                                f"`{ident}` (region family {sorted(fams)}) but its "
+                                f"build site `{site_label}` declares no region of "
+                                "that family",
+                            )
+                        )
+
+                # inplace-mutation-in-only: mutations on in-only families.
+                mutations: List[ast.AST] = []
+                for node in ast.walk(fn):
+                    if isinstance(node, ast.AugAssign):
+                        mutations.append(node.target)
+                    elif isinstance(node, ast.Assign):
+                        mutations.extend(
+                            t
+                            for t in node.targets
+                            if isinstance(t, (ast.Subscript, ast.Attribute))
+                        )
+                for target in mutations:
+                    fams = _ident_families(target, fn_aliases)
+                    if fams and fams & ins and not (fams & (writes | other)):
+                        findings.append(
+                            PyLintFinding(
+                                rule="inplace-mutation-in-only",
+                                path=path,
+                                line=target.lineno,
+                                message=f"payload closure in `{factory.name}` mutates "
+                                f"storage of region family {sorted(fams)} that "
+                                f"`{site_label}` declares only as `in`",
+                            )
+                        )
+    return findings
+
+
+# -- entry points ---------------------------------------------------------
+
+
+def lint_source(source: str, path: str = "<string>") -> List[PyLintFinding]:
+    """Lint one module's source text; returns unwaived findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            PyLintFinding(
+                rule="syntax-error",
+                path=path,
+                line=exc.lineno or 0,
+                message=str(exc),
+            )
+        ]
+    findings = (
+        _mutable_default_findings(tree, path)
+        + _swallowed_exception_findings(tree, path)
+        + _float64_findings(tree, path)
+        + _closure_findings(tree, path)
+    )
+    waived = _waivers(source)
+    kept = [f for f in findings if not _is_waived(f, waived)]
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return kept
+
+
+def lint_file(path: str) -> List[PyLintFinding]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return lint_source(fh.read(), path)
+
+
+def lint_paths(paths: Sequence[str]) -> List[PyLintFinding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: List[PyLintFinding] = []
+    for root in paths:
+        if os.path.isfile(root):
+            findings.extend(lint_file(root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in sorted(dirnames) if d != "__pycache__"]
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    findings.extend(lint_file(os.path.join(dirpath, name)))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

@@ -26,6 +26,7 @@ our barrier ablation.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -386,10 +387,18 @@ class _Builder:
         return self.regions.get(("serial", mb), 0)
 
     def _add(self, name, fn, *, ins=(), outs=(), inouts=(), flops=0.0, kind="task", meta=None, mb=None):
-        """add_task wrapper applying the chunk-serialisation token."""
+        """add_task wrapper applying the chunk-serialisation token.
+
+        Also stamps ``meta["site"]`` with the name of the builder method
+        that emitted the task — declaration *provenance*, so static-
+        analysis findings (:mod:`repro.analysis.graphlint`) can point at
+        the build site that declared a region, not just the task name.
+        """
         inouts = list(inouts)
         if self.serialize_chunks and mb is not None:
             inouts.append(self.r_serial(mb))
+        meta = dict(meta or {})
+        meta.setdefault("site", sys._getframe(1).f_code.co_name)
         return self.graph.add_task(
             name, fn, ins=ins, outs=outs, inouts=inouts, flops=flops, kind=kind, meta=meta
         )
@@ -1195,7 +1204,7 @@ class _Builder:
                 )
 
     def _build_updates(self) -> None:
-        spec, g = self.spec, self.graph
+        spec = self.spec
         n_chunks = len(self.chunk_batches)
         for layer in range(spec.num_layers):
             (wr, wc), (bn,) = spec.cell_param_shapes(layer)
@@ -1210,7 +1219,7 @@ class _Builder:
                 grad_ins = [self.r_gw(mb, layer, direction) for mb in range(n_chunks)]
                 if self.fused_layers[layer]:
                     grad_ins += [self.r_gwx(mb, layer, direction) for mb in range(n_chunks)]
-                g.add_task(
+                self._add(
                     f"update.L{layer}.{direction}",
                     self._fn_weight_update(layer, direction),
                     ins=grad_ins,
@@ -1223,7 +1232,7 @@ class _Builder:
         head_inouts = [self.r_wout()]
         if self.velocity is not None:
             head_inouts.append(self.regions.get(("vel", "head"), self.r_wout().nbytes))
-        g.add_task(
+        self._add(
             "update.head",
             self._fn_head_update(),
             ins=[self.r_gwout(mb) for mb in range(n_chunks)],

@@ -66,3 +66,31 @@ def write_bench_json(path: str, bench: str, config: Dict, results: Dict) -> Dict
 def bench_json_path(bench: str) -> str:
     """Canonical location of a bench's recorded baseline."""
     return os.path.join(bench_output_dir(), f"BENCH_{bench}.json")
+
+
+def load_bench_json(path: str) -> Dict:
+    """Load a ``BENCH_*.json`` report, validating its envelope.
+
+    Raises ``ValueError`` on a missing/unsupported ``schema_version`` or a
+    report that lacks the ``bench``/``config``/``results`` keys — the same
+    contract the ``tools/check_*.py`` gates enforce, importable by tests
+    and tools alike.
+    """
+    with open(path) as fh:
+        report = json.load(fh)
+    validate_schema_version(report, path)
+    return report
+
+
+def validate_schema_version(report: Dict, origin: str = "<report>") -> None:
+    """Check the report envelope (bench/schema_version/config/results)."""
+    if not isinstance(report, dict):
+        raise ValueError(f"{origin}: report must be a JSON object")
+    missing = [k for k in ("bench", "schema_version", "config", "results") if k not in report]
+    if missing:
+        raise ValueError(f"{origin}: missing top-level keys: {', '.join(missing)}")
+    if report["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"{origin}: schema_version {report['schema_version']!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )

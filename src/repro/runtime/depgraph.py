@@ -20,6 +20,76 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 from repro.runtime.task import Region, Task
 
 
+def transitive_reduction(
+    successors: Sequence[Sequence[int]],
+) -> Tuple[List[List[int]], List[Tuple[int, int]]]:
+    """Split a DAG's edges into order-defining and redundant sets.
+
+    An edge ``a → b`` is *redundant* when some other successor ``s`` of
+    ``a`` already reaches ``b`` (a path ``a → s → … → b`` exists), so the
+    edge adds no ordering the rest of the graph does not imply.  Returns
+    ``(reduced, redundant)`` where ``reduced`` is the successor list of
+    the transitive reduction — the unique minimal graph with the same
+    reachability — and ``redundant`` lists the dropped edges.
+
+    The dependence tracker derives one edge per (region, hazard) pair, so
+    redundant edges are *normal* in declared graphs; what the static
+    analyzer cares about is their count (dependence-management overhead,
+    cf. Bosch et al.) and that removing them leaves span and width
+    unchanged.  Requires tasks stored in a topological tid order (true by
+    construction for :class:`TaskGraph`).
+    """
+    desc = descendants_bitsets(successors)
+    reduced: List[List[int]] = []
+    redundant: List[Tuple[int, int]] = []
+    for a, succs in enumerate(successors):
+        keep: List[int] = []
+        for b in succs:
+            if any(s != b and (desc[s] >> b) & 1 for s in succs):
+                redundant.append((a, b))
+            else:
+                keep.append(b)
+        reduced.append(keep)
+    return reduced, redundant
+
+
+def longest_path(
+    successors: Sequence[Sequence[int]],
+    weights: Sequence[float],
+) -> float:
+    """Longest weighted path through a DAG given in topological tid order.
+
+    Standalone sibling of :meth:`TaskGraph.critical_path_length` for
+    callers that analyse *derived* edge sets (a transitive reduction, a
+    dataflow-only subgraph) without materialising a new ``TaskGraph``.
+    """
+    n = len(successors)
+    dist = [0.0] * n
+    best = 0.0
+    for tid in range(n):
+        d = dist[tid] + weights[tid]
+        for succ in successors[tid]:
+            if d > dist[succ]:
+                dist[succ] = d
+        if d > best:
+            best = d
+    return best
+
+
+def wavefront_width(successors: Sequence[Sequence[int]]) -> int:
+    """Maximum ASAP-level population of a DAG (see ``max_wavefront``)."""
+    n = len(successors)
+    level = [0] * n
+    for tid in range(n):
+        for succ in successors[tid]:
+            if level[tid] + 1 > level[succ]:
+                level[succ] = level[tid] + 1
+    counts: Dict[int, int] = {}
+    for lv in level:
+        counts[lv] = counts.get(lv, 0) + 1
+    return max(counts.values()) if counts else 0
+
+
 def descendants_bitsets(successors: Sequence[Sequence[int]]) -> List[int]:
     """Transitive-closure bitsets of a DAG given in topological tid order.
 
@@ -158,6 +228,14 @@ class TaskGraph:
         for pred, succs in enumerate(self.successors):
             for succ in succs:
                 yield pred, succ
+
+    def transitive_reduction(self) -> Tuple[List[List[int]], List[Tuple[int, int]]]:
+        """``(reduced successor lists, redundant edges)`` of this graph."""
+        return transitive_reduction(self.successors)
+
+    def redundant_edges(self) -> List[Tuple[int, int]]:
+        """Declared edges that are not order-defining (see module helper)."""
+        return self.transitive_reduction()[1]
 
     # -- reachability ---------------------------------------------------------
 

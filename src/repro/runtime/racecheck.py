@@ -185,7 +185,11 @@ class TrackedArray(np.ndarray):
             sub = None
             try:
                 cand = target[key]
-            except Exception:
+            except (IndexError, TypeError, ValueError):
+                # the only errors NumPy indexing raises for a key that
+                # cannot be materialised as a view (bad index, bad type,
+                # shape-mismatched mask); fall back to the conservative
+                # whole-array extent.  Anything else propagates.
                 cand = None
             if (
                 isinstance(cand, np.ndarray)
@@ -615,18 +619,13 @@ def order_defining_edges(graph: TaskGraph) -> List[Tuple[int, int]]:
     those whose endpoints conflict on a declared region, since a barrier
     edge with no shared data is not detectable from declarations.
     """
-    desc = graph.descendants_bitsets()
-    edges = []
-    for a, b in graph.edges():
-        redundant = any(
-            s != b and (desc[s] >> b) & 1 for s in graph.successors[a]
-        )
-        if redundant:
-            continue
-        if _declared_conflict(graph.tasks[a], graph.tasks[b]) is None:
-            continue
-        edges.append((a, b))
-    return edges
+    redundant = set(graph.redundant_edges())
+    return [
+        (a, b)
+        for a, b in graph.edges()
+        if (a, b) not in redundant
+        and _declared_conflict(graph.tasks[a], graph.tasks[b]) is not None
+    ]
 
 
 def mutation_probe(graph: TaskGraph, seed: int = 0) -> dict:

@@ -1,0 +1,212 @@
+"""AST payload/codebase lint: per-rule snippets, waivers, and the
+static rediscovery of the dynamically-caught cache race."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis.pylint import RULES, lint_paths, lint_source
+
+SRC = Path(repro.__file__).resolve().parent
+GRAPH_BUILDER = SRC / "core" / "graph_builder.py"
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+# -- mutable-default --------------------------------------------------------
+
+
+def test_mutable_default_flagged():
+    findings = lint_source("def f(a, b=[], c={}):\n    pass\n")
+    assert _rules(findings) == ["mutable-default", "mutable-default"]
+    assert findings[0].line == 1
+
+
+def test_mutable_constructor_default_flagged():
+    assert _rules(lint_source("def f(x=list()):\n    pass\n")) == ["mutable-default"]
+
+
+def test_immutable_defaults_clean():
+    assert lint_source("def f(a=(), b=None, c=0, d='s'):\n    pass\n") == []
+
+
+# -- swallowed-exception ----------------------------------------------------
+
+
+def test_bare_except_pass_flagged():
+    src = "try:\n    f()\nexcept Exception:\n    pass\n"
+    assert _rules(lint_source(src)) == ["swallowed-exception"]
+
+
+def test_bare_except_no_name_flagged():
+    src = "try:\n    f()\nexcept:\n    x = 1\n"
+    assert _rules(lint_source(src)) == ["swallowed-exception"]
+
+
+def test_except_that_records_the_exception_clean():
+    # the executor idiom: catch broad, but *keep* the failure
+    src = (
+        "try:\n    f()\nexcept BaseException as exc:\n"
+        "    errors.append(exc)\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_except_that_reraises_clean():
+    src = "try:\n    f()\nexcept Exception:\n    raise\n"
+    assert lint_source(src) == []
+
+
+def test_specific_exception_clean():
+    src = "try:\n    f()\nexcept ValueError:\n    pass\n"
+    assert lint_source(src) == []
+
+
+# -- float64-creep ----------------------------------------------------------
+
+_F64 = "import numpy as np\n\ndef gemm(a):\n    return a.astype(np.float64)\n"
+
+
+def test_float64_in_kernels_flagged():
+    findings = lint_source(_F64, path="src/repro/kernels/gemm.py")
+    assert _rules(findings) == ["float64-creep"]
+
+
+def test_float64_outside_kernels_clean():
+    assert lint_source(_F64, path="src/repro/harness/timing.py") == []
+
+
+def test_float64_string_dtype_in_kernels_flagged():
+    src = "def f(a):\n    return a.astype('float64')\n"
+    assert _rules(lint_source(src, path="src/repro/kernels/f.py")) == ["float64-creep"]
+
+
+# -- closure rules on a synthetic builder -----------------------------------
+
+_BUILDER_TEMPLATE = """
+class Builder:
+    def r_m(self, i):
+        return self.regions.get(("m", i), 64)
+
+    def r_logits(self, i):
+        return self.regions.get(("logits", i), 64)
+
+    def _fn_probe(self, i):
+        state = self.state
+        def fn():
+            {body}
+        return fn
+
+    def _build_probe(self, i):
+        self._add("probe", self._fn_probe(i), ins=[self.r_m(i)], {decl})
+"""
+
+
+def _builder_src(body, decl="outs=[self.r_logits(i)]"):
+    return _BUILDER_TEMPLATE.format(body=body, decl=decl)
+
+
+def test_declared_capture_clean():
+    src = _builder_src("state.logits[i] = state.merged[i].sum()")
+    assert lint_source(src) == []
+
+
+def test_undeclared_closure_capture_flagged():
+    src = _builder_src("state.logits[i] = state.dmerged[i].sum()")
+    findings = lint_source(src)
+    assert _rules(findings) == ["undeclared-closure-capture"]
+    assert "`dmerged`" in findings[0].message
+    assert "'dm'" in findings[0].message
+    assert "_build_probe" in findings[0].message
+
+
+def test_inplace_mutation_on_in_only_flagged():
+    src = _builder_src("state.merged[i] += 1.0")
+    findings = lint_source(src)
+    assert _rules(findings) == ["inplace-mutation-in-only"]
+    assert "'m'" in findings[0].message
+
+
+def test_inout_declaration_permits_mutation():
+    src = _builder_src(
+        "state.merged[i] += 1.0",
+        decl="inouts=[self.r_m(i)], outs=[self.r_logits(i)]",
+    )
+    # 'm' lands in writes via inouts=, so the mutation is declared
+    findings = [f for f in lint_source(src)
+                if f.rule == "inplace-mutation-in-only"]
+    assert findings == []
+
+
+def test_local_alias_resolves_to_family():
+    src = _builder_src(
+        "target = state.dmerged[i]\n            target[:] = 0.0"
+    )
+    findings = lint_source(src)
+    # both the attribute and its local alias resolve to the dm family
+    assert set(_rules(findings)) == {"undeclared-closure-capture"}
+    assert all("'dm'" in f.message for f in findings)
+
+
+# -- waivers ----------------------------------------------------------------
+
+
+def test_same_line_waiver_suppresses():
+    src = "def f(b=[]):  # lint: waive mutable-default\n    pass\n"
+    assert lint_source(src) == []
+
+
+def test_preceding_line_waiver_suppresses():
+    src = "# lint: waive mutable-default\ndef f(b=[]):\n    pass\n"
+    assert lint_source(src) == []
+
+
+def test_waive_all_suppresses():
+    src = "def f(b=[]):  # lint: waive all\n    pass\n"
+    assert lint_source(src) == []
+
+
+def test_waiver_for_other_rule_does_not_suppress():
+    src = "def f(b=[]):  # lint: waive float64-creep\n    pass\n"
+    assert _rules(lint_source(src)) == ["mutable-default"]
+
+
+def test_syntax_error_is_a_finding():
+    assert _rules(lint_source("def f(:\n")) == ["syntax-error"]
+
+
+# -- whole-package gate -----------------------------------------------------
+
+
+def test_repro_package_is_lint_clean():
+    findings = lint_paths([str(SRC)])
+    assert findings == [], "\n".join(f.describe() for f in findings)
+
+
+def test_rule_registry_matches_emitted_rules():
+    assert set(RULES) == {
+        "mutable-default", "swallowed-exception", "float64-creep",
+        "undeclared-closure-capture", "inplace-mutation-in-only",
+    }
+
+
+# -- static rediscovery of the racecheck finding ----------------------------
+
+
+def test_closure_capture_rediscovers_cache_race_statically():
+    """Deleting the cache *declaration* (but not the closure's use of it)
+    must be caught statically — the same bug class racecheck can only see
+    by executing the graph and watching the undeclared access happen.
+    """
+    source = GRAPH_BUILDER.read_text()
+    needle = "outs.append(self.r_cache(mb, layer, direction, step))"
+    assert needle in source, "graph_builder cache declaration moved; update test"
+    mutated = source.replace(needle, "pass")
+    findings = lint_source(mutated, path=str(GRAPH_BUILDER))
+    captures = [f for f in findings if f.rule == "undeclared-closure-capture"]
+    assert captures, "static lint failed to rediscover the cache race"
+    assert all("'cache'" in f.message for f in captures)
+    assert any("_fn_cell_fwd" in f.message for f in captures)
+    # and the unmutated source stays clean
+    assert lint_source(source, path=str(GRAPH_BUILDER)) == []

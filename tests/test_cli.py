@@ -52,3 +52,38 @@ def test_serve_bench_emits_json_report(capsys, tmp_path):
     assert "mean_size" in results["batches"]
     assert "shed" in results["requests"]
     assert printed["config"]["workers"] == 48  # the paper's machine by default
+
+
+def test_analyze_command_emits_valid_bench_json(capsys, tmp_path):
+    import json
+
+    from repro.harness.bench_json import load_bench_json
+
+    out_file = tmp_path / "analysis.json"
+    assert main([
+        "analyze", "--hidden", "5", "--layers", "2", "--input-size", "6",
+        "--seq-len", "4", "--batch", "4", "--mbs", "2",
+        "--output", str(out_file),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "graphlint" in out and "serialization debt" in out
+    report = load_bench_json(str(out_file))  # validates the envelope
+    assert report["bench"] == "graph_analysis"
+    results = report["results"]
+    assert results["graphlint"]["ok"] is True
+    assert results["graphlint"]["findings"] == []
+    assert results["parallelism"]["findings"] == []
+    assert results["parallelism"]["metrics"]["serialization_debt"] == 1.0
+    assert json.loads(out_file.read_text()) == report
+
+
+def test_analyze_command_lint_only(capsys):
+    assert main(["analyze", "--skip-graph", "--lint", "src/repro"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_analyze_command_fails_on_lint_findings(capsys, tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(b=[]):\n    pass\n")
+    assert main(["analyze", "--skip-graph", "--lint", str(bad)]) == 1
+    assert "mutable-default" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Shared plumbing for the ``tools/check_*.py`` report gates.
+
+Every gate follows the same contract: load one or more JSON reports,
+validate dotted-path/type schemas, print ``SCHEMA ERROR:`` lines to
+stderr, and exit 0 (clean) / 1 (schema errors) / 2 (usage).  This module
+holds the shared pieces so the per-gate scripts only declare their
+schemas and invariants.
+
+Standalone by design: the gates must run without ``PYTHONPATH=src`` so a
+broken repro package cannot take the report *checkers* down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Sequence, Tuple
+
+#: must match repro.harness.bench_json.SCHEMA_VERSION (kept literal so the
+#: gate works without importing the package it is gating)
+SCHEMA_VERSION = 1
+
+#: (dotted path, type) pairs every timing summary block provides
+TIMING_SCHEMA = [
+    ("median_s", (int, float)),
+    ("p95_s", (int, float)),
+    ("mean_s", (int, float)),
+    ("min_s", (int, float)),
+    ("n", int),
+]
+
+
+def lookup(obj, dotted: str):
+    """Resolve ``a.b.c`` through nested dicts; KeyError names the path."""
+    for part in dotted.split("."):
+        if not isinstance(obj, dict) or part not in obj:
+            raise KeyError(dotted)
+        obj = obj[part]
+    return obj
+
+
+def check_schema(obj, schema: Sequence[Tuple[str, type]], label: str, errors: List[str]) -> None:
+    """Append an error per missing/mistyped dotted path in ``schema``.
+
+    ``bool`` is not accepted where a number is expected (it is an ``int``
+    subclass), but schemas may demand ``bool`` explicitly.
+    """
+    for path, typ in schema:
+        try:
+            value = lookup(obj, path)
+        except KeyError:
+            errors.append(f"{label}: missing key {path!r}")
+            continue
+        wants_bool = typ is bool or (isinstance(typ, tuple) and bool in typ)
+        if not wants_bool and isinstance(value, bool):
+            errors.append(f"{label}: {path!r} has type bool")
+        elif not isinstance(value, typ):
+            errors.append(f"{label}: {path!r} has type {type(value).__name__}")
+
+
+def check_timing_block(summary, label: str, errors: List[str]) -> None:
+    """Validate one ``summarize_times`` block plus its sanity invariants."""
+    check_schema(summary, TIMING_SCHEMA, label, errors)
+    try:
+        if lookup(summary, "median_s") > lookup(summary, "p95_s"):
+            errors.append(f"{label}: median_s exceeds p95_s")
+        if lookup(summary, "median_s") <= 0:
+            errors.append(f"{label}: median_s must be positive")
+    except KeyError:
+        pass  # already reported
+
+
+def check_envelope(report, label: str, errors: List[str], bench: str = None) -> None:
+    """Validate the BENCH_*.json envelope (bench/schema_version/config/results)."""
+    if not isinstance(report, dict):
+        errors.append(f"{label}: report is not a JSON object")
+        return
+    for key in ("bench", "schema_version", "config", "results"):
+        if key not in report:
+            errors.append(f"{label}: missing top-level key {key!r}")
+    if report.get("schema_version", SCHEMA_VERSION) != SCHEMA_VERSION:
+        errors.append(
+            f"{label}: schema_version {report.get('schema_version')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    if bench is not None and report.get("bench") != bench:
+        errors.append(f"{label}: bench {report.get('bench')!r} (expected {bench!r})")
+
+
+def load_report(path: str):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def finish(errors: List[str], ok_lines: Sequence[str]) -> int:
+    """Common exit protocol: stderr errors → 1, else print OKs → 0."""
+    if errors:
+        for err in errors:
+            print(f"SCHEMA ERROR: {err}", file=sys.stderr)
+        return 1
+    for line in ok_lines:
+        print(line)
+    return 0

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Gate a ``BENCH_graph_analysis.json`` static-analysis report.
+
+Used by the CI smoke target (``make smoke-analysis``).  Beyond schema
+shape, this gate enforces the analysis *outcomes*:
+
+* zero graphlint findings — the declared graph is structurally sound;
+* zero over-declaration findings — no spurious ``inout`` serialisation;
+* the serialization-debt budget: declared span may exceed the pure
+  dataflow span by at most ``--debt-budget`` (default 1.01, i.e. the
+  barrier-free builder must declare essentially *only* the orderings the
+  values require — a regression here means a graph-builder change
+  traded away parallelism silently);
+* when the report includes an AST-lint block, zero pylint findings.
+
+    python tools/check_analysis.py BENCH_graph_analysis.json [...]
+    python tools/check_analysis.py --debt-budget 1.25 smoke.json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _reportlib import check_envelope, check_schema, finish, load_report, lookup
+
+DEFAULT_DEBT_BUDGET = 1.01
+
+RESULTS_SCHEMA = [
+    ("graphlint.ok", bool),
+    ("graphlint.n_tasks", int),
+    ("graphlint.n_edges", int),
+    ("graphlint.n_regions", int),
+    ("graphlint.findings", list),
+    ("parallelism.ok", bool),
+    ("parallelism.findings", list),
+    ("parallelism.metrics.n_tasks", (int, float)),
+    ("parallelism.metrics.n_edges", (int, float)),
+    ("parallelism.metrics.n_redundant_edges", (int, float)),
+    ("parallelism.metrics.redundant_edge_fraction", (int, float)),
+    ("parallelism.metrics.width", (int, float)),
+    ("parallelism.metrics.span_tasks", (int, float)),
+    ("parallelism.metrics.span_flops", (int, float)),
+    ("parallelism.metrics.total_flops", (int, float)),
+    ("parallelism.metrics.avg_parallelism", (int, float)),
+    ("parallelism.metrics.dataflow_span_tasks", (int, float)),
+    ("parallelism.metrics.serialization_debt", (int, float)),
+]
+
+
+def check_report(report, label, errors, debt_budget):
+    check_envelope(report, label, errors, bench="graph_analysis")
+    results = report.get("results")
+    if not isinstance(results, dict):
+        errors.append(f"{label}: missing/invalid 'results' block")
+        return
+    check_schema(results, RESULTS_SCHEMA, label, errors)
+    try:
+        for half in ("graphlint", "parallelism"):
+            findings = lookup(results, f"{half}.findings")
+            if findings:
+                first = findings[0]
+                errors.append(
+                    f"{label}: {half} reported {len(findings)} finding(s), "
+                    f"first: [{first.get('rule')}] {first.get('task')} "
+                    f"region {first.get('region')}"
+                )
+        debt = lookup(results, "parallelism.metrics.serialization_debt")
+        if debt > debt_budget:
+            errors.append(
+                f"{label}: serialization_debt {debt:.4f} exceeds budget "
+                f"{debt_budget} — the declared graph serialises beyond its "
+                "dataflow (spurious dependences?)"
+            )
+        if lookup(results, "parallelism.metrics.width") < 1:
+            errors.append(f"{label}: parallelism width < 1")
+    except KeyError:
+        pass  # already reported by check_schema
+    if "pylint" in results:
+        pylint = results["pylint"]
+        check_schema(pylint, [("ok", bool), ("findings", list)], f"{label}.pylint", errors)
+        for f in pylint.get("findings", []):
+            errors.append(
+                f"{label}: pylint [{f.get('rule')}] {f.get('path')}:{f.get('line')} "
+                f"{f.get('message')}"
+            )
+
+
+def main(argv) -> int:
+    args = list(argv[1:])
+    debt_budget = DEFAULT_DEBT_BUDGET
+    if "--debt-budget" in args:
+        i = args.index("--debt-budget")
+        try:
+            debt_budget = float(args[i + 1])
+        except (IndexError, ValueError):
+            print(__doc__)
+            return 2
+        del args[i:i + 2]
+    if not args:
+        print(__doc__)
+        return 2
+    errors: list = []
+    for path in args:
+        check_report(load_report(path), path, errors, debt_budget)
+    return finish(errors, [f"{path}: graph-analysis report OK" for path in args])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

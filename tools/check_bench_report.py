@@ -13,17 +13,9 @@ selects the per-bench results schema.
 
 from __future__ import annotations
 
-import json
 import sys
 
-#: (dotted path, type) pairs every timing summary block provides
-TIMING_SCHEMA = [
-    ("median_s", (int, float)),
-    ("p95_s", (int, float)),
-    ("mean_s", (int, float)),
-    ("min_s", (int, float)),
-    ("n", int),
-]
+from _reportlib import check_schema, check_timing_block, finish, load_report, lookup
 
 #: per-bench results schema, keyed by the record's ``bench`` field
 RESULTS_SCHEMA = {
@@ -58,25 +50,6 @@ TIMING_BLOCKS = {
 }
 
 
-def lookup(obj, dotted):
-    for part in dotted.split("."):
-        if not isinstance(obj, dict) or part not in obj:
-            raise KeyError(dotted)
-        obj = obj[part]
-    return obj
-
-
-def check_schema(obj, schema, label, errors):
-    for path, typ in schema:
-        try:
-            value = lookup(obj, path)
-        except KeyError:
-            errors.append(f"{label}: missing key {path!r}")
-            continue
-        if isinstance(value, bool) or not isinstance(value, typ):
-            errors.append(f"{label}: {path!r} has type {type(value).__name__}")
-
-
 def check_report(report, label, errors):
     bench = report.get("bench")
     if bench not in RESULTS_SCHEMA:
@@ -95,14 +68,7 @@ def check_report(report, label, errors):
             summary = lookup(results, block)
         except KeyError:
             continue  # already reported
-        check_schema(summary, TIMING_SCHEMA, f"{label}.{block}", errors)
-        try:
-            if lookup(summary, "median_s") > lookup(summary, "p95_s"):
-                errors.append(f"{label}.{block}: median_s exceeds p95_s")
-            if lookup(summary, "median_s") <= 0:
-                errors.append(f"{label}.{block}: median_s must be positive")
-        except KeyError:
-            pass
+        check_timing_block(summary, f"{label}.{block}", errors)
     if bench == "fused_projection":
         try:
             reduction = lookup(results, "sim.critical_path_reduction")
@@ -122,16 +88,8 @@ def main(argv) -> int:
         return 2
     errors: list = []
     for path in argv[1:]:
-        with open(path) as fh:
-            report = json.load(fh)
-        check_report(report, path, errors)
-    if errors:
-        for err in errors:
-            print(f"SCHEMA ERROR: {err}", file=sys.stderr)
-        return 1
-    for path in argv[1:]:
-        print(f"{path}: bench record schema OK")
-    return 0
+        check_report(load_report(path), path, errors)
+    return finish(errors, [f"{path}: bench record schema OK" for path in argv[1:]])
 
 
 if __name__ == "__main__":

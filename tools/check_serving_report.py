@@ -12,8 +12,9 @@ the build even when the run itself succeeds.  Accepts either a CLI report
 
 from __future__ import annotations
 
-import json
 import sys
+
+from _reportlib import check_schema, finish, load_report, lookup
 
 #: (dotted path, type) pairs every results block must provide
 RESULTS_SCHEMA = [
@@ -36,23 +37,8 @@ RESULTS_SCHEMA = [
 ]
 
 
-def lookup(obj, dotted):
-    for part in dotted.split("."):
-        if not isinstance(obj, dict) or part not in obj:
-            raise KeyError(dotted)
-        obj = obj[part]
-    return obj
-
-
 def check_results(results, label, errors):
-    for path, typ in RESULTS_SCHEMA:
-        try:
-            value = lookup(results, path)
-        except KeyError:
-            errors.append(f"{label}: missing key {path!r}")
-            continue
-        if isinstance(value, bool) or not isinstance(value, typ):
-            errors.append(f"{label}: {path!r} has type {type(value).__name__}")
+    check_schema(results, RESULTS_SCHEMA, label, errors)
     try:
         if lookup(results, "throughput_rps") <= 0:
             errors.append(f"{label}: throughput_rps must be positive")
@@ -71,8 +57,7 @@ def main(argv) -> int:
     if len(argv) != 2:
         print(__doc__)
         return 2
-    with open(argv[1]) as fh:
-        report = json.load(fh)
+    report = load_report(argv[1])
 
     errors: list = []
     if "results" in report:
@@ -87,12 +72,7 @@ def main(argv) -> int:
     else:
         errors.append("report has neither a 'results' nor a 'sweep' block")
 
-    if errors:
-        for err in errors:
-            print(f"SCHEMA ERROR: {err}", file=sys.stderr)
-        return 1
-    print(f"{argv[1]}: serving report schema OK")
-    return 0
+    return finish(errors, [f"{argv[1]}: serving report schema OK"])
 
 
 if __name__ == "__main__":
