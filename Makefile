@@ -1,6 +1,6 @@
 # Convenience targets; CI (.github/workflows/ci.yml) runs `test`, `lint`,
-# `smoke-serving`, `smoke-fused`, `smoke-racecheck` and `smoke-analysis`
-# on every push.
+# `smoke-serving`, `smoke-fused`, `smoke-racecheck`, `smoke-analysis` and
+# `smoke-obs` on every push.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -8,8 +8,12 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 SMOKE_REPORT ?= /tmp/repro_serving_smoke.json
 SMOKE_FUSED_REPORT ?= /tmp/repro_fused_smoke.json
 SMOKE_ANALYSIS_REPORT ?= /tmp/repro_analysis_smoke.json
+SMOKE_OBS_REPORT ?= /tmp/repro_obs_smoke.json
+# CI runners are noisy shared tenants: the committed baseline records the
+# ≤2 % claim; the freshly-measured smoke run gets slack against tenancy.
+SMOKE_OBS_BUDGET ?= 1.10
 
-.PHONY: test lint smoke-serving smoke-fused smoke-racecheck smoke-analysis bench fused-bench serve-bench clean
+.PHONY: test lint smoke-serving smoke-fused smoke-racecheck smoke-analysis smoke-obs bench fused-bench serve-bench clean
 
 # tier-1: the full unit/integration/property suite (serving tests included)
 test:
@@ -54,6 +58,20 @@ smoke-analysis:
 	$(PYTHON) tools/check_analysis.py $(SMOKE_ANALYSIS_REPORT) \
 		benchmarks/baselines/BENCH_graph_analysis.json
 
+# observability smoke: the obs-layer unit tests, then the scheduler-counter
+# comparison + metrics-overhead A/B end-to-end through the real CLI, then
+# the JSON gate — strict ≤2 % budget on the committed baseline, tenancy
+# slack on the freshly-measured smoke run
+smoke-obs:
+	$(PYTHON) -m pytest tests/obs -x -q
+	$(PYTHON) -m repro obs-report \
+		--policy locality --compare fifo --cores 16 \
+		--seq-len 30 --batch 8 --mbs 2 --iters 7 \
+		--overhead-budget $(SMOKE_OBS_BUDGET) \
+		--output $(SMOKE_OBS_REPORT) > /dev/null
+	$(PYTHON) tools/check_obs_report.py --budget $(SMOKE_OBS_BUDGET) $(SMOKE_OBS_REPORT)
+	$(PYTHON) tools/check_obs_report.py benchmarks/baselines/BENCH_obs_overhead.json
+
 # race-detector smoke: the checker's own unit tests, then the mutation
 # self-test gate (clean graph -> zero findings; each seeded dependence
 # deletion -> detected; fuzzed schedules -> bitwise identical to FIFO)
@@ -75,4 +93,5 @@ serve-bench:
 	$(PYTHON) -m repro serve-bench --arrival-rate 200 --duration 5 --executor sim
 
 clean:
-	rm -f $(SMOKE_REPORT) $(SMOKE_FUSED_REPORT) $(SMOKE_ANALYSIS_REPORT) serving_report.json
+	rm -f $(SMOKE_REPORT) $(SMOKE_FUSED_REPORT) $(SMOKE_ANALYSIS_REPORT) \
+		$(SMOKE_OBS_REPORT) serving_report.json

@@ -6,11 +6,11 @@ Recurrent Neural Networks on Multi-core Architectures" (IPDPS 2022).
 Quickstart::
 
     import numpy as np
-    from repro import BRNNSpec, BParEngine
+    from repro import BRNNSpec, BParEngine, ExecutionConfig
 
     spec = BRNNSpec(cell="lstm", input_size=39, hidden_size=64,
                     num_layers=3, head="many_to_one", num_classes=11)
-    engine = BParEngine(spec, seed=0)
+    engine = BParEngine(spec, config=ExecutionConfig(seed=0))
     x = np.random.randn(20, 16, 39).astype(np.float32)   # (T, B, features)
     labels = np.random.randint(0, 11, size=16)
     loss = engine.train_batch(x, labels, lr=0.05)
@@ -30,8 +30,13 @@ Package layout (see DESIGN.md):
 * :mod:`repro.harness` — per-table/per-figure experiment drivers
 * :mod:`repro.serve` — online inference serving: bounded queue,
   dynamic batching, SLO metrics (docs/SERVING.md)
+* :mod:`repro.obs` — observability: metrics registry, scheduler
+  counters, profiling hooks (docs/OBSERVABILITY.md); attached through
+  :class:`~repro.config.ExecutionConfig`
 """
 
+from repro.config import ExecutionConfig
+from repro.obs import CallbackHooks, MetricsRegistry, ProfilingHooks
 from repro.models.spec import BRNNSpec
 from repro.models.params import BRNNParams
 from repro.core.bpar import BParEngine
@@ -46,6 +51,10 @@ from repro.serve import InferenceEngine, Server, ServerConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExecutionConfig",
+    "MetricsRegistry",
+    "ProfilingHooks",
+    "CallbackHooks",
     "BRNNSpec",
     "BRNNParams",
     "BParEngine",

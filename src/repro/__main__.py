@@ -9,11 +9,16 @@
     python -m repro fused-bench [...]       # fused input projection ablation (JSON)
     python -m repro racecheck [...]         # dependency-declaration race check
     python -m repro analyze [...]           # static graph lint + AST lint
+    python -m repro obs-report [...]        # scheduler counters + metrics overhead
 
 ``--full`` runs the paper's complete configuration grids (minutes); the
 default grids cover every regime in seconds.  The same drivers back the
 pytest-benchmark suite in ``benchmarks/``, which additionally asserts each
 experiment's shape criteria.
+
+Execution flags (``--executor``, ``--cores``, ``--scheduler``, ``--mbs``,
+``--seed``, ``--fused-input-projection``, ``--proj-block``) are shared by
+every command through :func:`repro.config.add_execution_args`.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import argparse
 import sys
 
 from repro.analysis.report import format_table
+from repro.config import add_execution_args, config_from_args
 from repro.harness import figures
 from repro.harness.tables import HEADERS, TABLE_CONFIGS, TABLE_CONFIGS_SMOKE, run_table
 from repro.models.spec import BRNNSpec
@@ -131,6 +137,7 @@ def _cmd_serve_bench(args) -> None:
     """Serve a synthetic request stream and emit the JSON SLO report."""
     import json
 
+    from repro.obs import MetricsRegistry
     from repro.serve import (
         InferenceEngine,
         Server,
@@ -156,13 +163,7 @@ def _cmd_serve_bench(args) -> None:
     )
     requests = make_workload(args.workload, workload_cfg, seed=args.seed)
     engine = InferenceEngine(
-        spec,
-        executor=args.executor,
-        mbs=args.mbs,
-        n_cores=args.cores if args.executor == "sim" else None,
-        seed=args.seed,
-        fused_input_projection=args.fused_input_projection,
-        proj_block=args.proj_block,
+        spec, config=config_from_args(args, metrics=MetricsRegistry())
     )
     server_cfg = ServerConfig(
         queue_capacity=args.queue_capacity,
@@ -176,6 +177,7 @@ def _cmd_serve_bench(args) -> None:
         "config": {
             "model": spec.describe(),
             "executor": args.executor,
+            "scheduler": args.scheduler,
             "workers": engine.n_workers,
             "workload": args.workload,
             "arrival_rate_hz": args.arrival_rate,
@@ -413,6 +415,55 @@ def _cmd_analyze(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_obs_report(args) -> int:
+    """Scheduler-counter comparison + metrics-overhead A/B (BENCH JSON).
+
+    Runs the same cost graph under ``--policy`` and ``--compare`` on the
+    simulated machine and prints their scheduler counters side by side
+    (locality hit rate, steals, queue depth, per-core busy fraction);
+    unless ``--no-overhead``, also measures the threaded engine with
+    metrics on vs off.  ``--output`` writes the ``obs_overhead`` BENCH
+    JSON that ``tools/check_obs_report.py`` gates in CI.
+    """
+    import json
+
+    from repro.harness.bench_json import write_bench_json
+    from repro.obs.report import OVERHEAD_BUDGET, format_comparison, run_obs_report
+
+    point = run_obs_report(
+        policy=args.policy,
+        compare=args.compare,
+        n_cores=args.cores,
+        mbs=args.mbs,
+        seq_len=args.seq_len,
+        batch=args.batch,
+        iters=args.iters,
+        seed=args.seed,
+        overhead=not args.no_overhead,
+        overhead_budget=(
+            args.overhead_budget if args.overhead_budget is not None
+            else OVERHEAD_BUDGET
+        ),
+    )
+    print(format_comparison(point["results"]["comparison"], args.policy, args.compare))
+    overhead = point["results"].get("overhead")
+    if overhead is not None:
+        verdict = "within" if overhead["within_budget"] else "EXCEEDS"
+        print(
+            f"metrics overhead: x{overhead['overhead_ratio']:.4f} "
+            f"({verdict} x{overhead['budget']:.2f} budget; "
+            f"disabled {overhead['disabled']['median_s'] * 1e3:.2f} ms vs "
+            f"enabled {overhead['enabled']['median_s'] * 1e3:.2f} ms median)"
+        )
+    if args.output:
+        report = write_bench_json(
+            args.output, "obs_overhead", point["config"], point["results"]
+        )
+        print(f"# report written to {args.output}", file=sys.stderr)
+        del report
+    return 0 if overhead is None or overhead["within_budget"] else 1
+
+
 def _cmd_memory(args) -> None:
     free, barred = figures.memory_study()
     print(f"barrier-free : {free.mean_live_tasks:5.1f} live tasks, "
@@ -437,6 +488,7 @@ COMMANDS = {
     "fused-bench": _cmd_fused_bench,
     "racecheck": _cmd_racecheck,
     "analyze": _cmd_analyze,
+    "obs-report": _cmd_obs_report,
 }
 
 
@@ -446,8 +498,6 @@ def _add_serve_bench_args(parser: argparse.ArgumentParser) -> None:
                    help="mean request arrival rate (req/s)")
     g.add_argument("--duration", type=float, default=5.0,
                    help="length of the arrival window (s, server clock)")
-    g.add_argument("--executor", choices=("sim", "threaded"), default="sim",
-                   help="simulated 48-core machine or real worker threads")
     g.add_argument("--workload", choices=("poisson", "bursty"), default="poisson")
     g.add_argument("--max-batch-size", type=int, default=32)
     g.add_argument("--max-wait", type=float, default=5e-3,
@@ -457,32 +507,22 @@ def _add_serve_bench_args(parser: argparse.ArgumentParser) -> None:
     g.add_argument("--queue-capacity", type=int, default=128)
     g.add_argument("--queue-policy", choices=("reject", "drop_oldest"),
                    default="reject")
-    g.add_argument("--mbs", type=int, default=4,
-                   help="data-parallel chunks per batch (hybrid parallelism)")
     g.add_argument("--slo", type=float, default=None,
                    help="per-request deadline (s after arrival); expired requests drop")
-    g.add_argument("--cores", type=int, default=None,
-                   help="simulated core count (default: whole machine, 48)")
     g.add_argument("--cell", choices=("lstm", "gru"), default="lstm")
     g.add_argument("--hidden", type=int, default=256)
     g.add_argument("--layers", type=int, default=6)
     g.add_argument("--input-size", type=int, default=64)
     g.add_argument("--seq-min", type=int, default=40)
     g.add_argument("--seq-max", type=int, default=100)
-    g.add_argument("--seed", type=int, default=0)
     g.add_argument("--output", type=str, default=None,
                    help="also write the JSON report to this path")
-    g.add_argument("--fused-input-projection", choices=("on", "off", "auto"),
-                   default="auto",
-                   help="hoist X@W_x GEMMs off the recurrent critical path")
-    g.add_argument("--proj-block", type=int, default=None,
-                   help="timesteps per hoisted projection task (default 16)")
     g.add_argument("--seq-len", type=int, default=100,
-                   help="(fused-bench) sequence length of the timed batch")
+                   help="(fused-bench/obs-report) sequence length of the timed batch")
     g.add_argument("--batch", type=int, default=32,
-                   help="(fused-bench) batch size of the timed batch")
+                   help="(fused-bench/obs-report) batch size of the timed batch")
     g.add_argument("--iters", type=int, default=5,
-                   help="(fused-bench) timed iterations per mode")
+                   help="(fused-bench/obs-report) timed iterations per mode")
 
 
 def _add_racecheck_args(parser: argparse.ArgumentParser) -> None:
@@ -501,6 +541,19 @@ def _add_racecheck_args(parser: argparse.ArgumentParser) -> None:
                    help="replay a recorded schedule JSON against a fresh build")
 
 
+def _add_obs_report_args(parser: argparse.ArgumentParser) -> None:
+    g = parser.add_argument_group("obs-report options")
+    g.add_argument("--policy", type=str, default="locality",
+                   help="scheduler policy under study (default: locality)")
+    g.add_argument("--compare", type=str, default="fifo",
+                   help="baseline policy run on the same graph (default: fifo)")
+    g.add_argument("--no-overhead", action="store_true",
+                   help="skip the threaded metrics-overhead A/B measurement")
+    g.add_argument("--overhead-budget", type=float, default=None,
+                   help="overhead gate as a ratio (default 1.02; CI smoke "
+                        "runs pass slack for noisy shared runners)")
+
+
 def _add_analyze_args(parser: argparse.ArgumentParser) -> None:
     g = parser.add_argument_group("analyze options")
     g.add_argument("--lint", nargs="?", const="src/repro", default=None,
@@ -514,7 +567,7 @@ def _add_analyze_args(parser: argparse.ArgumentParser) -> None:
                    help="analyze the B-Seq (chunk-serialised) graph variant")
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures on the simulated machine.",
@@ -522,10 +575,16 @@ def main(argv=None) -> int:
     parser.add_argument("command", choices=sorted(COMMANDS))
     parser.add_argument("--full", action="store_true",
                         help="use the paper's complete configuration grids")
+    add_execution_args(parser)
     _add_serve_bench_args(parser)
     _add_racecheck_args(parser)
     _add_analyze_args(parser)
-    args = parser.parse_args(argv)
+    _add_obs_report_args(parser)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
     return int(COMMANDS[args.command](args) or 0)
 
 

@@ -13,11 +13,20 @@ from typing import Dict, List, Optional
 from repro.runtime.trace import ExecutionTrace
 
 
-def to_chrome_trace(trace: ExecutionTrace, process_name: str = "repro") -> Dict:
+def to_chrome_trace(
+    trace: ExecutionTrace,
+    process_name: str = "repro",
+    snapshots=None,
+) -> Dict:
     """Convert a trace to a Chrome trace-event ``dict`` (JSON-serialisable).
 
     Timestamps/durations are microseconds, as the format requires; each
     simulated/real core becomes a thread row.
+
+    ``snapshots`` — a :class:`~repro.obs.snapshot.SnapshotLog` (or iterable
+    of :class:`~repro.obs.snapshot.Snapshot`) — adds each sampled metric as
+    a Chrome counter event (``"ph": "C"``), so queue depth, steal counts
+    and locality hit rates plot as tracks above the task timeline.
     """
     events: List[Dict] = [
         {
@@ -54,13 +63,27 @@ def to_chrome_trace(trace: ExecutionTrace, process_name: str = "repro") -> Dict:
                 },
             }
         )
+    if snapshots is not None:
+        for snap in getattr(snapshots, "snapshots", snapshots):
+            for metric, value in sorted(snap.values.items()):
+                events.append(
+                    {
+                        "name": metric,
+                        "ph": "C",  # counter event
+                        "pid": 0,
+                        "ts": snap.t * 1e6,
+                        "args": {"value": value},
+                    }
+                )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def save_chrome_trace(trace: ExecutionTrace, path, process_name: str = "repro") -> None:
+def save_chrome_trace(
+    trace: ExecutionTrace, path, process_name: str = "repro", snapshots=None
+) -> None:
     """Write :func:`to_chrome_trace` output as JSON to ``path``."""
     with open(path, "w") as fh:
-        json.dump(to_chrome_trace(trace, process_name), fh)
+        json.dump(to_chrome_trace(trace, process_name, snapshots=snapshots), fh)
 
 
 def ascii_timeline(

@@ -1,0 +1,220 @@
+"""The unified execution-configuration API (docs/API.md).
+
+:class:`ExecutionConfig` is the single object that names *how* a graph
+runs — substrate, worker count, scheduler policy, hybrid-parallelism and
+fusion knobs, and the observability attachments (``metrics``/``hooks``)
+— accepted by :class:`~repro.core.bpar.BParEngine`,
+:class:`~repro.core.bseq.BSeqEngine`,
+:class:`~repro.serve.engine.InferenceEngine` and the CLI through one
+``config=`` parameter.
+
+The pre-existing per-engine keyword arguments (``executor=``, ``mbs=``,
+``fused_input_projection=``, …) keep working through
+:meth:`ExecutionConfig.from_kwargs`, which maps them onto a config and
+emits a single :class:`DeprecationWarning`; new code should construct the
+config directly.  :func:`add_execution_args` / :func:`config_from_args`
+are the argparse half: every ``python -m repro`` subcommand shares one
+execution flag group instead of re-declaring it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.obs.hooks import ProfilingHooks
+from repro.obs.registry import MetricsRegistry
+
+#: engine keyword arguments that ``from_kwargs`` maps onto config fields —
+#: the deprecated spelling of the execution API
+LEGACY_EXECUTION_KWARGS = (
+    "executor",
+    "n_workers",
+    "n_cores",
+    "scheduler",
+    "mbs",
+    "barrier_free",
+    "fused_input_projection",
+    "proj_block",
+    "seed",
+)
+
+#: config fields that were never kwargs and therefore do not warn
+_NEW_FIELDS = ("metrics", "hooks")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Immutable description of one execution setup.
+
+    Parameters
+    ----------
+    executor:
+        ``"threaded"`` (real worker threads), ``"sim"`` (deterministic
+        modelled machine), a ready executor instance, or ``None`` for the
+        owning engine's default substrate.
+    n_workers:
+        Worker threads (threaded) or simulated cores (sim); ``None`` means
+        the substrate default (host-sized pool / whole modelled machine).
+    scheduler:
+        Ready-queue policy: ``"fifo"``/``"lifo"``/``"locality"``/
+        ``"steal"``/``"fuzz:SEED"``.
+    mbs:
+        Data-parallel chunks per batch (the paper's hybrid-parallelism
+        knob), clamped to the batch size at build time.
+    barrier_free:
+        Build the barrier-free graph (B-Par) rather than per-layer
+        barriers.
+    fused_input_projection / proj_block:
+        Hoist ``X @ W_x`` GEMMs off the recurrent chain
+        (``"off"``/``"on"``/``"auto"``) and the timesteps per hoisted
+        block.
+    seed:
+        Parameter-initialisation seed used when an engine creates its own
+        weights.
+    metrics:
+        A :class:`~repro.obs.registry.MetricsRegistry` the executors
+        publish per-run counters into (``None`` disables — the default
+        and zero-overhead path).
+    hooks:
+        Live :class:`~repro.obs.hooks.ProfilingHooks` invoked during
+        execution (``None`` disables).
+    """
+
+    executor: Any = None
+    n_workers: Optional[int] = None
+    scheduler: str = "locality"
+    mbs: int = 1
+    barrier_free: bool = True
+    fused_input_projection: str = "off"
+    proj_block: Optional[int] = None
+    seed: int = 0
+    metrics: Optional[MetricsRegistry] = None
+    hooks: Optional[ProfilingHooks] = None
+
+    def __post_init__(self) -> None:
+        if self.mbs < 1:
+            raise ValueError("mbs must be >= 1")
+        if self.fused_input_projection not in ("off", "on", "auto"):
+            raise ValueError(
+                "fused_input_projection must be 'off', 'on' or 'auto', got "
+                f"{self.fused_input_projection!r}"
+            )
+
+    def replace(self, **changes) -> "ExecutionConfig":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_kwargs(
+        cls,
+        _defaults: Optional["ExecutionConfig"] = None,
+        _stacklevel: int = 3,
+        **kwargs,
+    ) -> "ExecutionConfig":
+        """Build a config from legacy engine keyword arguments.
+
+        ``n_cores`` (the simulated-machine spelling) aliases onto
+        ``n_workers``.  Emits one :class:`DeprecationWarning` naming the
+        legacy keys; unknown keys raise :class:`TypeError` exactly as the
+        old engine signatures did.
+        """
+        base = _defaults if _defaults is not None else cls()
+        # Warn with the spelling the caller actually used, before aliasing.
+        legacy = sorted(k for k in kwargs if k in LEGACY_EXECUTION_KWARGS)
+        if "n_cores" in kwargs:
+            if "n_workers" in kwargs:
+                raise TypeError("pass n_workers or n_cores, not both")
+            kwargs["n_workers"] = kwargs.pop("n_cores")
+        unknown = [
+            k for k in kwargs
+            if k not in LEGACY_EXECUTION_KWARGS and k not in _NEW_FIELDS
+        ]
+        if unknown:
+            raise TypeError(
+                f"unexpected execution keyword argument(s): {', '.join(sorted(unknown))}"
+            )
+        if legacy:
+            warnings.warn(
+                f"passing {', '.join(legacy)} as engine keyword arguments is "
+                "deprecated; pass config=ExecutionConfig(...) instead "
+                "(see docs/API.md for the migration table)",
+                DeprecationWarning,
+                stacklevel=_stacklevel,
+            )
+        return dataclasses.replace(base, **kwargs)
+
+
+def resolve_engine_config(
+    config: Optional[ExecutionConfig],
+    legacy: Dict[str, Any],
+    defaults: Optional[ExecutionConfig] = None,
+) -> ExecutionConfig:
+    """The engines' shared front door: ``config=`` XOR legacy kwargs.
+
+    ``defaults`` supplies per-engine defaults (e.g. the serving engine's
+    ``executor="sim"``, ``fused_input_projection="auto"``) applied under
+    both paths when the caller leaves fields unset.
+    """
+    if config is not None:
+        if legacy:
+            raise TypeError(
+                "pass either config=ExecutionConfig(...) or legacy keyword "
+                f"arguments, not both (got both config= and "
+                f"{', '.join(sorted(legacy))})"
+            )
+        return config
+    if legacy:
+        return ExecutionConfig.from_kwargs(_defaults=defaults, _stacklevel=4, **legacy)
+    return defaults if defaults is not None else ExecutionConfig()
+
+
+# -- CLI integration -----------------------------------------------------------
+
+def add_execution_args(parser: argparse.ArgumentParser) -> None:
+    """The one shared "execution options" argparse group.
+
+    Every ``python -m repro`` subcommand that runs graphs reads these
+    flags; :func:`config_from_args` turns the parsed namespace back into
+    an :class:`ExecutionConfig`.
+    """
+    g = parser.add_argument_group("execution options")
+    g.add_argument("--executor", choices=("sim", "threaded"), default="sim",
+                   help="simulated machine (deterministic) or real worker threads")
+    g.add_argument("--cores", type=int, default=None,
+                   help="simulated cores / worker threads "
+                        "(default: whole modelled machine or host-sized pool)")
+    g.add_argument("--scheduler", type=str, default="locality",
+                   help="ready-queue policy: fifo|lifo|locality|steal|fuzz:SEED")
+    g.add_argument("--mbs", type=int, default=4,
+                   help="data-parallel chunks per batch (hybrid parallelism)")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--fused-input-projection", choices=("on", "off", "auto"),
+                   default="auto",
+                   help="hoist X@W_x GEMMs off the recurrent critical path")
+    g.add_argument("--proj-block", type=int, default=None,
+                   help="timesteps per hoisted projection task (default 16)")
+
+
+def config_from_args(
+    args: argparse.Namespace,
+    metrics: Optional[MetricsRegistry] = None,
+    hooks: Optional[ProfilingHooks] = None,
+    **overrides,
+) -> ExecutionConfig:
+    """:class:`ExecutionConfig` from an :func:`add_execution_args` namespace."""
+    cfg = ExecutionConfig(
+        executor=args.executor,
+        n_workers=args.cores,
+        scheduler=args.scheduler,
+        mbs=args.mbs,
+        seed=args.seed,
+        fused_input_projection=args.fused_input_projection,
+        proj_block=args.proj_block,
+        metrics=metrics,
+        hooks=hooks,
+    )
+    return cfg.replace(**overrides) if overrides else cfg

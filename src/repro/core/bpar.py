@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.config import ExecutionConfig, resolve_engine_config
 from repro.core.graph_builder import GraphBuildResult, build_brnn_graph
 from repro.models.params import BRNNParams
 from repro.models.spec import BRNNSpec
@@ -22,13 +23,49 @@ from repro.runtime.executor import ThreadedExecutor
 from repro.runtime.trace import ExecutionTrace
 
 
-def default_executor() -> ThreadedExecutor:
+def default_executor(config: Optional[ExecutionConfig] = None) -> ThreadedExecutor:
     """Threaded executor sized to the host (capped: tasks are GEMM-bound)."""
-    return ThreadedExecutor(min(8, os.cpu_count() or 1))
+    cfg = config if config is not None else ExecutionConfig()
+    n = cfg.n_workers if cfg.n_workers is not None else min(8, os.cpu_count() or 1)
+    return ThreadedExecutor(
+        n, scheduler_factory=cfg.scheduler, metrics=cfg.metrics, hooks=cfg.hooks
+    )
+
+
+def resolve_executor(config: ExecutionConfig):
+    """Executor instance for a config's ``executor`` field.
+
+    ``None``/``"threaded"`` → host threads; ``"sim"`` → the modelled
+    48-core Xeon; a ready executor instance passes through unchanged (the
+    config's ``n_workers``/``scheduler``/``metrics``/``hooks`` are then the
+    instance's responsibility).
+    """
+    ex = config.executor
+    if ex is None or ex == "threaded":
+        return default_executor(config)
+    if ex == "sim":
+        from repro.runtime.simexec import SimulatedExecutor
+        from repro.simarch.presets import xeon_8160_2s
+
+        return SimulatedExecutor(
+            xeon_8160_2s(),
+            n_cores=config.n_workers,
+            scheduler=config.scheduler,
+            metrics=config.metrics,
+            hooks=config.hooks,
+        )
+    if isinstance(ex, str):
+        raise ValueError(f"unknown executor name {ex!r} (use 'threaded' or 'sim')")
+    return ex
 
 
 class BParEngine:
-    """Barrier-free task-parallel BRNN training and inference."""
+    """Barrier-free task-parallel BRNN training and inference.
+
+    Construct with ``config=ExecutionConfig(...)``; the pre-existing
+    keyword arguments (``executor=``, ``mbs=``, …) still work but emit a
+    :class:`DeprecationWarning` (docs/API.md has the migration table).
+    """
 
     #: builder flag distinguishing B-Par from B-Seq (overridden by BSeqEngine)
     serialize_chunks = False
@@ -38,27 +75,54 @@ class BParEngine:
         self,
         spec: BRNNSpec,
         params: Optional[BRNNParams] = None,
-        executor=None,
-        mbs: int = 1,
-        barrier_free: bool = True,
+        *,
+        config: Optional[ExecutionConfig] = None,
         momentum: float = 0.0,
-        seed: int = 0,
-        fused_input_projection="off",
-        proj_block: Optional[int] = None,
+        **legacy,
     ) -> None:
+        cfg = resolve_engine_config(config, legacy)
         self.spec = spec
-        self.params = params if params is not None else BRNNParams.initialize(spec, seed)
-        self.executor = executor if executor is not None else default_executor()
-        self.mbs = mbs
-        self.barrier_free = barrier_free
+        self.config = cfg
+        self.params = (
+            params if params is not None else BRNNParams.initialize(spec, cfg.seed)
+        )
+        self.executor = resolve_executor(cfg)
+        self.mbs = cfg.mbs
+        self.barrier_free = cfg.barrier_free
         self.momentum = momentum
         #: "on"/"off"/"auto": hoist X@W_x off the recurrent critical path
-        self.fused_input_projection = fused_input_projection
-        self.proj_block = proj_block
+        self.fused_input_projection = cfg.fused_input_projection
+        self.proj_block = cfg.proj_block
+        self.metrics = cfg.metrics
+        self.hooks = cfg.hooks
         #: classical-momentum velocity buffers, allocated on first use
         self.velocity = BRNNParams.zeros_like(spec) if momentum > 0.0 else None
         self.last_trace: Optional[ExecutionTrace] = None
         self.last_result: Optional[GraphBuildResult] = None
+
+    def __eq__(self, other) -> bool:
+        """Engines are equal when they would execute identically.
+
+        Lets migration tests assert that the legacy-kwargs path and the
+        ``config=`` path construct the same engine.  Executor *instances*
+        compare by type and worker count (two fresh pools of the same
+        shape are interchangeable).
+        """
+        if type(other) is not type(self):
+            return NotImplemented
+        return (
+            self.spec == other.spec
+            and self.mbs == other.mbs
+            and self.barrier_free == other.barrier_free
+            and self.momentum == other.momentum
+            and self.fused_input_projection == other.fused_input_projection
+            and self.proj_block == other.proj_block
+            and type(self.executor) is type(other.executor)
+            and self.executor.n_workers == other.executor.n_workers
+            and self.params.allclose(other.params)
+        )
+
+    __hash__ = object.__hash__
 
     def _effective_mbs(self, batch: int) -> int:
         """Chunk count for this batch: ``mbs`` clamped to the batch size.

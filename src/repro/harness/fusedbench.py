@@ -23,12 +23,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.config import ExecutionConfig
 from repro.core.bpar import BParEngine
 from repro.core.graph_builder import build_brnn_graph
 from repro.harness.bench_json import summarize_times
 from repro.models.params import BRNNParams
 from repro.models.spec import BRNNSpec
-from repro.runtime.executor import ThreadedExecutor
 from repro.runtime.simexec import SimulatedExecutor
 from repro.simarch.presets import xeon_8160_2s
 
@@ -78,10 +78,13 @@ def threaded_inference_times(
         mode: BParEngine(
             spec,
             params=params,
-            executor=ThreadedExecutor(n_workers) if n_workers else None,
-            mbs=mbs,
-            fused_input_projection=mode,
-            proj_block=proj_block,
+            config=ExecutionConfig(
+                executor="threaded",
+                n_workers=n_workers,
+                mbs=mbs,
+                fused_input_projection=mode,
+                proj_block=proj_block,
+            ),
         )
         for mode in modes
     }

@@ -1,0 +1,72 @@
+"""Pluggable live profiling hooks.
+
+Executors, schedulers and the serving loop invoke these callbacks *while
+running* (unlike the registry, which is published to after the fact), so
+a profiler can watch task placement, steals and batch flushes as they
+happen.  The base :class:`ProfilingHooks` is all no-ops; subclass it or
+use :class:`CallbackHooks` to attach plain functions to individual
+events.  Hook invocations are guarded by ``if hooks is not None`` at
+every call site, so the disabled path costs nothing.
+
+Hook points (timestamps are executor-clock seconds — wall time on the
+threaded executor, simulated time on the simulated one; serving-loop
+events use the server clock):
+
+* ``on_task_start(task, core, t)`` — a task begins executing on ``core``.
+* ``on_task_end(task, core, t)`` — the task's completion is processed.
+* ``on_steal(task, thief, victim)`` — a scheduler served ``thief`` a task
+  queued on ``victim``'s core-local queue.
+* ``on_batch_flush(batch, t)`` — the serving batcher cut ``batch``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class ProfilingHooks:
+    """No-op base class: override only the events you care about."""
+
+    def on_task_start(self, task, core: int, t: float) -> None:
+        pass
+
+    def on_task_end(self, task, core: int, t: float) -> None:
+        pass
+
+    def on_steal(self, task, thief: int, victim: int) -> None:
+        pass
+
+    def on_batch_flush(self, batch, t: float) -> None:
+        pass
+
+
+class CallbackHooks(ProfilingHooks):
+    """Hooks built from plain callables, for quick ad-hoc profiling."""
+
+    def __init__(
+        self,
+        on_task_start: Optional[Callable] = None,
+        on_task_end: Optional[Callable] = None,
+        on_steal: Optional[Callable] = None,
+        on_batch_flush: Optional[Callable] = None,
+    ) -> None:
+        self._on_task_start = on_task_start
+        self._on_task_end = on_task_end
+        self._on_steal = on_steal
+        self._on_batch_flush = on_batch_flush
+
+    def on_task_start(self, task, core: int, t: float) -> None:
+        if self._on_task_start is not None:
+            self._on_task_start(task, core, t)
+
+    def on_task_end(self, task, core: int, t: float) -> None:
+        if self._on_task_end is not None:
+            self._on_task_end(task, core, t)
+
+    def on_steal(self, task, thief: int, victim: int) -> None:
+        if self._on_steal is not None:
+            self._on_steal(task, thief, victim)
+
+    def on_batch_flush(self, batch, t: float) -> None:
+        if self._on_batch_flush is not None:
+            self._on_batch_flush(batch, t)

@@ -1,0 +1,141 @@
+"""Publish runtime observations into a :class:`MetricsRegistry`.
+
+Executors call these once per :meth:`run` *after* the graph finishes, so
+the hot path (worker loops, scheduler push/pop) never touches the
+registry — enabling metrics costs one O(n_tasks) pass over the trace that
+the ≤2 % overhead budget (``BENCH_obs_overhead.json``) holds against the
+whole threaded bench.
+
+Metric families (all prefixed ``repro_``):
+
+====================================  =========  =================================
+``repro_exec_runs_total``             counter    graph executions
+``repro_exec_tasks_total``            counter    per task ``kind``
+``repro_exec_task_seconds``           histogram  task durations, per ``kind``
+``repro_exec_core_busy_seconds``      counter    per ``core``
+``repro_exec_core_idle_seconds``      counter    per ``core`` (makespan − busy)
+``repro_exec_makespan_seconds``       gauge      last run's makespan
+``repro_exec_parallel_efficiency``    gauge      last run's busy fraction
+``repro_sched_pushes_total``          counter    per ``policy``
+``repro_sched_pops_total``            counter    per ``policy``
+``repro_sched_steals_total``          counter    per ``policy``
+``repro_sched_steal_distance_total``  counter    Σ |thief − victim| core ids
+``repro_sched_locality_hits_total``   counter    hinted pops on the hinted core
+``repro_sched_locality_misses_total`` counter    hinted pops elsewhere
+``repro_sched_locality_hit_rate``     gauge      last run's hit rate
+``repro_sched_starvation_stalls_total`` counter  empty-queue pops
+``repro_sched_queue_depth_mean``      gauge      last run's mean ready depth
+``repro_sched_queue_depth_max``       gauge      last run's peak ready depth
+====================================  =========  =================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.registry import DURATION_BUCKETS_S, MetricsRegistry
+
+if TYPE_CHECKING:  # typing only — keeps repro.obs import-free of the runtime
+    from repro.runtime.scheduler import SchedulerCounters
+    from repro.runtime.trace import ExecutionTrace
+
+
+def publish_trace(registry: MetricsRegistry, trace: "ExecutionTrace") -> None:
+    """Fold one execution trace into the registry's ``repro_exec_*`` family."""
+    registry.counter("repro_exec_runs_total", help="graph executions").inc()
+    by_kind: dict = {}
+    for r in trace.records:
+        durs = by_kind.get(r.kind)
+        if durs is None:
+            durs = by_kind[r.kind] = []
+        durs.append(r.duration)
+    for kind, durs in sorted(by_kind.items()):
+        registry.counter(
+            "repro_exec_tasks_total", help="tasks executed", kind=kind
+        ).inc(len(durs))
+        hist = registry.histogram(
+            "repro_exec_task_seconds",
+            DURATION_BUCKETS_S,
+            help="task durations",
+            kind=kind,
+        )
+        for d in durs:
+            hist.observe(d)
+    span = trace.makespan
+    busy = trace.core_busy_time()
+    for core in range(trace.n_cores):
+        b = busy.get(core, 0.0)
+        registry.counter(
+            "repro_exec_core_busy_seconds", help="per-core busy time", core=str(core)
+        ).inc(b)
+        registry.counter(
+            "repro_exec_core_idle_seconds", help="per-core idle time", core=str(core)
+        ).inc(max(0.0, span - b))
+    registry.gauge(
+        "repro_exec_makespan_seconds", help="last run makespan"
+    ).set(span)
+    registry.gauge(
+        "repro_exec_parallel_efficiency", help="last run busy fraction"
+    ).set(trace.parallel_efficiency())
+
+
+def publish_scheduler(
+    registry: MetricsRegistry,
+    counters: "SchedulerCounters",
+    policy: str = "?",
+) -> None:
+    """Fold one run's scheduler counters into ``repro_sched_*``.
+
+    Counters accumulate across runs (each run uses a fresh scheduler, so
+    the per-run values are deltas); rates/depths are last-run gauges.
+    """
+    labels = {"policy": policy}
+    for name, value, help_ in (
+        ("repro_sched_pushes_total", counters.pushes, "ready-queue pushes"),
+        ("repro_sched_pops_total", counters.pops, "ready-queue pops"),
+        ("repro_sched_steals_total", counters.steals, "cross-core steals"),
+        (
+            "repro_sched_steal_distance_total",
+            counters.steal_distance_total,
+            "summed |thief-victim| core distance",
+        ),
+        (
+            "repro_sched_locality_hits_total",
+            counters.locality_hits,
+            "hinted tasks popped on their hinted core",
+        ),
+        (
+            "repro_sched_locality_misses_total",
+            counters.locality_misses,
+            "hinted tasks popped elsewhere",
+        ),
+        (
+            "repro_sched_starvation_stalls_total",
+            counters.starvation_stalls,
+            "pops that found no ready task",
+        ),
+    ):
+        registry.counter(name, help=help_, **labels).inc(value)
+    registry.gauge(
+        "repro_sched_locality_hit_rate", help="last run locality hit rate", **labels
+    ).set(counters.locality_hit_rate)
+    registry.gauge(
+        "repro_sched_queue_depth_mean", help="last run mean ready depth", **labels
+    ).set(counters.mean_queue_depth)
+    registry.gauge(
+        "repro_sched_queue_depth_max", help="last run peak ready depth", **labels
+    ).set(counters.depth_max)
+
+
+def publish_run(
+    registry: Optional[MetricsRegistry],
+    trace: "ExecutionTrace",
+    counters: Optional["SchedulerCounters"] = None,
+    policy: Optional[str] = None,
+) -> None:
+    """One-call executor epilogue; no-op when ``registry`` is ``None``."""
+    if registry is None:
+        return
+    publish_trace(registry, trace)
+    if counters is not None:
+        publish_scheduler(registry, counters, policy or trace.scheduler or "?")

@@ -1,0 +1,270 @@
+"""A lightweight, thread-safe metrics registry.
+
+:class:`MetricsRegistry` holds named metric families — :class:`Counter`
+(monotonic), :class:`Gauge` (last value), :class:`Histogram` (fixed bucket
+boundaries) — each optionally split into label series (``core="3"``,
+``kind="cell"``, ``policy="locality"``).  Two exporters cover the usual
+consumers: :meth:`MetricsRegistry.to_prometheus_text` emits the standard
+Prometheus text exposition format, :meth:`MetricsRegistry.as_dict` a
+JSON-ready structure embedded in bench reports.
+
+The registry is deliberately dependency-free and cheap: all updates take
+one shared re-entrant lock (runtime publishers batch their updates once
+per run, so contention is negligible), and reading (:meth:`flat`,
+exporters) snapshots under the same lock.  The runtime integration —
+executors and schedulers publishing into a registry — lives in
+:mod:`repro.obs.publish`; nothing here imports the rest of the package.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: default bucket boundaries (seconds) for task/latency duration histograms
+DURATION_BUCKETS_S = (
+    1e-6, 1e-5, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(items: LabelItems) -> str:
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+class Counter:
+    """Monotonically increasing value (``inc`` only)."""
+
+    kind = "counter"
+
+    def __init__(self, lock: threading.RLock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Point-in-time value (``set``/``inc``/``dec``)."""
+
+    kind = "gauge"
+
+    def __init__(self, lock: threading.RLock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative buckets, Prometheus-style).
+
+    ``buckets`` are the *upper* bounds of each bin; an implicit ``+Inf``
+    bucket always exists, so every observation lands somewhere.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, lock: threading.RLock, buckets: Sequence[float]) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket boundary")
+        bs = [float(b) for b in buckets]
+        if bs != sorted(bs):
+            raise ValueError("bucket boundaries must be sorted ascending")
+        self._lock = lock
+        self.buckets: Tuple[float, ...] = tuple(bs)
+        self.counts: List[int] = [0] * (len(bs) + 1)  # trailing +Inf bin
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
+
+    def cumulative_counts(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs ending with ``+Inf``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _Family:
+    """One metric name: type, help text, and its label series."""
+
+    def __init__(self, name: str, kind: str, help: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.series: Dict[LabelItems, object] = {}
+
+
+class MetricsRegistry:
+    """Get-or-create metric families keyed by name (+ label series).
+
+    Asking twice for the same name/labels returns the same object, so
+    publishers never need to coordinate creation.  Re-registering a name
+    as a different metric type is an error (it would corrupt exports).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- creation --------------------------------------------------------------
+
+    def _get(self, name: str, kind: str, help: str, labels: Dict[str, str], factory):
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = _Family(name, kind, help)
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"requested {kind}"
+                )
+            key = _label_key(labels)
+            metric = family.series.get(key)
+            if metric is None:
+                metric = family.series[key] = factory()
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get(name, "counter", help, labels, lambda: Counter(self._lock))
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get(name, "gauge", help, labels, lambda: Gauge(self._lock))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DURATION_BUCKETS_S,
+        help: str = "",
+        **labels: str,
+    ) -> Histogram:
+        metric = self._get(
+            name, "histogram", help, labels, lambda: Histogram(self._lock, buckets)
+        )
+        if tuple(float(b) for b in buckets) != metric.buckets:
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{metric.buckets}, requested {tuple(buckets)}"
+            )
+        return metric
+
+    # -- introspection ---------------------------------------------------------
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def flat(self) -> Dict[str, float]:
+        """``{"name{label=...}": value}`` for counters/gauges plus histogram
+        ``_count``/``_sum`` — the sampling surface :mod:`repro.obs.snapshot`
+        records and traceviz turns into Chrome counter events."""
+        out: Dict[str, float] = {}
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                for key in sorted(family.series):
+                    metric = family.series[key]
+                    suffix = _format_labels(key)
+                    if isinstance(metric, Histogram):
+                        out[f"{name}_count{suffix}"] = float(metric.count)
+                        out[f"{name}_sum{suffix}"] = metric.sum
+                    else:
+                        out[f"{name}{suffix}"] = metric.value
+        return out
+
+    # -- exporters -------------------------------------------------------------
+
+    def to_prometheus_text(self) -> str:
+        """The standard Prometheus text exposition format (``/metrics``)."""
+        lines: List[str] = []
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                if family.help:
+                    lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# TYPE {name} {family.kind}")
+                for key in sorted(family.series):
+                    metric = family.series[key]
+                    if isinstance(metric, Histogram):
+                        for bound, cum in metric.cumulative_counts():
+                            le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                            items = key + (("le", le),)
+                            lines.append(f"{name}_bucket{_format_labels(items)} {cum}")
+                        lines.append(f"{name}_sum{_format_labels(key)} {metric.sum:g}")
+                        lines.append(f"{name}_count{_format_labels(key)} {metric.count}")
+                    else:
+                        lines.append(f"{name}{_format_labels(key)} {metric.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def as_dict(self) -> Dict:
+        """JSON-ready dump: one entry per family, one row per label series."""
+        out: Dict[str, Dict] = {}
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                rows = []
+                for key in sorted(family.series):
+                    metric = family.series[key]
+                    row: Dict = {"labels": dict(key)}
+                    if isinstance(metric, Histogram):
+                        row["count"] = metric.count
+                        row["sum"] = metric.sum
+                        row["buckets"] = {
+                            ("+Inf" if b == float("inf") else f"{b:g}"): c
+                            for b, c in metric.cumulative_counts()
+                        }
+                    else:
+                        row["value"] = metric.value
+                    rows.append(row)
+                out[name] = {"type": family.kind, "help": family.help, "series": rows}
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)

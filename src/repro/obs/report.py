@@ -1,0 +1,265 @@
+"""The ``python -m repro obs-report`` driver.
+
+Two halves, one JSON report (bench name ``obs_overhead``, envelope via
+:func:`repro.harness.bench_json.write_bench_json`, gated by
+``tools/check_obs_report.py``):
+
+* :func:`compare_policies` — run the *same* cost graph on the simulated
+  machine under two scheduler policies (default locality-aware vs FIFO)
+  and report each run's :class:`~repro.runtime.scheduler.SchedulerCounters`
+  side by side: locality hit rate, steals, queue depth, per-core busy
+  fraction, makespan.  This is the paper's Fig. 7 contrast restated as
+  counters — the locality policy should show a high hit rate and a
+  shorter makespan on the identical graph.
+* :func:`measure_overhead` — interleaved A/B wall-time measurement of the
+  threaded engine with metrics disabled vs enabled, demonstrating that
+  attaching a :class:`~repro.obs.registry.MetricsRegistry` stays within
+  the ≤2 % budget (publication is one post-run pass over the trace, so
+  the hot path is untouched).
+
+Kept out of ``repro.obs.__init__`` on purpose: this module imports the
+engines, while the rest of ``repro.obs`` stays runtime-free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import ExecutionConfig
+from repro.core.bpar import BParEngine
+from repro.core.graph_builder import build_brnn_graph
+from repro.harness.bench_json import summarize_times
+from repro.models.params import BRNNParams
+from repro.models.spec import BRNNSpec
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.simexec import SimulatedExecutor
+from repro.simarch.presets import xeon_8160_2s
+
+#: the recorded-baseline overhead budget: metrics-on must cost at most
+#: this factor of the metrics-off median
+OVERHEAD_BUDGET = 1.02
+
+
+def _make_spec(
+    cell: str, input_size: int, hidden: int, layers: int, head: str = "many_to_one"
+) -> BRNNSpec:
+    return BRNNSpec(
+        cell=cell, input_size=input_size, hidden_size=hidden,
+        num_layers=layers, merge_mode="sum", head=head, num_classes=11,
+    )
+
+
+def compare_policies(
+    policy: str = "locality",
+    compare: str = "fifo",
+    *,
+    cell: str = "lstm",
+    input_size: int = 64,
+    hidden: int = 64,
+    layers: int = 2,
+    seq_len: int = 50,
+    batch: int = 32,
+    mbs: int = 4,
+    n_cores: Optional[int] = None,
+    training: bool = False,
+) -> Dict:
+    """Scheduler-policy counter comparison on one shared cost graph.
+
+    Each policy gets a fresh :class:`SimulatedExecutor` (own cache state)
+    and a warm-up run, so the measured run models steady-state serving of
+    the same batch; both see the identical task graph.
+    """
+    graph = build_brnn_graph(
+        _make_spec(cell, input_size, hidden, layers),
+        seq_len=seq_len, batch=batch, mbs=mbs, training=training,
+    ).graph
+    machine = xeon_8160_2s()
+    policies: Dict[str, Dict] = {}
+    for name in dict.fromkeys((policy, compare)):  # dedup, order-preserving
+        registry = MetricsRegistry()
+        sim = SimulatedExecutor(
+            machine, n_cores=n_cores, scheduler=name, metrics=registry
+        )
+        sim.run(graph)  # warm: weights NUMA-homed / cache-resident
+        trace = sim.run(graph)
+        busy = trace.core_busy_time()
+        span = trace.makespan
+        fractions = [busy.get(c, 0.0) / span if span > 0 else 0.0
+                     for c in range(trace.n_cores)]
+        policies[name] = {
+            "makespan_s": span,
+            "parallel_efficiency": trace.parallel_efficiency(),
+            "core_busy_fraction_mean": sum(fractions) / len(fractions),
+            "core_busy_fraction_max": max(fractions),
+            "counters": trace.scheduler_counters.as_dict(),
+            "metrics": registry.as_dict(),
+        }
+    base = policies[compare]["makespan_s"]
+    return {
+        "graph": {
+            "cell": cell, "input_size": input_size, "hidden": hidden,
+            "layers": layers, "seq_len": seq_len, "batch": batch,
+            "mbs": mbs, "training": training, "n_tasks": len(graph),
+            "n_cores": n_cores if n_cores is not None else machine.n_cores,
+        },
+        "policies": policies,
+        "speedup_vs_compare": (
+            base / policies[policy]["makespan_s"]
+            if policies[policy]["makespan_s"] > 0 else 0.0
+        ),
+    }
+
+
+def format_comparison(report: Dict, policy: str, compare: str) -> str:
+    """Human-readable side-by-side table of :func:`compare_policies`."""
+    rows = [
+        ("makespan_s", lambda p: f"{p['makespan_s']:.6f}"),
+        ("parallel_efficiency", lambda p: f"{p['parallel_efficiency']:.3f}"),
+        ("core_busy_fraction_mean", lambda p: f"{p['core_busy_fraction_mean']:.3f}"),
+        ("locality_hit_rate", lambda p: f"{p['counters']['locality_hit_rate']:.3f}"),
+        ("hinted_pushes", lambda p: str(p["counters"]["hinted_pushes"])),
+        ("steals", lambda p: str(p["counters"]["steals"])),
+        ("queue_depth_mean", lambda p: f"{p['counters']['queue_depth_mean']:.1f}"),
+        ("queue_depth_max", lambda p: str(p["counters"]["queue_depth_max"])),
+        ("starvation_stalls", lambda p: str(p["counters"]["starvation_stalls"])),
+    ]
+    g = report["graph"]
+    width = max(len(name) for name, _ in rows)
+    lines = [
+        f"obs-report: {g['n_tasks']} tasks "
+        f"({g['cell']} {g['layers']}x{g['hidden']}h, T={g['seq_len']}, "
+        f"B={g['batch']}, mbs={g['mbs']}) on {g['n_cores']} simulated cores",
+        f"{'':{width}}  {policy:>14}  {compare:>14}",
+    ]
+    for name, fmt in rows:
+        a = fmt(report["policies"][policy])
+        b = fmt(report["policies"][compare])
+        lines.append(f"{name:{width}}  {a:>14}  {b:>14}")
+    lines.append(
+        f"{'speedup':{width}}  {report['speedup_vs_compare']:>14.3f}  "
+        f"{'1.000':>14}"
+    )
+    return "\n".join(lines)
+
+
+def measure_overhead(
+    *,
+    cell: str = "lstm",
+    input_size: int = 128,
+    hidden: int = 64,
+    layers: int = 2,
+    seq_len: int = 50,
+    batch: int = 16,
+    mbs: int = 2,
+    n_workers: int = 2,
+    iters: int = 9,
+    warmup: int = 2,
+    seed: int = 0,
+    budget: float = OVERHEAD_BUDGET,
+) -> Dict:
+    """Threaded-inference wall time, metrics disabled vs enabled.
+
+    Samples are interleaved round-robin (as in
+    :func:`repro.harness.fusedbench.threaded_inference_times`) so host
+    noise hits both variants equally, and the reported ``overhead_ratio``
+    is the *median of per-round paired ratios* — each round's
+    enabled/disabled pair ran back to back, so thermal and tenancy drift
+    cancel within the pair instead of inflating the ratio of two
+    pooled medians.
+    """
+    spec = _make_spec(cell, input_size, hidden, layers)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((seq_len, batch, spec.input_size)).astype(np.float32)
+    params = BRNNParams.initialize(spec, seed=seed)
+    registry = MetricsRegistry()
+    base = dict(executor="threaded", n_workers=n_workers, mbs=mbs)
+    engines = {
+        "disabled": BParEngine(
+            spec, params=params, config=ExecutionConfig(**base)
+        ),
+        "enabled": BParEngine(
+            spec, params=params, config=ExecutionConfig(**base, metrics=registry)
+        ),
+    }
+    for _ in range(warmup):
+        for engine in engines.values():
+            engine.forward(x)
+    samples: Dict[str, List[float]] = {name: [] for name in engines}
+    order = list(engines)
+    for i in range(iters):
+        # Alternate within-round order so neither variant systematically
+        # runs first (the first run of a round sees colder caches).
+        for name in order if i % 2 == 0 else reversed(order):
+            t0 = time.perf_counter()
+            engines[name].forward(x)
+            samples[name].append(time.perf_counter() - t0)
+    disabled = summarize_times(samples["disabled"])
+    enabled = summarize_times(samples["enabled"])
+    paired = sorted(
+        e / d for d, e in zip(samples["disabled"], samples["enabled"])
+    )
+    mid = len(paired) // 2
+    ratio = (
+        paired[mid]
+        if len(paired) % 2
+        else 0.5 * (paired[mid - 1] + paired[mid])
+    )
+    return {
+        "disabled": disabled,
+        "enabled": enabled,
+        "overhead_ratio": ratio,
+        "median_ratio": enabled["median_s"] / disabled["median_s"],
+        "budget": budget,
+        "within_budget": ratio <= budget,
+        "metric_names": len(registry.names()),
+        "config": {
+            "cell": cell, "input_size": input_size, "hidden": hidden,
+            "layers": layers, "seq_len": seq_len, "batch": batch,
+            "mbs": mbs, "n_workers": n_workers,
+            "iters": iters, "warmup": warmup, "seed": seed,
+        },
+    }
+
+
+def run_obs_report(
+    policy: str = "locality",
+    compare: str = "fifo",
+    *,
+    n_cores: Optional[int] = None,
+    mbs: int = 4,
+    seq_len: int = 50,
+    batch: int = 32,
+    iters: int = 9,
+    warmup: int = 2,
+    seed: int = 0,
+    overhead: bool = True,
+    overhead_budget: float = OVERHEAD_BUDGET,
+) -> Dict:
+    """The full obs report: policy comparison + (optionally) overhead A/B.
+
+    Returns ``{"config", "results"}`` ready for
+    :func:`repro.harness.bench_json.write_bench_json` under bench name
+    ``"obs_overhead"``.
+    """
+    comparison = compare_policies(
+        policy, compare, n_cores=n_cores, mbs=mbs, seq_len=seq_len, batch=batch
+    )
+    results: Dict = {"comparison": comparison}
+    if overhead:
+        results["overhead"] = measure_overhead(
+            seq_len=seq_len, mbs=max(1, mbs // 2),
+            iters=iters, warmup=warmup, seed=seed,
+            budget=overhead_budget,
+        )
+    return {
+        "config": {
+            "policy": policy, "compare": compare,
+            "n_cores": n_cores, "mbs": mbs, "seq_len": seq_len,
+            "batch": batch, "iters": iters, "warmup": warmup,
+            "seed": seed, "overhead": overhead,
+        },
+        "results": results,
+    }

@@ -1,0 +1,61 @@
+"""Periodic registry sampling.
+
+A :class:`Snapshot` is the registry's flat value surface at one instant;
+a :class:`SnapshotLog` collects them over a run.  The serving loop samples
+after every executed batch, and ad-hoc profilers can call
+:meth:`SnapshotLog.maybe_sample` on whatever cadence they like — the log
+enforces a minimum interval so callers don't have to.
+
+Snapshots are what :func:`repro.analysis.traceviz.to_chrome_trace` embeds
+as Chrome-trace counter events: open the exported JSON in Perfetto and the
+queue-depth / steal / locality counters plot as tracks above the per-core
+task timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+
+@dataclass
+class Snapshot:
+    """Flat ``{metric: value}`` view of a registry at time ``t``."""
+
+    t: float
+    values: Dict[str, float] = field(default_factory=dict)
+
+
+class SnapshotLog:
+    """Timestamped sequence of registry snapshots.
+
+    ``interval_s`` sets the minimum spacing honoured by
+    :meth:`maybe_sample`; :meth:`sample` always records.
+    """
+
+    def __init__(self, registry: MetricsRegistry, interval_s: float = 0.0) -> None:
+        self.registry = registry
+        self.interval_s = interval_s
+        self.snapshots: List[Snapshot] = []
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def sample(self, now: float) -> Snapshot:
+        snap = Snapshot(t=now, values=self.registry.flat())
+        self.snapshots.append(snap)
+        return snap
+
+    def maybe_sample(self, now: float) -> Optional[Snapshot]:
+        """Record a snapshot unless one exists within ``interval_s``."""
+        if self.snapshots and now - self.snapshots[-1].t < self.interval_s:
+            return None
+        return self.sample(now)
+
+    def series(self, metric: str) -> List[Tuple[float, float]]:
+        """``(t, value)`` time series of one flat metric name."""
+        return [
+            (s.t, s.values[metric]) for s in self.snapshots if metric in s.values
+        ]

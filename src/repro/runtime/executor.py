@@ -17,6 +17,9 @@ import threading
 import time
 from typing import Callable, Optional
 
+from repro.obs.hooks import ProfilingHooks
+from repro.obs.publish import publish_run
+from repro.obs.registry import MetricsRegistry
 from repro.runtime.depgraph import TaskGraph
 from repro.runtime.scheduler import LocalityAwareScheduler, Scheduler, resolve_scheduler
 from repro.runtime.task import Task
@@ -53,13 +56,22 @@ def locality_hint(completed: Task, successor: Task, core: int) -> Optional[int]:
 class SerialExecutor:
     """Run tasks one by one in registration (topological) order."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        hooks: Optional[ProfilingHooks] = None,
+    ) -> None:
         self.n_workers = 1
+        self.metrics = metrics
+        self.hooks = hooks
 
     def run(self, graph: TaskGraph) -> ExecutionTrace:
         trace = ExecutionTrace(n_cores=1, scheduler="serial")
+        hooks = self.hooks
         now = 0.0
         for task in graph:
+            if hooks is not None:
+                hooks.on_task_start(task, 0, now)
             t0 = time.perf_counter()
             task.run()
             dur = time.perf_counter() - t0
@@ -76,6 +88,9 @@ class SerialExecutor:
                 )
             )
             now += dur
+            if hooks is not None:
+                hooks.on_task_end(task, 0, now)
+        publish_run(self.metrics, trace)
         return trace
 
 
@@ -93,14 +108,20 @@ class ThreadedExecutor:
         self,
         n_workers: int,
         scheduler_factory: SchedulerFactory = LocalityAwareScheduler,
+        metrics: Optional[MetricsRegistry] = None,
+        hooks: Optional[ProfilingHooks] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
         self._scheduler_factory = scheduler_factory
+        self.metrics = metrics
+        self.hooks = hooks
 
     def run(self, graph: TaskGraph) -> ExecutionTrace:
         scheduler = resolve_scheduler(self._scheduler_factory, self.n_workers)
+        scheduler.hooks = self.hooks
+        hooks = self.hooks
         trace = ExecutionTrace(
             n_cores=self.n_workers, scheduler=getattr(scheduler, "name", "?")
         )
@@ -132,6 +153,8 @@ class ThreadedExecutor:
                             break
                         work_available.wait()
                 start = time.perf_counter() - epoch
+                if hooks is not None:
+                    hooks.on_task_start(task, core, start)
                 try:
                     task.run()
                 except BaseException as exc:  # surface payload failures
@@ -140,6 +163,8 @@ class ThreadedExecutor:
                         work_available.notify_all()
                     return
                 end = time.perf_counter() - epoch
+                if hooks is not None:
+                    hooks.on_task_end(task, core, end)
                 with lock:
                     trace.records.append(
                         TaskRecord(
@@ -176,4 +201,6 @@ class ThreadedExecutor:
             raise errors[0]
         if remaining != 0:  # pragma: no cover - defensive deadlock check
             raise RuntimeError(f"executor finished with {remaining} unexecuted tasks")
+        trace.scheduler_counters = scheduler.counters
+        publish_run(self.metrics, trace, scheduler.counters, trace.scheduler)
         return trace

@@ -32,11 +32,79 @@ from typing import Deque, Dict, List, Optional
 from repro.runtime.task import Task
 
 
+@dataclass
+class SchedulerCounters:
+    """Per-run counters every scheduler maintains (see ``docs/OBSERVABILITY.md``).
+
+    Locality accounting is policy-independent: a push records the task's
+    affinity hint (the core whose cache holds its data), and the pop that
+    releases the task scores a *hit* when the popping core matches the
+    hint and a *miss* otherwise.  A locality-oblivious policy (plain FIFO)
+    therefore shows a low hit rate on the very same graph where the
+    locality-aware policy scores high — the paper's Fig. 7 contrast as two
+    counters.  Un-hinted tasks carry no locality preference and count
+    toward neither side, so a single-core run (every hint is core 0) has
+    hit rate 1.0 by construction.
+    """
+
+    pushes: int = 0
+    pops: int = 0
+    hinted_pushes: int = 0
+    locality_hits: int = 0
+    locality_misses: int = 0
+    steals: int = 0
+    steal_distance_total: int = 0
+    #: pops that found the ready queue empty (a core wanted work and there
+    #: was none — the starvation signal barrier-free scheduling minimises)
+    starvation_stalls: int = 0
+    depth_samples: int = 0
+    depth_sum: int = 0
+    depth_max: int = 0
+
+    @property
+    def locality_hit_rate(self) -> float:
+        scored = self.locality_hits + self.locality_misses
+        return self.locality_hits / scored if scored else 1.0
+
+    @property
+    def mean_steal_distance(self) -> float:
+        return self.steal_distance_total / self.steals if self.steals else 0.0
+
+    @property
+    def mean_queue_depth(self) -> float:
+        return self.depth_sum / self.depth_samples if self.depth_samples else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "hinted_pushes": self.hinted_pushes,
+            "locality_hits": self.locality_hits,
+            "locality_misses": self.locality_misses,
+            "locality_hit_rate": self.locality_hit_rate,
+            "steals": self.steals,
+            "steal_distance_total": self.steal_distance_total,
+            "mean_steal_distance": self.mean_steal_distance,
+            "starvation_stalls": self.starvation_stalls,
+            "queue_depth_mean": self.mean_queue_depth,
+            "queue_depth_max": self.depth_max,
+        }
+
+
 class Scheduler:
-    """Interface: ``push`` ready tasks, ``pop`` one for a given core."""
+    """Interface: ``push`` ready tasks, ``pop`` one for a given core.
+
+    Every scheduler keeps a :class:`SchedulerCounters` (lazily created; a
+    handful of integer bumps per push/pop) and optionally forwards steal
+    events to a :class:`~repro.obs.hooks.ProfilingHooks` instance that an
+    executor attached as ``self.hooks``.
+    """
 
     #: human-readable policy name (used in traces and reports)
     name = "abstract"
+
+    #: live profiling hooks (attached by executors; ``None`` = disabled)
+    hooks = None
 
     def push(self, task: Task, hint: Optional[int] = None) -> None:
         raise NotImplementedError
@@ -50,6 +118,53 @@ class Scheduler:
     def __bool__(self) -> bool:
         return len(self) > 0
 
+    # -- instrumentation (shared by all policies) ------------------------------
+
+    @property
+    def counters(self) -> SchedulerCounters:
+        c = self.__dict__.get("_counters")
+        if c is None:
+            c = self.__dict__["_counters"] = SchedulerCounters()
+        return c
+
+    def _note_push(self, task: Task, hint: Optional[int]) -> None:
+        c = self.counters
+        c.pushes += 1
+        if hint is not None:
+            c.hinted_pushes += 1
+            hints = self.__dict__.get("_hint_by_task")
+            if hints is None:
+                hints = self.__dict__["_hint_by_task"] = {}
+            hints[id(task)] = hint
+        depth = len(self)
+        c.depth_samples += 1
+        c.depth_sum += depth
+        if depth > c.depth_max:
+            c.depth_max = depth
+
+    def _note_pop(self, task: Optional[Task], core: int) -> Optional[Task]:
+        c = self.counters
+        if task is None:
+            c.starvation_stalls += 1
+            return None
+        c.pops += 1
+        hints = self.__dict__.get("_hint_by_task")
+        if hints:
+            hint = hints.pop(id(task), None)
+            if hint is not None:
+                if hint == core:
+                    c.locality_hits += 1
+                else:
+                    c.locality_misses += 1
+        return task
+
+    def _note_steal(self, task: Task, thief: int, victim: int) -> None:
+        c = self.counters
+        c.steals += 1
+        c.steal_distance_total += abs(thief - victim)
+        if self.hooks is not None:
+            self.hooks.on_steal(task, thief, victim)
+
 
 class FIFOScheduler(Scheduler):
     """Single global FIFO ready queue (breadth-first, locality-oblivious)."""
@@ -62,9 +177,10 @@ class FIFOScheduler(Scheduler):
 
     def push(self, task: Task, hint: Optional[int] = None) -> None:
         self._queue.append(task)
+        self._note_push(task, hint)
 
     def pop(self, core: int) -> Optional[Task]:
-        return self._queue.popleft() if self._queue else None
+        return self._note_pop(self._queue.popleft() if self._queue else None, core)
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -81,9 +197,10 @@ class LIFOScheduler(Scheduler):
 
     def push(self, task: Task, hint: Optional[int] = None) -> None:
         self._queue.append(task)
+        self._note_push(task, hint)
 
     def pop(self, core: int) -> Optional[Task]:
-        return self._queue.pop() if self._queue else None
+        return self._note_pop(self._queue.pop() if self._queue else None, core)
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -121,20 +238,21 @@ class LocalityAwareScheduler(Scheduler):
         else:
             self._global.append(task)
         self._size += 1
+        self._note_push(task, hint)
 
     def pop(self, core: int) -> Optional[Task]:
         if self._size == 0:
-            return None
+            return self._note_pop(None, core)
         own = self._affinity[core] if core < self.n_cores else None
         if own:
             self._size -= 1
             task = own.popleft()
             if not own:
                 self._nonempty.discard(core)
-            return task
+            return self._note_pop(task, core)
         if self._global:
             self._size -= 1
-            return self._global.popleft()
+            return self._note_pop(self._global.popleft(), core)
         # Steal from the most loaded affinity queue.  Ascending scan with a
         # strict running max keeps the deterministic lowest-core-id
         # tie-break of the original full scan.
@@ -150,8 +268,9 @@ class LocalityAwareScheduler(Scheduler):
             task = victim.popleft()
             if not victim:
                 self._nonempty.discard(victim_core)
-            return task
-        return None
+            self._note_steal(task, core, victim_core)
+            return self._note_pop(task, core)
+        return self._note_pop(None, core)
 
     def __len__(self) -> int:
         return self._size
@@ -182,23 +301,25 @@ class WorkStealingScheduler(Scheduler):
         self._size = 0
 
     def push(self, task: Task, hint: Optional[int] = None) -> None:
-        if hint is None or not (0 <= hint < self.n_cores):
-            hint = self._rr
+        placed = hint if hint is not None and 0 <= hint < self.n_cores else None
+        if placed is None:
+            placed = self._rr
             self._rr = (self._rr + 1) % self.n_cores
-        self._deques[hint].append(task)
-        self._nonempty.add(hint)
+        self._deques[placed].append(task)
+        self._nonempty.add(placed)
         self._size += 1
+        self._note_push(task, hint)
 
     def pop(self, core: int) -> Optional[Task]:
         if self._size == 0:
-            return None
+            return self._note_pop(None, core)
         if core < self.n_cores and self._deques[core]:
             own = self._deques[core]
             self._size -= 1
             task = own.pop()  # own work: newest first
             if not own:
                 self._nonempty.discard(core)
-            return task
+            return self._note_pop(task, core)
         victim_core = -1
         victim_len = 0
         for idx in sorted(self._nonempty):
@@ -211,8 +332,9 @@ class WorkStealingScheduler(Scheduler):
             task = victim.popleft()  # steal: oldest first
             if not victim:
                 self._nonempty.discard(victim_core)
-            return task
-        return None
+            self._note_steal(task, core, victim_core)
+            return self._note_pop(task, core)
+        return self._note_pop(None, core)
 
     def __len__(self) -> int:
         return self._size
@@ -238,13 +360,14 @@ class FuzzScheduler(Scheduler):
 
     def push(self, task: Task, hint: Optional[int] = None) -> None:
         self._queue.append(task)
+        self._note_push(task, hint)
 
     def pop(self, core: int) -> Optional[Task]:
         if not self._queue:
-            return None
+            return self._note_pop(None, core)
         i = self._rng.randrange(len(self._queue))
         self._queue[i], self._queue[-1] = self._queue[-1], self._queue[i]
-        return self._queue.pop()
+        return self._note_pop(self._queue.pop(), core)
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -314,6 +437,10 @@ class RecordingScheduler(Scheduler):
         self.inner = inner
         self.name = f"record({inner.name})"
         self.popped: List[Task] = []
+
+    @property
+    def counters(self) -> SchedulerCounters:
+        return self.inner.counters
 
     def push(self, task: Task, hint: Optional[int] = None) -> None:
         self.inner.push(task, hint)

@@ -17,6 +17,9 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional, Set, Tuple
 
+from repro.obs.hooks import ProfilingHooks
+from repro.obs.publish import publish_run
+from repro.obs.registry import MetricsRegistry
 from repro.runtime.depgraph import TaskGraph
 from repro.runtime.executor import locality_hint
 from repro.runtime.scheduler import Scheduler, resolve_scheduler
@@ -57,6 +60,8 @@ class SimulatedExecutor:
         cost_model: Optional[CostModel] = None,
         execute_payloads: bool = False,
         persistent_cache: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+        hooks: Optional[ProfilingHooks] = None,
     ) -> None:
         self.machine = machine
         self.n_cores = n_cores if n_cores is not None else machine.n_cores
@@ -65,6 +70,8 @@ class SimulatedExecutor:
         self.cost_model = cost_model or CostModel(machine)
         self.execute_payloads = execute_payloads
         self.persistent_cache = persistent_cache
+        self.metrics = metrics
+        self.hooks = hooks
         cps = machine.cores_per_socket
         self._active_sockets = (self.n_cores + cps - 1) // cps
         self._cache = CacheModel(machine, self._active_sockets)
@@ -83,6 +90,8 @@ class SimulatedExecutor:
             self.reset_cache()
         cache = self._cache
         scheduler = resolve_scheduler(self.scheduler_policy, self.n_cores)
+        scheduler.hooks = self.hooks
+        hooks = self.hooks
         trace = ExecutionTrace(
             n_cores=self.n_cores, scheduler=getattr(scheduler, "name", "?")
         )
@@ -90,6 +99,8 @@ class SimulatedExecutor:
         indegree = list(graph.indegree)
         remaining = len(graph.tasks)
         if remaining == 0:
+            trace.scheduler_counters = scheduler.counters
+            publish_run(self.metrics, trace, scheduler.counters, trace.scheduler)
             return trace
 
         idle: Set[int] = set(range(self.n_cores))
@@ -146,6 +157,8 @@ class SimulatedExecutor:
                     cost = self.cost_model.cost(
                         task, core, cache, active_on_socket[socket]
                     )
+                    if hooks is not None:
+                        hooks.on_task_start(task, core, now)
                     if self.execute_payloads:
                         task.run()
                     trace.records.append(
@@ -182,6 +195,8 @@ class SimulatedExecutor:
                 completed.append((tid2, core2))
             for tid2, core2 in completed:
                 task = graph.tasks[tid2]
+                if hooks is not None:
+                    hooks.on_task_end(task, core2, now)
                 idle.add(core2)
                 active_on_socket[self.machine.socket_of(core2)] -= 1
                 remaining -= 1
@@ -196,4 +211,6 @@ class SimulatedExecutor:
             raise RuntimeError(f"simulation finished with {remaining} unexecuted tasks")
         trace.machine = self.machine  # type: ignore[attr-defined]
         trace.cache_stats = cache.stats  # type: ignore[attr-defined]
+        trace.scheduler_counters = scheduler.counters
+        publish_run(self.metrics, trace, scheduler.counters, trace.scheduler)
         return trace

@@ -194,6 +194,52 @@ class ExecutionTrace:
                 out[f"task_duration_{key}_s"] = val
         return out
 
+    @classmethod
+    def merge_all(
+        cls,
+        traces: Sequence["ExecutionTrace"],
+        time_offsets: Optional[Sequence[float]] = None,
+    ) -> "ExecutionTrace":
+        """Concatenate many traces in one pass (vs. O(n²) chained :meth:`merge`).
+
+        ``n_cores`` is the max over the inputs, re-based against the widest
+        core id actually recorded — merging a 4-core simulated trace into a
+        2-worker threaded one must not leave records pointing at cores the
+        declared width doesn't cover.  ``time_offsets[i]`` shifts trace *i*
+        onto a shared clock (e.g. batch start times); defaults to 0.
+        """
+        if time_offsets is not None and len(time_offsets) != len(traces):
+            raise ValueError("time_offsets must match traces in length")
+        declared = max((t.n_cores for t in traces), default=0)
+        out = cls(
+            n_cores=declared,
+            scheduler=traces[0].scheduler if traces else "",
+        )
+        max_core = -1
+        for i, t in enumerate(traces):
+            off = time_offsets[i] if time_offsets is not None else 0.0
+            for r in t.records:
+                if r.core > max_core:
+                    max_core = r.core
+                out.records.append(
+                    TaskRecord(
+                        tid=r.tid,
+                        name=r.name,
+                        kind=r.kind,
+                        core=r.core,
+                        start=r.start + off,
+                        end=r.end + off,
+                        flops=r.flops,
+                        wss_bytes=r.wss_bytes,
+                        instructions=r.instructions,
+                        l3_miss_bytes=r.l3_miss_bytes,
+                        remote_miss_bytes=r.remote_miss_bytes,
+                        overhead=r.overhead,
+                    )
+                )
+        out.n_cores = max(declared, max_core + 1)
+        return out
+
     def merge(self, other: "ExecutionTrace", time_offset: float = 0.0) -> "ExecutionTrace":
         """Concatenate two traces (e.g. successive batches) into one."""
         out = ExecutionTrace(n_cores=max(self.n_cores, other.n_cores), scheduler=self.scheduler)

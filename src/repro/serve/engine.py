@@ -26,9 +26,9 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.config import ExecutionConfig, resolve_engine_config
 from repro.core.bpar import default_executor
 from repro.core.graph_builder import build_brnn_graph
-from repro.runtime.executor import ThreadedExecutor
 from repro.models.params import BRNNParams
 from repro.models.spec import BRNNSpec
 from repro.runtime.simexec import SimulatedExecutor
@@ -38,6 +38,10 @@ from repro.simarch.machine import MachineSpec
 from repro.simarch.presets import xeon_8160_2s
 
 EXECUTORS = ("sim", "threaded")
+
+#: serving defaults under both the ``config=`` and legacy-kwargs paths:
+#: deterministic simulated substrate, fused projection resolved per mode
+SERVE_DEFAULTS = ExecutionConfig(executor="sim", fused_input_projection="auto")
 
 
 @dataclass
@@ -56,6 +60,12 @@ class InferenceEngine:
     ----------
     spec:
         The served model architecture.
+    config:
+        An :class:`~repro.config.ExecutionConfig` naming the substrate,
+        worker count, scheduler, ``mbs``, fusion policy, seed, and the
+        observability attachments (``metrics``/``hooks``).  The legacy
+        keyword arguments below keep working through the same shim as the
+        training engines, emitting a :class:`DeprecationWarning`.
     executor:
         ``"sim"`` (deterministic simulated machine) or ``"threaded"``
         (real worker threads, real numerics).
@@ -90,46 +100,53 @@ class InferenceEngine:
     def __init__(
         self,
         spec: BRNNSpec,
-        executor: str = "sim",
+        executor: Optional[str] = None,
         *,
+        config: Optional[ExecutionConfig] = None,
         params: Optional[BRNNParams] = None,
-        mbs: int = 1,
         machine: Optional[MachineSpec] = None,
-        n_cores: Optional[int] = None,
-        n_workers: Optional[int] = None,
-        scheduler: str = "locality",
         batch_fixed_s: float = 8e-3,
-        seed: int = 0,
-        fused_input_projection: str = "auto",
-        proj_block: Optional[int] = None,
         validate_dependencies: bool = False,
+        **legacy,
     ) -> None:
-        if executor not in EXECUTORS:
-            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
-        if mbs < 1:
-            raise ValueError("mbs must be >= 1")
+        # ``executor`` as a (positional) argument is part of the legacy
+        # spelling; under config= the field names the substrate.
+        if executor is not None:
+            legacy["executor"] = executor
+        cfg = resolve_engine_config(config, legacy, defaults=SERVE_DEFAULTS)
+        name = cfg.executor if cfg.executor is not None else "sim"
+        if name not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {name!r}")
         self.spec = spec
-        self.executor = executor
-        self.mbs = mbs
+        self.config = cfg
+        self.executor = name
+        self.mbs = cfg.mbs
         self.batch_fixed_s = batch_fixed_s
-        if executor == "sim" and fused_input_projection == "auto":
-            fused_input_projection = "on"
-        self.fused_input_projection = fused_input_projection
-        self.proj_block = proj_block
-        if executor == "sim":
+        fused = cfg.fused_input_projection
+        if name == "sim" and fused == "auto":
+            fused = "on"
+        self.fused_input_projection = fused
+        self.proj_block = cfg.proj_block
+        self.metrics = cfg.metrics
+        self.hooks = cfg.hooks
+        if name == "sim":
             self.machine = machine or xeon_8160_2s()
             self._sim = SimulatedExecutor(
-                self.machine, n_cores=n_cores, scheduler=scheduler
+                self.machine,
+                n_cores=cfg.n_workers,
+                scheduler=cfg.scheduler,
+                metrics=cfg.metrics,
+                hooks=cfg.hooks,
             )
             self.params = params  # weights are irrelevant to cost-only graphs
             self._threaded = None
         else:
             self.machine = None
             self._sim = None
-            self.params = params if params is not None else BRNNParams.initialize(spec, seed)
-            self._threaded = (
-                default_executor() if n_workers is None else ThreadedExecutor(n_workers)
+            self.params = (
+                params if params is not None else BRNNParams.initialize(spec, cfg.seed)
             )
+            self._threaded = default_executor(cfg)
         self.validate_dependencies = validate_dependencies
         #: memoised (service_time, trace) per batch shape, sim mode only
         self._cost_cache: Dict[Tuple[int, int], Tuple[float, ExecutionTrace]] = {}

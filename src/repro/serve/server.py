@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.obs.snapshot import SnapshotLog
 from repro.serve.batcher import DynamicBatcher
 from repro.serve.engine import InferenceEngine
 from repro.serve.queue import RequestQueue
@@ -48,17 +49,34 @@ class ServerConfig:
 
 
 class Server:
-    """Single-engine inference server over a bounded queue."""
+    """Single-engine inference server over a bounded queue.
+
+    When the engine carries a metrics registry
+    (:class:`~repro.config.ExecutionConfig` ``metrics=``), the serving
+    loop shares it: :class:`ServerStats` publishes ``repro_serve_*``
+    alongside the executor's ``repro_exec_*``/``repro_sched_*`` families,
+    a :class:`~repro.obs.snapshot.SnapshotLog` samples the registry after
+    every executed batch (``snapshot_interval_s`` throttles it), and the
+    engine's profiling hooks get ``on_batch_flush`` on every cut batch.
+    """
 
     def __init__(
         self,
         engine: InferenceEngine,
         config: Optional[ServerConfig] = None,
         keep_traces: bool = False,
+        snapshot_interval_s: float = 0.0,
     ) -> None:
         self.engine = engine
         self.config = config or ServerConfig()
         self.keep_traces = keep_traces
+        self.snapshot_interval_s = snapshot_interval_s
+        registry = getattr(engine, "metrics", None)
+        self.snapshots: Optional[SnapshotLog] = (
+            SnapshotLog(registry, interval_s=snapshot_interval_s)
+            if registry is not None
+            else None
+        )
 
     def _slice_result(self, logits, idx: int):
         """This request's rows of the batch logits (None for cost-only runs)."""
@@ -75,7 +93,11 @@ class Server:
         )
         queue = self.config.make_queue()
         batcher = self.config.make_batcher()
-        stats = ServerStats(keep_traces=self.keep_traces)
+        stats = ServerStats(
+            keep_traces=self.keep_traces,
+            registry=getattr(self.engine, "metrics", None),
+        )
+        hooks = getattr(self.engine, "hooks", None)
 
         i, n = 0, len(pending)
         now = 0.0
@@ -101,6 +123,8 @@ class Server:
             if engine_free <= now:
                 batch = batcher.next_batch(queue, now, drain=i >= n)
                 if batch is not None:
+                    if hooks is not None:
+                        hooks.on_batch_flush(batch, now)
                     execution = self.engine.execute(batch)
                     engine_free = now + execution.service_time_s
                     stats.record_batch(
@@ -121,6 +145,8 @@ class Server:
                             )
                         )
                     stats.record_queue_depth(now, len(queue))
+                    if self.snapshots is not None:
+                        self.snapshots.maybe_sample(engine_free)
                     continue
 
             # 4. advance the clock to the next strictly-future event

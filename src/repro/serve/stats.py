@@ -14,12 +14,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.registry import MetricsRegistry
 from repro.runtime.trace import ExecutionTrace, percentile
 from repro.serve.batcher import Batch
 from repro.serve.request import CompletedRequest, InferenceRequest
 
 #: latency points reported by :meth:`ServerStats.summary`
 LATENCY_PERCENTILES = (50, 95, 99)
+
+#: request-latency histogram bounds (seconds) — serving latencies sit in the
+#: millisecond-to-second range, wider than task durations
+LATENCY_BUCKETS_S = (
+    1e-3, 3e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0,
+)
 
 
 @dataclass
@@ -40,10 +47,21 @@ class ServerStats:
     ``keep_traces=True`` retains every batch's :class:`ExecutionTrace`
     (memory-heavy for long runs) so :meth:`combined_trace` can rebuild the
     full serving timeline.
+
+    ``registry`` unifies serving stats with the runtime's observability
+    layer: every recording call also updates ``repro_serve_*`` metrics on
+    the given :class:`~repro.obs.registry.MetricsRegistry` (normally the
+    engine's, so scheduler/executor and serving counters share one
+    /metrics surface), and :meth:`summary` embeds the registry dump.
     """
 
-    def __init__(self, keep_traces: bool = False) -> None:
+    def __init__(
+        self,
+        keep_traces: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.keep_traces = keep_traces
+        self.registry = registry
         self.completed: List[CompletedRequest] = []
         self.shed: List[InferenceRequest] = []
         self.expired: List[InferenceRequest] = []
@@ -73,18 +91,57 @@ class ServerStats:
         )
         if self.keep_traces and trace is not None:
             self._batch_traces.append((service_start, trace))
+        reg = self.registry
+        if reg is not None:
+            reg.counter(
+                "repro_serve_batches_total", help="executed batches",
+                trigger=batch.trigger,
+            ).inc()
+            reg.histogram(
+                "repro_serve_batch_size",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+                help="requests per executed batch",
+            ).observe(batch.size)
+            reg.counter(
+                "repro_serve_service_seconds_total", help="engine busy time"
+            ).inc(service_time)
 
     def record_completion(self, rec: CompletedRequest) -> None:
         self.completed.append(rec)
+        reg = self.registry
+        if reg is not None:
+            reg.counter(
+                "repro_serve_requests_total", help="finished requests",
+                status="completed",
+            ).inc()
+            reg.histogram(
+                "repro_serve_latency_seconds",
+                buckets=LATENCY_BUCKETS_S,
+                help="arrival-to-completion latency",
+            ).observe(rec.latency)
 
     def record_shed(self, req: InferenceRequest) -> None:
         self.shed.append(req)
+        if self.registry is not None:
+            self.registry.counter(
+                "repro_serve_requests_total", help="finished requests",
+                status="shed",
+            ).inc()
 
     def record_expired(self, req: InferenceRequest) -> None:
         self.expired.append(req)
+        if self.registry is not None:
+            self.registry.counter(
+                "repro_serve_requests_total", help="finished requests",
+                status="expired",
+            ).inc()
 
     def record_queue_depth(self, now: float, depth: int) -> None:
         self.queue_depth_samples.append((now, depth))
+        if self.registry is not None:
+            self.registry.gauge(
+                "repro_serve_queue_depth", help="pending requests"
+            ).set(depth)
 
     # -- derived metrics -------------------------------------------------------
 
@@ -149,14 +206,20 @@ class ServerStats:
         return {"mean": sum(depths) / len(depths), "max": float(max(depths))}
 
     def combined_trace(self) -> ExecutionTrace:
-        """All batch traces merged onto the server clock (needs keep_traces)."""
+        """All batch traces merged onto the server clock (needs keep_traces).
+
+        Core width is the max ``n_cores`` over the batch traces, re-based
+        against the widest core id actually recorded — an engine that mixes
+        substrates (e.g. a 48-core simulated warm-up next to an 8-worker
+        threaded run) must not produce records outside the declared width.
+        Single-pass, unlike chained :meth:`ExecutionTrace.merge` (O(n²)).
+        """
         if not self.keep_traces:
             raise RuntimeError("construct ServerStats(keep_traces=True) first")
-        out = ExecutionTrace(n_cores=0)
-        for start, trace in self._batch_traces:
-            out.scheduler = out.scheduler or trace.scheduler
-            out = out.merge(trace, time_offset=start)
-        return out
+        return ExecutionTrace.merge_all(
+            [trace for _, trace in self._batch_traces],
+            time_offsets=[start for start, _ in self._batch_traces],
+        )
 
     def summary(self) -> Dict:
         """The JSON-ready report: SLO latencies, throughput, batching stats."""
@@ -187,6 +250,11 @@ class ServerStats:
             **(
                 {"critical_path": self.critical_path}
                 if self.critical_path is not None
+                else {}
+            ),
+            **(
+                {"metrics": self.registry.as_dict()}
+                if self.registry is not None
                 else {}
             ),
         }

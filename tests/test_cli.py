@@ -87,3 +87,44 @@ def test_analyze_command_fails_on_lint_findings(capsys, tmp_path):
     bad.write_text("def f(b=[]):\n    pass\n")
     assert main(["analyze", "--skip-graph", "--lint", str(bad)]) == 1
     assert "mutable-default" in capsys.readouterr().out
+
+
+def test_obs_report_emits_valid_bench_json(capsys, tmp_path):
+    from repro.harness.bench_json import load_bench_json
+
+    out_file = tmp_path / "obs.json"
+    # --no-overhead: the comparison half is deterministic (simulated
+    # machine); the wall-time A/B half is covered by tests/obs and the
+    # committed baseline gate.
+    assert main([
+        "obs-report", "--policy", "locality", "--compare", "fifo",
+        "--cores", "8", "--seq-len", "8", "--batch", "4", "--mbs", "2",
+        "--no-overhead", "--output", str(out_file),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "locality_hit_rate" in out
+    assert "speedup" in out
+    report = load_bench_json(str(out_file))  # validates the envelope
+    assert report["bench"] == "obs_overhead"
+    policies = report["results"]["comparison"]["policies"]
+    assert set(policies) == {"locality", "fifo"}
+    n_tasks = report["results"]["comparison"]["graph"]["n_tasks"]
+    for block in policies.values():
+        assert block["counters"]["pops"] == n_tasks
+
+
+def test_serve_bench_and_obs_report_share_execution_flags():
+    import argparse
+
+    from repro.__main__ import build_parser
+
+    parser = build_parser()
+    # One shared "execution options" group: both subcommands accept the
+    # same substrate flags without re-declaring them.
+    for cmd in ("serve-bench", "obs-report"):
+        args = parser.parse_args(
+            [cmd, "--executor", "sim", "--cores", "4", "--mbs", "2",
+             "--scheduler", "fifo", "--seed", "1"]
+        )
+        assert isinstance(args, argparse.Namespace)
+        assert (args.cores, args.mbs, args.scheduler) == (4, 2, "fifo")

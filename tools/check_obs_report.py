@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Gate a ``BENCH_obs_overhead.json`` observability report.
+
+Used by the CI smoke target (``make smoke-obs``).  Beyond schema shape,
+this gate enforces the observability *outcomes*:
+
+* the metrics-overhead budget: the paired-ratio overhead of running the
+  threaded engine with a ``MetricsRegistry`` attached may be at most
+  ``--budget`` (default 1.02, the ≤2 % claim recorded in the baseline);
+* the policy comparison ran both policies on the same graph (identical
+  task counts, non-zero pushes/pops) and the locality-aware policy's
+  hinted hit rate beats the oblivious baseline's on that graph;
+* timing blocks are well-formed ``summarize_times`` summaries.
+
+    python tools/check_obs_report.py BENCH_obs_overhead.json [...]
+    python tools/check_obs_report.py --budget 1.05 smoke.json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _reportlib import (
+    check_envelope,
+    check_schema,
+    check_timing_block,
+    finish,
+    load_report,
+    lookup,
+)
+
+DEFAULT_BUDGET = 1.02
+
+COUNTER_SCHEMA = [
+    ("pushes", int),
+    ("pops", int),
+    ("hinted_pushes", int),
+    ("locality_hits", int),
+    ("locality_misses", int),
+    ("locality_hit_rate", (int, float)),
+    ("steals", int),
+    ("starvation_stalls", int),
+    ("queue_depth_mean", (int, float)),
+    ("queue_depth_max", int),
+]
+
+POLICY_SCHEMA = [
+    ("makespan_s", (int, float)),
+    ("parallel_efficiency", (int, float)),
+    ("core_busy_fraction_mean", (int, float)),
+    ("core_busy_fraction_max", (int, float)),
+]
+
+OVERHEAD_SCHEMA = [
+    ("overhead_ratio", (int, float)),
+    ("budget", (int, float)),
+    ("within_budget", bool),
+]
+
+
+def check_comparison(results, label, errors):
+    comparison = results.get("comparison")
+    if not isinstance(comparison, dict):
+        errors.append(f"{label}: missing/invalid 'comparison' block")
+        return
+    config = comparison.get("graph", {})
+    policies = comparison.get("policies")
+    if not isinstance(policies, dict) or len(policies) < 2:
+        errors.append(f"{label}: comparison must cover at least two policies")
+        return
+    for name, block in policies.items():
+        plabel = f"{label}.policies.{name}"
+        check_schema(block, POLICY_SCHEMA, plabel, errors)
+        counters = block.get("counters")
+        if not isinstance(counters, dict):
+            errors.append(f"{plabel}: missing 'counters' block")
+            continue
+        check_schema(counters, COUNTER_SCHEMA, plabel, errors)
+        if counters.get("pops", 0) < 1:
+            errors.append(f"{plabel}: scheduler recorded no pops")
+        n_tasks = config.get("n_tasks")
+        if isinstance(n_tasks, int) and counters.get("pops") != n_tasks:
+            errors.append(
+                f"{plabel}: pops {counters.get('pops')} != graph n_tasks "
+                f"{n_tasks} (policies must run the same graph)"
+            )
+    # Locality-vs-oblivious: the studied policy must win on hit rate when
+    # the baseline is hint-oblivious and the graph issued hints at all.
+    names = list(policies)
+    try:
+        rates = {
+            n: lookup(policies[n], "counters.locality_hit_rate") for n in names
+        }
+        hinted = {
+            n: lookup(policies[n], "counters.hinted_pushes") for n in names
+        }
+        if min(hinted.values()) > 0 and len(set(names)) >= 2:
+            best = max(rates.values())
+            if rates[names[0]] < best:
+                errors.append(
+                    f"{label}: studied policy {names[0]!r} hit rate "
+                    f"{rates[names[0]]:.3f} below comparison "
+                    f"{best:.3f} — locality accounting looks inverted"
+                )
+    except KeyError:
+        pass  # already reported
+
+
+def check_overhead(results, label, errors, budget):
+    overhead = results.get("overhead")
+    if overhead is None:
+        return  # comparison-only report (obs-report --no-overhead)
+    olabel = f"{label}.overhead"
+    check_schema(overhead, OVERHEAD_SCHEMA, olabel, errors)
+    for half in ("disabled", "enabled"):
+        block = overhead.get(half)
+        if not isinstance(block, dict):
+            errors.append(f"{olabel}: missing {half!r} timing block")
+            continue
+        check_timing_block(block, f"{olabel}.{half}", errors)
+    try:
+        ratio = lookup(overhead, "overhead_ratio")
+        if ratio > budget:
+            errors.append(
+                f"{olabel}: overhead_ratio {ratio:.4f} exceeds budget "
+                f"{budget} — enabling metrics is no longer (near-)free"
+            )
+        if ratio <= 0:
+            errors.append(f"{olabel}: overhead_ratio must be positive")
+    except KeyError:
+        pass  # already reported
+
+
+def check_report(report, label, errors, budget):
+    check_envelope(report, label, errors, bench="obs_overhead")
+    results = report.get("results")
+    if not isinstance(results, dict):
+        errors.append(f"{label}: missing/invalid 'results' block")
+        return
+    check_comparison(results, label, errors)
+    check_overhead(results, label, errors, budget)
+
+
+def main(argv) -> int:
+    args = list(argv[1:])
+    budget = DEFAULT_BUDGET
+    if "--budget" in args:
+        i = args.index("--budget")
+        try:
+            budget = float(args[i + 1])
+        except (IndexError, ValueError):
+            print(__doc__)
+            return 2
+        del args[i:i + 2]
+    if not args:
+        print(__doc__)
+        return 2
+    errors: list = []
+    for path in args:
+        check_report(load_report(path), path, errors, budget)
+    return finish(errors, [f"{path}: obs report OK" for path in args])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
