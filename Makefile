@@ -1,6 +1,6 @@
 # Convenience targets; CI (.github/workflows/ci.yml) runs `test`, `lint`,
-# `smoke-serving`, `smoke-fused`, `smoke-racecheck`, `smoke-analysis` and
-# `smoke-obs` on every push.
+# `smoke-serving`, `smoke-fused`, `smoke-racecheck`, `smoke-analysis`,
+# `smoke-obs` and `smoke-compile` on every push.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -9,11 +9,12 @@ SMOKE_REPORT ?= /tmp/repro_serving_smoke.json
 SMOKE_FUSED_REPORT ?= /tmp/repro_fused_smoke.json
 SMOKE_ANALYSIS_REPORT ?= /tmp/repro_analysis_smoke.json
 SMOKE_OBS_REPORT ?= /tmp/repro_obs_smoke.json
+SMOKE_COMPILE_REPORT ?= /tmp/repro_compile_smoke.json
 # CI runners are noisy shared tenants: the committed baseline records the
 # ≤2 % claim; the freshly-measured smoke run gets slack against tenancy.
 SMOKE_OBS_BUDGET ?= 1.10
 
-.PHONY: test lint smoke-serving smoke-fused smoke-racecheck smoke-analysis smoke-obs bench fused-bench serve-bench clean
+.PHONY: test lint smoke-serving smoke-fused smoke-racecheck smoke-analysis smoke-obs smoke-compile bench fused-bench serve-bench clean
 
 # tier-1: the full unit/integration/property suite (serving tests included)
 test:
@@ -79,6 +80,22 @@ smoke-racecheck:
 	$(PYTHON) -m pytest tests/runtime/test_racecheck.py tests/runtime/test_schedule_fuzz.py -x -q
 	$(PYTHON) tools/check_racecheck.py
 
+# compiled-replay smoke: the compile-package unit tests + mutated-plan
+# regression, then a reduced-size compile-bench end-to-end through the
+# real CLI (overhead A/B vs both dynamic policies, warm-shape cache hit
+# rate, bitwise equivalence), then the JSON gate — on both the fresh
+# smoke report and the committed paper-scale baseline
+smoke-compile:
+	$(PYTHON) -m pytest tests/compile/test_plan.py tests/compile/test_compiler.py \
+		tests/compile/test_cache.py tests/compile/test_check_plan.py \
+		tests/compile/test_executor_replay.py -x -q
+	$(PYTHON) -m repro compile-bench \
+		--hidden 32 --layers 2 --input-size 16 --seq-len 20 --batch 8 \
+		--mbs 2 --iters 8 --repeats 3 \
+		--output $(SMOKE_COMPILE_REPORT) > /dev/null
+	$(PYTHON) tools/check_compile_report.py $(SMOKE_COMPILE_REPORT)
+	$(PYTHON) tools/check_compile_report.py benchmarks/baselines/BENCH_compile.json
+
 # regenerate every paper table/figure + the serving sweep (minutes)
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -94,4 +111,4 @@ serve-bench:
 
 clean:
 	rm -f $(SMOKE_REPORT) $(SMOKE_FUSED_REPORT) $(SMOKE_ANALYSIS_REPORT) \
-		$(SMOKE_OBS_REPORT) serving_report.json
+		$(SMOKE_OBS_REPORT) $(SMOKE_COMPILE_REPORT) serving_report.json

@@ -10,6 +10,7 @@
     python -m repro racecheck [...]         # dependency-declaration race check
     python -m repro analyze [...]           # static graph lint + AST lint
     python -m repro obs-report [...]        # scheduler counters + metrics overhead
+    python -m repro compile-bench [...]     # compiled-plan replay benchmark (JSON)
 
 ``--full`` runs the paper's complete configuration grids (minutes); the
 default grids cover every regime in seconds.  The same drivers back the
@@ -234,6 +235,70 @@ def _cmd_fused_bench(args) -> None:
         print(json.dumps(
             {"bench": "fused_projection", **point}, indent=2
         ))
+
+
+def _cmd_compile_bench(args) -> int:
+    """Compiled-plan replay benchmark; emits the ``compile`` BENCH JSON.
+
+    Sections: per-batch runtime-overhead A/B (dynamic vs replay on
+    cost-only graphs), plan-cache behaviour of a simulated serving engine
+    with ``compile="on"``, and the bitwise replay-equivalence check.
+    Exits 1 when replay fails to beat dynamic resolution, a warm shape
+    misses the cache, or the replayed bits diverge.
+    """
+    import json
+
+    from repro.harness.bench_json import write_bench_json
+    from repro.harness.compilebench import run_compile_bench
+
+    point = run_compile_bench(
+        cell=args.cell,
+        input_size=args.input_size,
+        hidden=args.hidden,
+        layers=args.layers,
+        seq_len=args.seq_len,
+        batch=args.batch,
+        head=args.head,
+        mbs=args.mbs,
+        iters=args.iters,
+        n_workers=args.replay_workers,
+        sim_cores=args.cores,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    results = point["results"]
+    overhead = results["overhead"]
+    print(
+        f"replay overhead reduction: x{overhead['reduction_ratio']:.2f} vs "
+        "cheapest dynamic policy "
+        f"(fifo x{overhead['reduction_ratio_fifo']:.2f}, "
+        f"locality x{overhead['reduction_ratio_locality']:.2f}); "
+        f"reduced edges: {results['plan']['n_edges_reduced']:.0f} of "
+        f"{results['plan']['n_edges_declared']:.0f} declared"
+    )
+    serving = results["serving"]
+    print(
+        f"serving: {serving['n_batches']} batches over {serving['n_shapes']} "
+        f"shapes -> warm hit rate {serving['warm_hit_rate']:.2f}, "
+        f"{serving['cache']['compiles']:.0f} compiles"
+    )
+    equiv = results["equivalence"]
+    print(
+        "equivalence: "
+        + ("bitwise identical to dynamic FIFO" if equiv["bitwise_identical"]
+           else f"DIVERGED on {equiv['mismatched_arrays']}")
+    )
+    if args.output:
+        write_bench_json(args.output, "compile", point["config"], results)
+        print(f"# report written to {args.output}", file=sys.stderr)
+    else:
+        print(json.dumps({"bench": "compile", **point}, indent=2))
+    failed = (
+        overhead["reduction_ratio"] <= 1.0
+        or serving["warm_hit_rate"] < 1.0
+        or not equiv["bitwise_identical"]
+    )
+    return 1 if failed else 0
 
 
 def _cmd_racecheck(args) -> int:
@@ -489,6 +554,7 @@ COMMANDS = {
     "racecheck": _cmd_racecheck,
     "analyze": _cmd_analyze,
     "obs-report": _cmd_obs_report,
+    "compile-bench": _cmd_compile_bench,
 }
 
 
@@ -567,6 +633,16 @@ def _add_analyze_args(parser: argparse.ArgumentParser) -> None:
                    help="analyze the B-Seq (chunk-serialised) graph variant")
 
 
+def _add_compile_bench_args(parser: argparse.ArgumentParser) -> None:
+    g = parser.add_argument_group("compile-bench options")
+    g.add_argument("--repeats", type=int, default=4,
+                   help="serving rounds per batch shape (round one compiles, "
+                        "the rest must hit the plan cache)")
+    g.add_argument("--replay-workers", type=int, default=1,
+                   help="worker threads for the overhead A/B (1 = pure "
+                        "runtime overhead, no wake-up waits)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -580,6 +656,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_racecheck_args(parser)
     _add_analyze_args(parser)
     _add_obs_report_args(parser)
+    _add_compile_bench_args(parser)
     return parser
 
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import hashlib
+import json
 import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
@@ -43,7 +45,11 @@ LEGACY_EXECUTION_KWARGS = (
 )
 
 #: config fields that were never kwargs and therefore do not warn
-_NEW_FIELDS = ("metrics", "hooks")
+_NEW_FIELDS = ("metrics", "hooks", "compile")
+
+#: fields excluded from :meth:`ExecutionConfig.fingerprint` — observability
+#: attachments never change what a graph computes or how it is scheduled
+_NON_EXECUTION_FIELDS = ("metrics", "hooks")
 
 
 @dataclass(frozen=True)
@@ -75,6 +81,13 @@ class ExecutionConfig:
     seed:
         Parameter-initialisation seed used when an engine creates its own
         weights.
+    compile:
+        Graph compilation & plan replay (docs/COMPILE.md): ``"off"`` —
+        dynamic dependence resolution every batch (the default);
+        ``"on"`` — every batch shape is compiled into a cached
+        :class:`~repro.compile.plan.CompiledPlan` on first sight and
+        replayed on every repeat; ``"auto"`` — a shape is compiled only
+        once it recurs, so one-off shapes never pay compilation.
     metrics:
         A :class:`~repro.obs.registry.MetricsRegistry` the executors
         publish per-run counters into (``None`` disables — the default
@@ -92,6 +105,7 @@ class ExecutionConfig:
     fused_input_projection: str = "off"
     proj_block: Optional[int] = None
     seed: int = 0
+    compile: str = "off"
     metrics: Optional[MetricsRegistry] = None
     hooks: Optional[ProfilingHooks] = None
 
@@ -103,10 +117,36 @@ class ExecutionConfig:
                 "fused_input_projection must be 'off', 'on' or 'auto', got "
                 f"{self.fused_input_projection!r}"
             )
+        if self.compile not in ("off", "on", "auto"):
+            raise ValueError(
+                f"compile must be 'off', 'on' or 'auto', got {self.compile!r}"
+            )
 
     def replace(self, **changes) -> "ExecutionConfig":
         """A copy with ``changes`` applied (frozen-dataclass update)."""
         return dataclasses.replace(self, **changes)
+
+    def fingerprint(self) -> str:
+        """Stable hash of the execution-relevant fields (hex, 16 chars).
+
+        Excludes the observability attachments (``metrics``/``hooks``) —
+        two configs that execute identically fingerprint identically even
+        when only one carries a registry.  Used as the plan-cache key
+        (docs/COMPILE.md) and for BENCH record provenance; stable across
+        processes and runs (sha256 of a canonical JSON encoding).
+        Executor *instances* hash by type name: a fresh pool of the same
+        substrate executes the same plan.
+        """
+        payload = {}
+        for f in dataclasses.fields(self):
+            if f.name in _NON_EXECUTION_FIELDS:
+                continue
+            value = getattr(self, f.name)
+            if f.name == "executor" and value is not None and not isinstance(value, str):
+                value = type(value).__name__
+            payload[f.name] = value
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     @classmethod
     def from_kwargs(
@@ -197,6 +237,9 @@ def add_execution_args(parser: argparse.ArgumentParser) -> None:
                    help="hoist X@W_x GEMMs off the recurrent critical path")
     g.add_argument("--proj-block", type=int, default=None,
                    help="timesteps per hoisted projection task (default 16)")
+    g.add_argument("--compile", choices=("off", "on", "auto"), default="off",
+                   help="compile graphs into cached replay plans "
+                        "(docs/COMPILE.md); auto compiles recurring shapes only")
 
 
 def config_from_args(
@@ -214,6 +257,7 @@ def config_from_args(
         seed=args.seed,
         fused_input_projection=args.fused_input_projection,
         proj_block=args.proj_block,
+        compile=getattr(args, "compile", "off"),
         metrics=metrics,
         hooks=hooks,
     )

@@ -26,7 +26,17 @@ Metric families (all prefixed ``repro_``):
 ``repro_sched_starvation_stalls_total`` counter  empty-queue pops
 ``repro_sched_queue_depth_mean``      gauge      last run's mean ready depth
 ``repro_sched_queue_depth_max``       gauge      last run's peak ready depth
+``repro_compile_cache_hits_total``    counter    plan-cache lookups that hit
+``repro_compile_cache_misses_total``  counter    plan-cache lookups that missed
+``repro_compile_cache_evictions_total`` counter  LRU evictions
+``repro_compile_plans_compiled_total`` counter   graphs compiled into plans
+``repro_compile_cache_size``          gauge      live cached plans
+``repro_compile_hit_rate``            gauge      lifetime hit rate
 ====================================  =========  =================================
+
+(The cache's ``last_compile_s`` wall time stays out of the registry on
+purpose: simulated serving reports are bit-reproducible, and a wall-clock
+gauge in the metrics block would break that.  See ``PlanCache.stats()``.)
 """
 
 from __future__ import annotations
@@ -125,6 +135,36 @@ def publish_scheduler(
     registry.gauge(
         "repro_sched_queue_depth_max", help="last run peak ready depth", **labels
     ).set(counters.depth_max)
+
+
+def publish_plan_cache(registry: MetricsRegistry, stats: dict) -> None:
+    """Fold plan-cache snapshot ``stats`` into ``repro_compile_*``.
+
+    The cache outlives individual runs, so its ``stats()`` are lifetime
+    *totals*, not per-run deltas; counters are raised to the snapshot by
+    delta-incrementing (idempotent when called repeatedly with the same
+    snapshot), rates and sizes are plain gauges.
+
+    ``stats()["last_compile_s"]`` is deliberately NOT published: it is
+    wall-clock, and folding it into the registry would make otherwise
+    bit-reproducible simulated serving reports differ between identical
+    runs.  Read it from ``PlanCache.stats()`` or the compile-bench JSON,
+    where measurement jitter is expected.
+    """
+    for name, key, help_ in (
+        ("repro_compile_cache_hits_total", "hits", "plan-cache hits"),
+        ("repro_compile_cache_misses_total", "misses", "plan-cache misses"),
+        ("repro_compile_cache_evictions_total", "evictions", "plan-cache LRU evictions"),
+        ("repro_compile_plans_compiled_total", "compiles", "graphs compiled into plans"),
+    ):
+        counter = registry.counter(name, help=help_)
+        counter.inc(max(0.0, stats[key] - counter.value))
+    registry.gauge("repro_compile_cache_size", help="live cached plans").set(
+        stats["size"]
+    )
+    registry.gauge("repro_compile_hit_rate", help="lifetime plan-cache hit rate").set(
+        stats["hit_rate"]
+    )
 
 
 def publish_run(

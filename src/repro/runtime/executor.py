@@ -21,7 +21,12 @@ from repro.obs.hooks import ProfilingHooks
 from repro.obs.publish import publish_run
 from repro.obs.registry import MetricsRegistry
 from repro.runtime.depgraph import TaskGraph
-from repro.runtime.scheduler import LocalityAwareScheduler, Scheduler, resolve_scheduler
+from repro.runtime.scheduler import (
+    LocalityAwareScheduler,
+    ReplayScheduler,
+    Scheduler,
+    resolve_scheduler,
+)
 from repro.runtime.task import Task
 from repro.runtime.trace import ExecutionTrace, TaskRecord
 
@@ -118,8 +123,21 @@ class ThreadedExecutor:
         self.metrics = metrics
         self.hooks = hooks
 
-    def run(self, graph: TaskGraph) -> ExecutionTrace:
-        scheduler = resolve_scheduler(self._scheduler_factory, self.n_workers)
+    def run(self, graph: TaskGraph, plan=None) -> ExecutionTrace:
+        """Execute ``graph``; with ``plan`` (a compiled
+        :class:`~repro.compile.plan.CompiledPlan`) replay its static
+        release order over the transitive-reduced edge set instead of
+        resolving dependences dynamically — fewer indegree decrements per
+        completion and no locality-hint computation per wake-up."""
+        if plan is not None:
+            plan.validate(graph)
+            scheduler = ReplayScheduler(plan.to_schedule_record(), self.n_workers)
+            successors = plan.successors
+            indegree = plan.indegree()
+        else:
+            scheduler = resolve_scheduler(self._scheduler_factory, self.n_workers)
+            successors = graph.successors
+            indegree = list(graph.indegree)
         scheduler.hooks = self.hooks
         hooks = self.hooks
         trace = ExecutionTrace(
@@ -127,13 +145,20 @@ class ThreadedExecutor:
         )
         lock = threading.Lock()
         work_available = threading.Condition(lock)
-        indegree = list(graph.indegree)
         remaining = len(graph.tasks)
         errors: list = []
+        replay = plan is not None
         epoch = time.perf_counter()
 
-        for task in graph.roots():
-            scheduler.push(task)
+        if replay:
+            # Roots are identical under transitive reduction (a redundant
+            # edge into t implies another retained path into t).
+            for tid, deg in enumerate(indegree):
+                if deg == 0:
+                    scheduler.push(graph.tasks[tid])
+        else:
+            for task in graph.roots():
+                scheduler.push(task)
 
         def worker(core: int) -> None:
             nonlocal remaining
@@ -180,11 +205,12 @@ class ThreadedExecutor:
                     )
                     remaining -= 1
                     woke = 0
-                    for succ_tid in graph.successors[task.tid]:
+                    for succ_tid in successors[task.tid]:
                         indegree[succ_tid] -= 1
                         if indegree[succ_tid] == 0:
                             succ = graph.tasks[succ_tid]
-                            scheduler.push(succ, hint=locality_hint(task, succ, core))
+                            hint = None if replay else locality_hint(task, succ, core)
+                            scheduler.push(succ, hint=hint)
                             woke += 1
                     if woke or remaining == 0:
                         work_available.notify_all()

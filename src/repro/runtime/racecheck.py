@@ -235,6 +235,8 @@ class RaceFinding:
                 f"(tid {self.other_tid}) conflict on region {self.region} with "
                 f"no dependence path between them{': ' + self.detail if self.detail else ''}"
             )
+        if self.kind.startswith("plan_"):
+            return f"[{self.kind}] {self.task} (tid {self.tid}): {self.detail}"
         return (
             f"[{self.kind}] {self.task} (tid {self.tid}) touched region "
             f"{self.region} without declaring it"
@@ -727,7 +729,7 @@ class FuzzSweepResult:
 
 
 def _result_fingerprint(result) -> Dict[str, bytes]:
-    """Bitwise snapshot of params and per-chunk gradients after a run."""
+    """Bitwise snapshot of params, per-chunk gradients and logits after a run."""
     out: Dict[str, bytes] = {}
     if result.params is not None:
         for name, arr in result.params.arrays():
@@ -737,6 +739,9 @@ def _result_fingerprint(result) -> Dict[str, bytes]:
             if chunk.grads is not None:
                 for name, arr in chunk.grads.arrays():
                     out[f"chunk{mb}.grads.{name}"] = arr.tobytes()
+            for t, arr in enumerate(getattr(chunk, "logits", None) or []):
+                if arr is not None:
+                    out[f"chunk{mb}.logits.{t}"] = arr.tobytes()
     return out
 
 
@@ -779,3 +784,159 @@ def fuzz_equivalence_sweep(
     return FuzzSweepResult(
         seeds=seeds, mismatches=mismatches, reference_scheduler=reference_scheduler
     )
+
+
+# ---------------------------------------------------------------------------
+# Compiled-plan auditing
+# ---------------------------------------------------------------------------
+
+
+def check_plan(graph: TaskGraph, plan) -> RaceReport:
+    """Audit a compiled plan against the graph's *declared* dependences.
+
+    Replay safety rests on indegree gating over ``plan.successors`` — a
+    declared edge ``a → b`` is enforced at replay time iff the transitive
+    closure of the plan's (reduced) edge set contains a path ``a → … → b``.
+    The release *order* alone is not sufficient: a predecessor popped
+    earlier may still be running on another worker.  Three audits:
+
+    * ``plan_structure_mismatch`` — task count, name drift, or a release
+      order that is not a permutation of the graph's tids;
+    * ``plan_order_violation`` — the release order is not topological over
+      the plan's own edges (replay could stall: a task released before one
+      of its plan-predecessors);
+    * ``plan_dependence_violation`` — a declared dependence not covered by
+      the closure of the plan's edges (two conflicting tasks could overlap).
+
+    ``checked_pairs`` counts the declared edges audited for closure cover.
+    """
+    report = RaceReport(n_tasks=len(graph))
+    try:
+        plan.validate(graph)
+    except ValueError as exc:
+        report.findings.append(
+            RaceFinding(
+                kind="plan_structure_mismatch",
+                tid=-1,
+                task="<plan>",
+                region="",
+                detail=str(exc),
+            )
+        )
+        return report
+    n = len(graph)
+    if sorted(plan.order) != list(range(n)):
+        report.findings.append(
+            RaceFinding(
+                kind="plan_structure_mismatch",
+                tid=-1,
+                task="<plan>",
+                region="",
+                detail="release order is not a permutation of the graph's tids",
+            )
+        )
+        return report
+    for a, succs in enumerate(plan.successors):
+        for b in succs:
+            if not 0 <= b < n:
+                report.findings.append(
+                    RaceFinding(
+                        kind="plan_structure_mismatch",
+                        tid=a,
+                        task=graph.tasks[a].name,
+                        region="",
+                        detail=f"plan edge {a} → {b} names an unknown tid",
+                    )
+                )
+                return report
+
+    pos = {tid: i for i, tid in enumerate(plan.order)}
+    for a, succs in enumerate(plan.successors):
+        for b in succs:
+            if pos[a] >= pos[b]:
+                report.findings.append(
+                    RaceFinding(
+                        kind="plan_order_violation",
+                        tid=a,
+                        task=graph.tasks[a].name,
+                        other_tid=b,
+                        other=graph.tasks[b].name,
+                        region="",
+                        detail=(
+                            f"{graph.tasks[b].name} (tid {b}) is released at "
+                            f"step {pos[b]}, before its plan-predecessor "
+                            f"{graph.tasks[a].name} (tid {a}, step {pos[a]})"
+                        ),
+                    )
+                )
+
+    desc = descendants_bitsets(plan.successors)
+    checked = 0
+    for a in range(n):
+        for b in graph.successors[a]:
+            checked += 1
+            if not (desc[a] >> b) & 1:
+                report.findings.append(
+                    RaceFinding(
+                        kind="plan_dependence_violation",
+                        tid=a,
+                        task=graph.tasks[a].name,
+                        other_tid=b,
+                        other=graph.tasks[b].name,
+                        region="",
+                        detail=(
+                            f"declared dependence {graph.tasks[a].name} → "
+                            f"{graph.tasks[b].name} has no covering path in "
+                            "the plan's edge set — replay may overlap them"
+                        ),
+                    )
+                )
+    report.checked_pairs = checked
+    return report
+
+
+def replay_plan(graph: TaskGraph, plan, n_workers: int = 1, check: bool = True):
+    """Execute ``graph`` from a compiled plan, auditing it first.
+
+    With ``check`` (default) a failed :func:`check_plan` raises
+    :class:`RaceError` before any payload runs; the returned value is the
+    :class:`~repro.runtime.trace.ExecutionTrace` of the replay.
+    """
+    if check:
+        report = check_plan(graph, plan)
+        if not report.ok:
+            raise RaceError(report)
+    return ThreadedExecutor(n_workers).run(graph, plan=plan)
+
+
+def plan_equivalence_check(
+    make_build: Callable[[], object],
+    *,
+    n_workers: int = 1,
+    reference_scheduler: str = "fifo",
+) -> List[str]:
+    """Compiled-plan replay vs a dynamic schedule, compared bitwise.
+
+    Builds the graph twice from identical deterministic state, runs the
+    reference dynamically and the second build from a freshly compiled
+    plan, and returns the names of arrays whose bits differ (empty list =
+    equivalent) — the compiled-path counterpart of
+    :func:`fuzz_equivalence_sweep`.
+    """
+    # Late import: repro.compile sits above the runtime in the layering.
+    from repro.compile import compile_graph
+
+    reference = make_build()
+    ThreadedExecutor(n_workers, resolve_scheduler(reference_scheduler, n_workers)).run(
+        reference.graph
+    )
+    expected = _result_fingerprint(reference)
+
+    result = make_build()
+    plan = compile_graph(result.graph, n_workers=n_workers)
+    replay_plan(result.graph, plan, n_workers=n_workers)
+    got = _result_fingerprint(result)
+    bad = sorted(name for name in expected if got.get(name) != expected[name])
+    if set(got) != set(expected):
+        bad = sorted(set(bad) | (set(got) ^ set(expected)))
+    return bad

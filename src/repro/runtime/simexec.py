@@ -22,7 +22,7 @@ from repro.obs.publish import publish_run
 from repro.obs.registry import MetricsRegistry
 from repro.runtime.depgraph import TaskGraph
 from repro.runtime.executor import locality_hint
-from repro.runtime.scheduler import Scheduler, resolve_scheduler
+from repro.runtime.scheduler import ReplayScheduler, Scheduler, resolve_scheduler
 from repro.runtime.trace import ExecutionTrace, TaskRecord
 from repro.simarch.cache import CacheModel
 from repro.simarch.costmodel import CostModel
@@ -85,18 +85,30 @@ class SimulatedExecutor:
         """Drop all modelled cache residency (cold-start the machine)."""
         self._cache = CacheModel(self.machine, self._active_sockets)
 
-    def run(self, graph: TaskGraph) -> ExecutionTrace:
+    def run(self, graph: TaskGraph, plan=None) -> ExecutionTrace:
+        """Simulate ``graph``; with ``plan`` (a compiled
+        :class:`~repro.compile.plan.CompiledPlan`) replay its static
+        release order over the transitive-reduced edge set instead of a
+        dynamic ready-queue policy."""
         if not self.persistent_cache:
             self.reset_cache()
         cache = self._cache
-        scheduler = resolve_scheduler(self.scheduler_policy, self.n_cores)
+        if plan is not None:
+            plan.validate(graph)
+            scheduler = ReplayScheduler(plan.to_schedule_record(), self.n_cores)
+            successors = plan.successors
+            indegree = plan.indegree()
+        else:
+            scheduler = resolve_scheduler(self.scheduler_policy, self.n_cores)
+            successors = graph.successors
+            indegree = list(graph.indegree)
+        replay = plan is not None
         scheduler.hooks = self.hooks
         hooks = self.hooks
         trace = ExecutionTrace(
             n_cores=self.n_cores, scheduler=getattr(scheduler, "name", "?")
         )
 
-        indegree = list(graph.indegree)
         remaining = len(graph.tasks)
         if remaining == 0:
             trace.scheduler_counters = scheduler.counters
@@ -110,8 +122,15 @@ class SimulatedExecutor:
         seq = 0
         now = 0.0
 
-        for task in graph.roots():
-            scheduler.push(task)
+        if replay:
+            # Roots are identical under transitive reduction (a redundant
+            # edge into t implies another retained path into t).
+            for tid, deg in enumerate(indegree):
+                if deg == 0:
+                    scheduler.push(graph.tasks[tid])
+        else:
+            for task in graph.roots():
+                scheduler.push(task)
 
         affinity = getattr(scheduler, "_affinity", None)
         # Core enumeration interleaved across sockets: un-hinted work spreads
@@ -200,11 +219,12 @@ class SimulatedExecutor:
                 idle.add(core2)
                 active_on_socket[self.machine.socket_of(core2)] -= 1
                 remaining -= 1
-                for succ_tid in graph.successors[tid2]:
+                for succ_tid in successors[tid2]:
                     indegree[succ_tid] -= 1
                     if indegree[succ_tid] == 0:
                         succ = graph.tasks[succ_tid]
-                        scheduler.push(succ, hint=locality_hint(task, succ, core2))
+                        hint = None if replay else locality_hint(task, succ, core2)
+                        scheduler.push(succ, hint=hint)
             dispatch()
 
         if remaining != 0:  # pragma: no cover - defensive

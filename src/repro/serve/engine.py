@@ -26,9 +26,10 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.compile import PlanCache, compile_graph
 from repro.config import ExecutionConfig, resolve_engine_config
 from repro.core.bpar import default_executor
-from repro.core.graph_builder import build_brnn_graph
+from repro.core.graph_builder import build_brnn_graph, split_batch
 from repro.models.params import BRNNParams
 from repro.models.spec import BRNNSpec
 from repro.runtime.simexec import SimulatedExecutor
@@ -95,6 +96,15 @@ class InferenceEngine:
         on any unordered conflicting task pair.  One audit per shape
         (memoised), so steady-state serving pays nothing; intended for
         CI and staging, not hot production paths.
+
+    With ``config.compile`` set to ``"on"`` or ``"auto"`` the engine keeps
+    a :class:`~repro.compile.cache.PlanCache` keyed by ``(config
+    fingerprint, batch shape)``: warm shapes skip graph construction *and*
+    dynamic dependence resolution, replaying a compiled
+    :class:`~repro.compile.plan.CompiledPlan` over the reused graph build
+    (threaded) or returning the memoised compiled-replay service time
+    (sim).  ``"auto"`` compiles a shape only once it recurs, so one-off
+    shapes never pay compilation (docs/COMPILE.md).
     """
 
     def __init__(
@@ -148,6 +158,16 @@ class InferenceEngine:
             )
             self._threaded = default_executor(cfg)
         self.validate_dependencies = validate_dependencies
+        self.compile = cfg.compile
+        if cfg.compile != "off":
+            self.plan_cache: Optional[PlanCache] = PlanCache(metrics=cfg.metrics)
+            self._config_fingerprint = cfg.fingerprint()
+        else:
+            self.plan_cache = None
+            self._config_fingerprint = None
+        #: sightings per batch shape — drives ``compile="auto"``'s
+        #: compile-on-recurrence policy
+        self._shape_seen: Dict[Tuple[int, int], int] = {}
         #: memoised (service_time, trace) per batch shape, sim mode only
         self._cost_cache: Dict[Tuple[int, int], Tuple[float, ExecutionTrace]] = {}
         #: memoised fused-vs-per-step critical-path comparison per shape
@@ -233,9 +253,18 @@ class InferenceEngine:
             return self._execute_simulated(batch)
         return self._execute_threaded(batch)
 
+    def _plan_key(self, key: Tuple[int, int]) -> Tuple[str, Tuple[int, int]]:
+        return (self._config_fingerprint, key)
+
+    def _should_compile(self, key: Tuple[int, int]) -> bool:
+        """``"on"`` compiles at first sight; ``"auto"`` once a shape recurs."""
+        return self.compile == "on" or self._shape_seen.get(key, 0) >= 1
+
     def _execute_simulated(self, batch: Batch) -> BatchExecution:
         key = (batch.padded_len, batch.size)
         self.critical_path_reduction(batch.padded_len, batch.size)
+        if self.plan_cache is not None:
+            return self._execute_simulated_compiled(batch, key)
         cached = self._cost_cache.get(key)
         if cached is None:
             graph = self._build(
@@ -255,9 +284,56 @@ class InferenceEngine:
             self._cost_cache[key] = cached
         return BatchExecution(service_time_s=cached[0], trace=cached[1])
 
+    def _execute_simulated_compiled(
+        self, batch: Batch, key: Tuple[int, int]
+    ) -> BatchExecution:
+        """Sim substrate with a plan cache in place of the cost memo.
+
+        A warm shape returns its memoised compiled-replay ``(service,
+        trace)`` payload, so the cache's hit counters track exactly the
+        batches that skipped graph build + dependence resolution.
+        """
+        entry = self.plan_cache.get(self._plan_key(key))
+        if entry is not None:
+            service, trace = entry.payload
+            return BatchExecution(service_time_s=service, trace=trace)
+        graph = self._build(
+            seq_len=batch.padded_len,
+            batch=batch.size,
+            mbs=self._effective_mbs(batch.size),
+        ).graph
+        if self.validate_dependencies:
+            self._validate_shape(graph, batch.padded_len, batch.size)
+        compile_now = self._should_compile(key)
+        self._shape_seen[key] = self._shape_seen.get(key, 0) + 1
+        if compile_now:
+            plan = compile_graph(
+                graph,
+                n_workers=self._sim.n_cores,
+                cost_model=self._sim.cost_model,
+                key=[self._config_fingerprint, list(key)],
+            )
+            self._sim.run(graph, plan=plan)  # warm run (see dynamic path)
+            trace = self._sim.run(graph, plan=plan)
+            # replay skips per-batch graph creation, so no creation charge
+            service = trace.makespan + self.batch_fixed_s
+            self.plan_cache.put(
+                self._plan_key(key), plan, payload=(service, trace)
+            )
+            return BatchExecution(service_time_s=service, trace=trace)
+        # auto-mode first sighting: dynamic, uncached (one-off shapes
+        # never pay compilation — a recurrence triggers it next time)
+        self._sim.run(graph)
+        trace = self._sim.run(graph)
+        creation = len(graph) * self.machine.task_create_s
+        service = trace.makespan + creation + self.batch_fixed_s
+        return BatchExecution(service_time_s=service, trace=trace)
+
     def _execute_threaded(self, batch: Batch) -> BatchExecution:
         x = batch.padded_input()
         self.critical_path_reduction(batch.padded_len, batch.size)
+        if self.plan_cache is not None:
+            return self._execute_threaded_compiled(batch, x)
         t0 = time.perf_counter()
         result = self._build(
             x=x,
@@ -267,6 +343,52 @@ class InferenceEngine:
         if self.validate_dependencies:
             self._validate_shape(result.graph, batch.padded_len, batch.size)
         trace = self._threaded.run(result.graph)
+        service = time.perf_counter() - t0
+        return BatchExecution(
+            service_time_s=service, trace=trace, logits=result.logits()
+        )
+
+    def _execute_threaded_compiled(self, batch: Batch, x: np.ndarray) -> BatchExecution:
+        """Threaded substrate with plan replay over a reused graph build.
+
+        Warm shapes copy the new batch's data into the cached build's
+        chunk buffers (the task closures read through them) and replay the
+        compiled plan — no graph construction, no dependence re-resolution.
+        Inference graphs rebind their h/c/logits slots every run, so a
+        reused build recomputes from the fresh inputs.
+        """
+        key = (batch.padded_len, batch.size)
+        t0 = time.perf_counter()
+        entry = self.plan_cache.get(self._plan_key(key))
+        if entry is not None:
+            build = entry.payload
+            mbs_eff = self._effective_mbs(batch.size)
+            for state, xc in zip(build.chunks, split_batch(x, mbs_eff, axis=1)):
+                np.copyto(state.x, xc)
+            trace = self._threaded.run(build.graph, plan=entry.plan)
+            service = time.perf_counter() - t0
+            return BatchExecution(
+                service_time_s=service, trace=trace, logits=build.logits()
+            )
+        result = self._build(
+            x=x,
+            params=self.params,
+            mbs=self._effective_mbs(batch.size),
+        )
+        if self.validate_dependencies:
+            self._validate_shape(result.graph, batch.padded_len, batch.size)
+        compile_now = self._should_compile(key)
+        self._shape_seen[key] = self._shape_seen.get(key, 0) + 1
+        if compile_now:
+            plan = compile_graph(
+                result.graph,
+                n_workers=self._threaded.n_workers,
+                key=[self._config_fingerprint, list(key)],
+            )
+            trace = self._threaded.run(result.graph, plan=plan)
+            self.plan_cache.put(self._plan_key(key), plan, payload=result)
+        else:
+            trace = self._threaded.run(result.graph)
         service = time.perf_counter() - t0
         return BatchExecution(
             service_time_s=service, trace=trace, logits=result.logits()

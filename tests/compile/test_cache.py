@@ -1,0 +1,117 @@
+"""PlanCache: LRU behaviour, counters, metrics export, persistence."""
+
+import pytest
+
+from repro.compile import CompiledPlan, PlanCache, compile_graph
+from repro.obs.registry import MetricsRegistry
+from tests.compile.conftest import build_cost_only
+
+
+def make_plan(seq_len=6):
+    return compile_graph(build_cost_only(seq_len=seq_len).graph)
+
+
+def key(i):
+    return ("fp", (10 + i, 4))
+
+
+def test_miss_then_hit_counting():
+    cache = PlanCache(capacity=4)
+    assert cache.get(key(0)) is None
+    assert (cache.hits, cache.misses) == (0, 1)
+    plan = make_plan()
+    cache.put(key(0), plan, payload="p")
+    entry = cache.get(key(0))
+    assert entry is not None and entry.plan is plan and entry.payload == "p"
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.hit_rate == 0.5
+    assert cache.compiles == 1
+    assert len(cache) == 1 and key(0) in cache
+
+
+def test_lru_eviction_order():
+    cache = PlanCache(capacity=2)
+    plan = make_plan()
+    cache.put(key(0), plan)
+    cache.put(key(1), plan)
+    cache.get(key(0))  # refresh 0 — key 1 becomes the LRU entry
+    cache.put(key(2), plan)
+    assert key(0) in cache and key(2) in cache
+    assert key(1) not in cache
+    assert cache.evictions == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError, match="capacity"):
+        PlanCache(capacity=0)
+
+
+def test_stats_shape():
+    cache = PlanCache()
+    cache.put(key(0), make_plan())
+    stats = cache.stats()
+    for field in (
+        "hits", "misses", "evictions", "compiles",
+        "size", "capacity", "hit_rate", "last_compile_s",
+    ):
+        assert field in stats
+    assert stats["last_compile_s"] > 0.0
+
+
+def test_metrics_delta_publishing():
+    registry = MetricsRegistry()
+    cache = PlanCache(metrics=registry)
+    plan = make_plan()
+    cache.get(key(0))
+    cache.put(key(0), plan)
+    cache.get(key(0))
+    cache.get(key(0))
+    flat = registry.flat()
+    assert flat["repro_compile_cache_hits_total"] == 2
+    assert flat["repro_compile_cache_misses_total"] == 1
+    assert flat["repro_compile_plans_compiled_total"] == 1
+    assert flat["repro_compile_cache_size"] == 1
+    # wall-clock stays out of the registry: it would break the sim
+    # serving report's bit-reproducibility
+    assert not any("last_compile" in name for name in flat)
+    # publishing the same snapshot again must not double-count (deltas)
+    from repro.obs.publish import publish_plan_cache
+
+    publish_plan_cache(registry, cache.stats())
+    assert registry.flat()["repro_compile_cache_hits_total"] == 2
+
+
+def test_save_load_roundtrip(tmp_path):
+    cache = PlanCache()
+    plan = make_plan()
+    cache.put(key(0), plan, payload=object())  # payloads are runtime-only
+    cache.put(key(1), make_plan(seq_len=8))
+    path = str(tmp_path / "cache.json")
+    cache.save(path)
+
+    fresh = PlanCache()
+    assert fresh.load(path) == 2
+    entry = fresh.get(key(0))
+    assert entry is not None
+    assert entry.payload is None
+    assert entry.plan.order == plan.order
+    assert entry.plan.successors == plan.successors
+
+
+def test_load_rejects_wrong_format(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text('{"format": "something.else", "entries": []}')
+    with pytest.raises(ValueError, match="not a plan cache"):
+        PlanCache().load(str(path))
+
+
+def test_load_respects_capacity(tmp_path):
+    cache = PlanCache()
+    for i in range(3):
+        cache.put(key(i), make_plan())
+    path = str(tmp_path / "cache.json")
+    cache.save(path)
+    small = PlanCache(capacity=2)
+    small.load(path)
+    assert len(small) == 2
+    assert small.evictions == 1

@@ -1,0 +1,65 @@
+"""ExecutionConfig.fingerprint(): the plan-cache key's config half."""
+
+import pytest
+
+from repro.config import ExecutionConfig
+from repro.obs.hooks import ProfilingHooks
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.executor import ThreadedExecutor
+
+
+def test_stable_across_instances():
+    a = ExecutionConfig(executor="threaded", n_workers=2, mbs=4, compile="on")
+    b = ExecutionConfig(executor="threaded", n_workers=2, mbs=4, compile="on")
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_hex_shape():
+    fp = ExecutionConfig().fingerprint()
+    assert len(fp) == 16
+    int(fp, 16)  # hex digest
+
+
+def test_ignores_observability_attachments():
+    bare = ExecutionConfig(executor="sim", mbs=2)
+    wired = ExecutionConfig(
+        executor="sim", mbs=2, metrics=MetricsRegistry(), hooks=ProfilingHooks()
+    )
+    assert bare.fingerprint() == wired.fingerprint()
+
+
+@pytest.mark.parametrize("field,value", [
+    ("executor", "threaded"),
+    ("n_workers", 7),
+    ("scheduler", "fifo"),
+    ("mbs", 8),
+    ("barrier_free", False),
+    ("fused_input_projection", "on"),
+    ("proj_block", 4),
+    ("seed", 99),
+    ("compile", "auto"),
+])
+def test_every_execution_field_matters(field, value):
+    base = ExecutionConfig()
+    assert base.fingerprint() != base.replace(**{field: value}).fingerprint()
+
+
+def test_executor_instances_hash_by_type():
+    a = ExecutionConfig(executor=ThreadedExecutor(2))
+    b = ExecutionConfig(executor=ThreadedExecutor(4))
+    # two pools of the same substrate execute the same plans
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != ExecutionConfig(executor="sim").fingerprint()
+
+
+def test_replace_roundtrip():
+    cfg = ExecutionConfig(mbs=4, compile="auto")
+    assert cfg.replace().fingerprint() == cfg.fingerprint()
+    assert cfg.replace(mbs=4).fingerprint() == cfg.fingerprint()
+
+
+def test_compile_field_validation():
+    with pytest.raises(ValueError, match="compile"):
+        ExecutionConfig(compile="sometimes")
+    for mode in ("off", "on", "auto"):
+        assert ExecutionConfig(compile=mode).compile == mode

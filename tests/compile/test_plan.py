@@ -1,0 +1,93 @@
+"""CompiledPlan: structure, validation, and serialization."""
+
+import pytest
+
+from repro.compile import CompiledPlan, PLAN_FORMAT, compile_graph
+from tests.compile.conftest import build_cost_only
+
+
+@pytest.fixture
+def graph():
+    return build_cost_only().graph
+
+
+@pytest.fixture
+def plan(graph):
+    return compile_graph(graph, n_workers=2)
+
+
+def test_plan_covers_graph(graph, plan):
+    assert plan.n_tasks == len(graph)
+    assert sorted(plan.order) == list(range(len(graph)))
+    assert len(plan.names) == len(plan.order) == len(plan.assignments)
+    assert all(0 <= c < plan.n_workers for c in plan.assignments)
+
+
+def test_indegree_matches_successors(plan):
+    indeg = plan.indegree()
+    assert len(indeg) == plan.n_tasks
+    assert sum(indeg) == plan.n_edges()
+    # fresh list each call — executors consume it destructively
+    other = plan.indegree()
+    other[0] += 1
+    assert plan.indegree()[0] == indeg[0]
+
+
+def test_validate_accepts_own_graph(graph, plan):
+    plan.validate(graph)  # does not raise
+
+
+def test_validate_rejects_task_count_drift(graph, plan):
+    other = build_cost_only(seq_len=8).graph
+    with pytest.raises(ValueError, match="tasks"):
+        plan.validate(other)
+
+
+def test_validate_rejects_name_drift(graph, plan):
+    plan.names[3] = "not-the-task"
+    with pytest.raises(ValueError, match="mismatch at step 3"):
+        plan.validate(graph)
+
+
+def test_schedule_record_roundtrip(plan):
+    record = plan.to_schedule_record()
+    assert record.order == plan.order
+    assert record.names == plan.names
+    assert record.scheduler == "compiled"
+    # copies, not aliases: mutating the record leaves the plan intact
+    record.order[0] = -1
+    assert plan.order[0] != -1
+
+
+def test_json_roundtrip(plan):
+    clone = CompiledPlan.from_json(plan.to_json())
+    assert clone.order == plan.order
+    assert clone.names == plan.names
+    assert clone.assignments == plan.assignments
+    assert clone.successors == plan.successors
+    assert clone.n_workers == plan.n_workers
+    assert clone.meta == plan.meta
+    assert clone.format == PLAN_FORMAT
+
+
+def test_save_load(tmp_path, plan):
+    path = str(tmp_path / "plan.json")
+    plan.save(path)
+    clone = CompiledPlan.load(path)
+    assert clone.order == plan.order
+    assert clone.successors == plan.successors
+
+
+def test_from_json_rejects_wrong_format(plan):
+    text = plan.to_json().replace(PLAN_FORMAT, "repro.schedule.v1")
+    with pytest.raises(ValueError, match="not a compiled plan"):
+        CompiledPlan.from_json(text)
+
+
+def test_from_json_rejects_length_disagreement(plan):
+    import json
+
+    data = json.loads(plan.to_json())
+    data["names"] = data["names"][:-1]
+    with pytest.raises(ValueError, match="lengths disagree"):
+        CompiledPlan.from_json(json.dumps(data))

@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Gate a ``BENCH_compile.json`` compiled-plan replay report.
+
+Used by the CI smoke target (``make smoke-compile``).  Beyond schema
+shape, this gate enforces the compilation *outcomes*:
+
+* replaying a compiled plan must reduce per-batch runtime overhead vs
+  dynamic dependence resolution: ``overhead.reduction_ratio`` (replay vs
+  the cheapest dynamic policy) must exceed ``--min-reduction``
+  (default 1.0);
+* the plan's transitive reduction did real work: the reduced edge set is
+  strictly smaller than the declared one, the redundant fraction lies in
+  (0, 1), and declared = reduced + redundant;
+* the serving plan cache behaves: every warm shape hit
+  (``warm_hit_rate == 1.0``) and exactly one compile per shape;
+* compiled-plan replay is bitwise identical to the dynamic schedule.
+
+    python tools/check_compile_report.py BENCH_compile.json [...]
+    python tools/check_compile_report.py --min-reduction 1.05 smoke.json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _reportlib import (
+    check_envelope,
+    check_schema,
+    check_timing_block,
+    finish,
+    load_report,
+    lookup,
+)
+
+DEFAULT_MIN_REDUCTION = 1.0
+
+PLAN_SCHEMA = [
+    ("n_tasks", (int, float)),
+    ("n_edges_declared", (int, float)),
+    ("n_edges_reduced", (int, float)),
+    ("n_edges_redundant", (int, float)),
+    ("redundant_edge_fraction", (int, float)),
+    ("critical_path_s", (int, float)),
+    ("est_makespan_s", (int, float)),
+    ("compile_time_s", (int, float)),
+]
+
+CACHE_SCHEMA = [
+    ("hits", int),
+    ("misses", int),
+    ("evictions", int),
+    ("compiles", int),
+    ("size", int),
+    ("capacity", int),
+    ("hit_rate", (int, float)),
+    ("last_compile_s", (int, float)),
+]
+
+SERVING_SCHEMA = [
+    ("n_batches", int),
+    ("n_shapes", int),
+    ("warm_hit_rate", (int, float)),
+]
+
+EQUIVALENCE_SCHEMA = [
+    ("bitwise_identical", bool),
+    ("mismatched_arrays", list),
+]
+
+
+def check_overhead(results, label, errors, min_reduction):
+    overhead = results.get("overhead")
+    if not isinstance(overhead, dict):
+        errors.append(f"{label}: missing/invalid 'overhead' block")
+        return
+    olabel = f"{label}.overhead"
+    modes = [k for k in overhead if k.startswith("dynamic_")] + ["replay"]
+    if len(modes) < 3:
+        errors.append(
+            f"{olabel}: expected at least two dynamic baselines plus replay"
+        )
+    for mode in modes:
+        block = overhead.get(mode)
+        if not isinstance(block, dict):
+            errors.append(f"{olabel}: missing {mode!r} timing block")
+            continue
+        check_timing_block(block, f"{olabel}.{mode}", errors)
+    try:
+        ratio = lookup(overhead, "reduction_ratio")
+    except KeyError:
+        errors.append(f"{olabel}: missing key 'reduction_ratio'")
+        return
+    if not isinstance(ratio, (int, float)) or isinstance(ratio, bool):
+        errors.append(f"{olabel}: reduction_ratio has type {type(ratio).__name__}")
+        return
+    if ratio <= min_reduction:
+        errors.append(
+            f"{olabel}: reduction_ratio {ratio:.4f} does not exceed "
+            f"{min_reduction} — plan replay no longer beats dynamic "
+            "dependence resolution"
+        )
+
+
+def check_plan(results, label, errors):
+    plan = results.get("plan")
+    if not isinstance(plan, dict):
+        errors.append(f"{label}: missing/invalid 'plan' block")
+        return
+    plabel = f"{label}.plan"
+    check_schema(plan, PLAN_SCHEMA, plabel, errors)
+    try:
+        declared = lookup(plan, "n_edges_declared")
+        reduced = lookup(plan, "n_edges_reduced")
+        redundant = lookup(plan, "n_edges_redundant")
+        fraction = lookup(plan, "redundant_edge_fraction")
+    except KeyError:
+        return  # already reported
+    if reduced + redundant != declared:
+        errors.append(
+            f"{plabel}: declared {declared:.0f} != reduced {reduced:.0f} + "
+            f"redundant {redundant:.0f}"
+        )
+    if not 0.0 < fraction < 1.0:
+        errors.append(
+            f"{plabel}: redundant_edge_fraction {fraction} outside (0, 1) — "
+            "the bench graph should give the transitive reduction real work"
+        )
+    if lookup(plan, "compile_time_s") < 0:
+        errors.append(f"{plabel}: compile_time_s is negative")
+
+
+def check_serving(results, label, errors):
+    serving = results.get("serving")
+    if not isinstance(serving, dict):
+        errors.append(f"{label}: missing/invalid 'serving' block")
+        return
+    slabel = f"{label}.serving"
+    check_schema(serving, SERVING_SCHEMA, slabel, errors)
+    cache = serving.get("cache")
+    if not isinstance(cache, dict):
+        errors.append(f"{slabel}: missing 'cache' block")
+        return
+    check_schema(cache, CACHE_SCHEMA, slabel + ".cache", errors)
+    try:
+        if lookup(serving, "warm_hit_rate") != 1.0:
+            errors.append(
+                f"{slabel}: warm_hit_rate {serving['warm_hit_rate']} != 1.0 "
+                "— a repeated shape missed the plan cache"
+            )
+        n_shapes = lookup(serving, "n_shapes")
+        if lookup(cache, "compiles") != n_shapes:
+            errors.append(
+                f"{slabel}: {cache['compiles']} compiles for {n_shapes} "
+                "shapes — each shape must compile exactly once"
+            )
+    except KeyError:
+        pass  # already reported
+
+
+def check_equivalence(results, label, errors):
+    equivalence = results.get("equivalence")
+    if not isinstance(equivalence, dict):
+        errors.append(f"{label}: missing/invalid 'equivalence' block")
+        return
+    elabel = f"{label}.equivalence"
+    check_schema(equivalence, EQUIVALENCE_SCHEMA, elabel, errors)
+    if equivalence.get("bitwise_identical") is not True:
+        errors.append(
+            f"{elabel}: replayed results are not bitwise identical to the "
+            f"dynamic schedule (mismatched: {equivalence.get('mismatched_arrays')})"
+        )
+
+
+def check_report(report, label, errors, min_reduction):
+    check_envelope(report, label, errors, bench="compile")
+    results = report.get("results")
+    if not isinstance(results, dict):
+        errors.append(f"{label}: missing/invalid 'results' block")
+        return
+    check_overhead(results, label, errors, min_reduction)
+    check_plan(results, label, errors)
+    check_serving(results, label, errors)
+    check_equivalence(results, label, errors)
+
+
+def main(argv) -> int:
+    args = list(argv[1:])
+    min_reduction = DEFAULT_MIN_REDUCTION
+    if "--min-reduction" in args:
+        i = args.index("--min-reduction")
+        try:
+            min_reduction = float(args[i + 1])
+        except (IndexError, ValueError):
+            print(__doc__)
+            return 2
+        del args[i:i + 2]
+    if not args:
+        print(__doc__)
+        return 2
+    errors: list = []
+    for path in args:
+        check_report(load_report(path), path, errors, min_reduction)
+    return finish(errors, [f"{path}: compile report OK" for path in args])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
