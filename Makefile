@@ -1,6 +1,6 @@
 # Convenience targets; CI (.github/workflows/ci.yml) runs `test`, `lint`,
 # `smoke-serving`, `smoke-fused`, `smoke-racecheck`, `smoke-analysis`,
-# `smoke-obs` and `smoke-compile` on every push.
+# `smoke-obs`, `smoke-compile` and `smoke-fusion` on every push.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -10,11 +10,12 @@ SMOKE_FUSED_REPORT ?= /tmp/repro_fused_smoke.json
 SMOKE_ANALYSIS_REPORT ?= /tmp/repro_analysis_smoke.json
 SMOKE_OBS_REPORT ?= /tmp/repro_obs_smoke.json
 SMOKE_COMPILE_REPORT ?= /tmp/repro_compile_smoke.json
+SMOKE_FUSION_REPORT ?= /tmp/repro_fusion_smoke.json
 # CI runners are noisy shared tenants: the committed baseline records the
 # ≤2 % claim; the freshly-measured smoke run gets slack against tenancy.
 SMOKE_OBS_BUDGET ?= 1.10
 
-.PHONY: test lint smoke-serving smoke-fused smoke-racecheck smoke-analysis smoke-obs smoke-compile bench fused-bench serve-bench clean
+.PHONY: test lint smoke-serving smoke-fused smoke-racecheck smoke-analysis smoke-obs smoke-compile smoke-fusion bench fused-bench fusion-bench serve-bench clean
 
 # tier-1: the full unit/integration/property suite (serving tests included)
 test:
@@ -96,6 +97,22 @@ smoke-compile:
 	$(PYTHON) tools/check_compile_report.py $(SMOKE_COMPILE_REPORT)
 	$(PYTHON) tools/check_compile_report.py benchmarks/baselines/BENCH_compile.json
 
+# fusion-ladder smoke: the numerical-equivalence + flop-conservation
+# tests, then a reduced-size ablation end-to-end through the real CLI
+# (threaded ladder, simulated critical path, wavefront-vs-layered static
+# contrast), then the JSON gate — schema-only on the fresh smoke run
+# (laptop-scale shapes carry no speed-up claim), full 1.5×/0.686 bars on
+# the committed paper-scale baseline
+smoke-fusion:
+	$(PYTHON) -m pytest tests/core/test_fusion.py tests/kernels/test_flops_accounting.py -x -q
+	$(PYTHON) -m repro fusion-bench \
+		--cell lstm --input-size 256 --hidden 32 --layers 2 \
+		--seq-len 24 --batch 8 --iters 3 --mbs 1 \
+		--output $(SMOKE_FUSION_REPORT) > /dev/null
+	$(PYTHON) tools/check_fusion_report.py --min-speedup 0 $(SMOKE_FUSION_REPORT)
+	$(PYTHON) tools/check_fusion_report.py --min-speedup 1.5 \
+		benchmarks/baselines/BENCH_fusion.json
+
 # regenerate every paper table/figure + the serving sweep (minutes)
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -105,10 +122,16 @@ bench:
 fused-bench:
 	$(PYTHON) -m pytest benchmarks/bench_fused_projection.py --benchmark-only -q
 
+# the acceptance-criteria fusion-ladder ablation (paper-scale input),
+# recording benchmarks/baselines/BENCH_fusion.json
+fusion-bench:
+	$(PYTHON) -m pytest benchmarks/bench_fusion.py --benchmark-only -q
+
 # the acceptance-criteria serving run (paper machine, 200 req/s, 5 s)
 serve-bench:
 	$(PYTHON) -m repro serve-bench --arrival-rate 200 --duration 5 --executor sim
 
 clean:
 	rm -f $(SMOKE_REPORT) $(SMOKE_FUSED_REPORT) $(SMOKE_ANALYSIS_REPORT) \
-		$(SMOKE_OBS_REPORT) $(SMOKE_COMPILE_REPORT) serving_report.json
+		$(SMOKE_OBS_REPORT) $(SMOKE_COMPILE_REPORT) $(SMOKE_FUSION_REPORT) \
+		serving_report.json

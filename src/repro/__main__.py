@@ -11,6 +11,7 @@
     python -m repro analyze [...]           # static graph lint + AST lint
     python -m repro obs-report [...]        # scheduler counters + metrics overhead
     python -m repro compile-bench [...]     # compiled-plan replay benchmark (JSON)
+    python -m repro fusion-bench [...]      # fusion-policy ablation ladder (JSON)
 
 ``--full`` runs the paper's complete configuration grids (minutes); the
 default grids cover every regime in seconds.  The same drivers back the
@@ -301,6 +302,64 @@ def _cmd_compile_bench(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_fusion_bench(args) -> int:
+    """Fusion-policy ablation ladder; emits the ``fusion`` BENCH JSON.
+
+    Walks ``off`` → ``gates`` → ``gates+act`` → ``wavefront``
+    (docs/PERF.md) and records threaded wall time, the simulated
+    duration-weighted critical path, and the static wavefront-vs-layered
+    parallelism contrast.  Exits 1 when the flop split fails to conserve,
+    the wavefront graph has lint/analyzer findings, or it is no wider
+    than the layer-ordered build.
+    """
+    import json
+
+    from repro.harness.bench_json import write_bench_json
+    from repro.harness.fusionbench import run_fusion_bench
+
+    point = run_fusion_bench(
+        cell=args.cell,
+        input_size=args.input_size,
+        hidden=args.hidden,
+        layers=args.layers,
+        seq_len=args.seq_len,
+        batch=args.batch,
+        head=args.head,
+        mbs=args.mbs,
+        iters=args.iters,
+        sim_cores=args.cores,
+        wavefront_tile=args.wavefront_tile,
+        seed=args.seed,
+    )
+    results = point["results"]
+    for mode, s in results["threaded"]["speedup_median"].items():
+        print(f"threaded speedup[{mode}]: x{s:.2f} vs off")
+    for mode, row in results["sim"].items():
+        print(f"sim cp_ratio[{mode}]: {row['cp_ratio']:.3f} "
+              f"({row['n_tasks']:.0f} tasks)")
+    analysis = results["analysis"]
+    print(
+        f"wavefront width {analysis['wavefront_width']:.1f} vs layered "
+        f"{analysis['layered_width']:.1f}; lint findings "
+        f"{analysis['lint_findings']:.0f}, analyzer findings "
+        f"{analysis['analyzer_findings']:.0f}"
+    )
+    print("gate-GEMM flop split: "
+          + ("conserved" if results["flops_conserved"] else "NOT CONSERVED"))
+    if args.output:
+        write_bench_json(args.output, "fusion", point["config"], results)
+        print(f"# report written to {args.output}", file=sys.stderr)
+    else:
+        print(json.dumps({"bench": "fusion", **point}, indent=2))
+    failed = (
+        not results["flops_conserved"]
+        or analysis["lint_findings"] > 0
+        or analysis["analyzer_findings"] > 0
+        or analysis["wavefront_width"] <= analysis["layered_width"]
+    )
+    return 1 if failed else 0
+
+
 def _cmd_racecheck(args) -> int:
     """Race-check a built graph: observation + ordering + fuzz + mutation.
 
@@ -555,6 +614,7 @@ COMMANDS = {
     "analyze": _cmd_analyze,
     "obs-report": _cmd_obs_report,
     "compile-bench": _cmd_compile_bench,
+    "fusion-bench": _cmd_fusion_bench,
 }
 
 

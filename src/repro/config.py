@@ -45,7 +45,10 @@ LEGACY_EXECUTION_KWARGS = (
 )
 
 #: config fields that were never kwargs and therefore do not warn
-_NEW_FIELDS = ("metrics", "hooks", "compile")
+_NEW_FIELDS = ("metrics", "hooks", "compile", "fusion", "wavefront_tile")
+
+#: the fusion-policy vocabulary (docs/PERF.md)
+FUSION_MODES = ("off", "gates", "gates+act", "wavefront")
 
 #: fields excluded from :meth:`ExecutionConfig.fingerprint` — observability
 #: attachments never change what a graph computes or how it is scheduled
@@ -78,6 +81,16 @@ class ExecutionConfig:
         Hoist ``X @ W_x`` GEMMs off the recurrent chain
         (``"off"``/``"on"``/``"auto"``) and the timesteps per hoisted
         block.
+    fusion / wavefront_tile:
+        The gate-GEMM/activation fusion policy (docs/PERF.md): ``"off"``
+        — per-gate GEMMs with separate activation passes (the unfused
+        baseline; also disables projection hoisting); ``"gates"`` — the
+        stacked gate GEMM (default); ``"gates+act"`` — stacked GEMM with
+        activations applied in-payload; ``"wavefront"`` — gates+act
+        kernels inside multi-step wavefront tiles of ``wavefront_tile``
+        timesteps each (default 8, clamped to the sequence length), which
+        makes the layer×time diagonal concurrency explicit with far fewer
+        tasks.  Every mode's forward is bitwise identical to the default.
     seed:
         Parameter-initialisation seed used when an engine creates its own
         weights.
@@ -104,6 +117,8 @@ class ExecutionConfig:
     barrier_free: bool = True
     fused_input_projection: str = "off"
     proj_block: Optional[int] = None
+    fusion: str = "gates"
+    wavefront_tile: Optional[int] = None
     seed: int = 0
     compile: str = "off"
     metrics: Optional[MetricsRegistry] = None
@@ -121,6 +136,12 @@ class ExecutionConfig:
             raise ValueError(
                 f"compile must be 'off', 'on' or 'auto', got {self.compile!r}"
             )
+        if self.fusion not in FUSION_MODES:
+            raise ValueError(
+                f"fusion must be one of {'/'.join(FUSION_MODES)}, got {self.fusion!r}"
+            )
+        if self.wavefront_tile is not None and self.wavefront_tile < 1:
+            raise ValueError("wavefront_tile must be >= 1")
 
     def replace(self, **changes) -> "ExecutionConfig":
         """A copy with ``changes`` applied (frozen-dataclass update)."""
@@ -237,6 +258,13 @@ def add_execution_args(parser: argparse.ArgumentParser) -> None:
                    help="hoist X@W_x GEMMs off the recurrent critical path")
     g.add_argument("--proj-block", type=int, default=None,
                    help="timesteps per hoisted projection task (default 16)")
+    g.add_argument("--fusion", choices=("off", "gates", "gates+act", "wavefront"),
+                   default="gates",
+                   help="gate-GEMM/activation fusion policy (docs/PERF.md): "
+                        "per-gate GEMMs | stacked gate GEMM | +in-payload "
+                        "activations | +wavefront tiling")
+    g.add_argument("--wavefront-tile", type=int, default=None,
+                   help="timesteps per wavefront tile (default 8, clamped to T)")
     g.add_argument("--compile", choices=("off", "on", "auto"), default="off",
                    help="compile graphs into cached replay plans "
                         "(docs/COMPILE.md); auto compiles recurring shapes only")
@@ -257,6 +285,8 @@ def config_from_args(
         seed=args.seed,
         fused_input_projection=args.fused_input_projection,
         proj_block=args.proj_block,
+        fusion=getattr(args, "fusion", "gates"),
+        wavefront_tile=getattr(args, "wavefront_tile", None),
         compile=getattr(args, "compile", "off"),
         metrics=metrics,
         hooks=hooks,

@@ -93,6 +93,9 @@ class BParEngine:
         #: "on"/"off"/"auto": hoist X@W_x off the recurrent critical path
         self.fused_input_projection = cfg.fused_input_projection
         self.proj_block = cfg.proj_block
+        #: gate-GEMM/activation fusion policy (docs/PERF.md)
+        self.fusion = cfg.fusion
+        self.wavefront_tile = cfg.wavefront_tile
         self.metrics = cfg.metrics
         self.hooks = cfg.hooks
         #: classical-momentum velocity buffers, allocated on first use
@@ -117,6 +120,8 @@ class BParEngine:
             and self.momentum == other.momentum
             and self.fused_input_projection == other.fused_input_projection
             and self.proj_block == other.proj_block
+            and self.fusion == other.fusion
+            and self.wavefront_tile == other.wavefront_tile
             and type(self.executor) is type(other.executor)
             and self.executor.n_workers == other.executor.n_workers
             and self.params.allclose(other.params)
@@ -146,6 +151,8 @@ class BParEngine:
             serialize_chunks=self.serialize_chunks,
             fused_input_projection=self.fused_input_projection,
             proj_block=self.proj_block,
+            fusion=self.fusion,
+            wavefront_tile=self.wavefront_tile,
         )
         self.last_trace = self.executor.run(result.graph)
         self.last_result = result
@@ -171,6 +178,8 @@ class BParEngine:
             velocity=self.velocity,
             fused_input_projection=self.fused_input_projection,
             proj_block=self.proj_block,
+            fusion=self.fusion,
+            wavefront_tile=self.wavefront_tile,
         )
         self.last_trace = self.executor.run(result.graph)
         self.last_result = result
@@ -190,6 +199,8 @@ class BParEngine:
             serialize_chunks=self.serialize_chunks,
             fused_input_projection=self.fused_input_projection,
             proj_block=self.proj_block,
+            fusion=self.fusion,
+            wavefront_tile=self.wavefront_tile,
         )
         self.last_trace = self.executor.run(result.graph)
         self.last_result = result
@@ -211,4 +222,6 @@ class BParEngine:
             serialize_chunks=self.serialize_chunks,
             fused_input_projection=self.fused_input_projection,
             proj_block=self.proj_block,
+            fusion=self.fusion,
+            wavefront_tile=self.wavefront_tile,
         )

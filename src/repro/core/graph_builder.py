@@ -36,6 +36,7 @@ from repro.kernels.dense import dense_backward, dense_bwd_flops, dense_forward, 
 from repro.kernels.losses import softmax_cross_entropy
 from repro.kernels.merge import merge_backward, merge_flops, merge_forward
 from repro.models.cells import (
+    FUSION_MODES,
     cell_backward,
     cell_backward_proj,
     cell_bwd_flops,
@@ -61,6 +62,11 @@ DEFAULT_PROJ_BLOCK = 16
 
 #: Gate-preactivation width multiplier per cell type (``zx`` is ``(B, G·H)``).
 _GATE_MULT = {"lstm": 4, "gru": 3, "rnn": 1}
+
+#: Default ``wavefront_tile`` (timesteps per wavefront chain tile).  Small
+#: enough that cross-layer diagonal overlap starts after a few steps, large
+#: enough to amortise per-task dispatch over several cell updates.
+DEFAULT_WAVEFRONT_TILE = 8
 
 
 def resolve_fused_layers(spec: BRNNSpec, mode) -> List[bool]:
@@ -104,6 +110,8 @@ class GraphBuildResult:
     params: Optional[BRNNParams] = None
     fused_layers: Optional[List[bool]] = None
     velocity: Optional[BRNNParams] = None
+    fusion: str = "gates"
+    wavefront_tile: Optional[int] = None
 
     @property
     def total_batch(self) -> int:
@@ -314,6 +322,8 @@ class _Builder:
         velocity: Optional[BRNNParams] = None,
         fused_layers: Optional[List[bool]] = None,
         proj_block: Optional[int] = None,
+        fusion: str = "gates",
+        wavefront_tile: Optional[int] = None,
     ) -> None:
         self.serialize_chunks = serialize_chunks
         self.momentum = momentum
@@ -322,6 +332,14 @@ class _Builder:
         if proj_block is not None and proj_block < 1:
             raise ValueError("proj_block must be >= 1")
         self.proj_block = min(seq_len, proj_block or DEFAULT_PROJ_BLOCK)
+        if fusion not in FUSION_MODES:
+            raise ValueError(
+                f"fusion must be one of {'/'.join(FUSION_MODES)}, got {fusion!r}"
+            )
+        if wavefront_tile is not None and wavefront_tile < 1:
+            raise ValueError("wavefront_tile must be >= 1")
+        self.fusion = fusion
+        self.wave_tile = min(seq_len, wavefront_tile or DEFAULT_WAVEFRONT_TILE)
         self.gate_mult = _GATE_MULT[spec.cell]
         self.spec = spec
         self.seq_len = seq_len
@@ -352,6 +370,37 @@ class _Builder:
         """Operand sweep count of one cell GEMM: grows with the row count
         (a blocked GEMM re-reads its weight panels once per row block)."""
         return min(6.0, 1.0 + self.chunk_batches[mb] / 32.0)
+
+    def _cell_reuse(self, mb: int) -> float:
+        """Cell-task sweep count under the active fusion policy.
+
+        ``"off"`` re-sweeps the gate buffers once more for the separate
+        activation passes; ``"gates+act"``/``"wavefront"`` skip the
+        gate-copy sweep by activating in place.  ``"gates"`` is the
+        baseline :meth:`_gemm_reuse` (numbers unchanged from before the
+        fusion policy existed).
+        """
+        base = self._gemm_reuse(mb)
+        if self.fusion == "off":
+            return base + 1.0
+        if self.fusion in ("gates+act", "wavefront"):
+            return max(1.0, base - 0.5)
+        return base
+
+    def _fusion_meta(self, mb: int) -> dict:
+        """Cost-model meta of a cell task under the active fusion policy.
+
+        Fusion annotations appear only when the policy deviates from the
+        default, so default-mode graphs stay byte-identical to what they
+        were before the fusion policy existed.
+        """
+        meta = {"reuse": self._cell_reuse(mb)}
+        if self.fusion != "gates":
+            meta["fusion"] = self.fusion
+            if self.fusion == "off":
+                # G separate per-gate GEMMs instead of one stacked call
+                meta["gemm_calls"] = self.gate_mult
+        return meta
 
     def _proj_reuse(self, mb: int, block_len: int) -> float:
         """Sweep count of a block projection GEMM (``block_len·B`` rows)."""
@@ -498,6 +547,7 @@ class _Builder:
         if not self.functional:
             return None
         state, spec, params, T = self.chunks[mb], self.spec, self.params, self.seq_len
+        fusion = self.fusion
 
         def fn():
             dp = params.layers[layer].direction(direction)
@@ -512,7 +562,7 @@ class _Builder:
             if spec.cell != "lstm":
                 c_prev = None
             h, c, cache = cell_forward(
-                spec, state.layer_input(layer, pos), h_prev, c_prev, dp.W, dp.b
+                spec, state.layer_input(layer, pos), h_prev, c_prev, dp.W, dp.b, fusion
             )
             if direction == "fwd":
                 state.h_f[layer][step] = h
@@ -545,6 +595,7 @@ class _Builder:
             return None
         state, spec, params, T = self.chunks[mb], self.spec, self.params, self.seq_len
         need_cache = self.training
+        fusion = self.fusion
 
         def fn():
             dp = params.layers[layer].direction(direction)
@@ -560,7 +611,9 @@ class _Builder:
                 c_prev = state.c_r[layer][step - 1] if step > 0 else state.c0
             if spec.cell != "lstm":
                 c_prev = None
-            h, c, cache = cell_forward_proj(spec, zx, h_prev, c_prev, dp.W, dp.b, need_cache)
+            h, c, cache = cell_forward_proj(
+                spec, zx, h_prev, c_prev, dp.W, dp.b, need_cache, fusion
+            )
             if direction == "fwd":
                 state.h_f[layer][step] = h
                 state.c_f[layer][step] = c
@@ -569,6 +622,48 @@ class _Builder:
                 state.h_r[layer][step] = h
                 state.c_r[layer][step] = c
                 state.cache_r[layer][step] = cache
+
+        return fn
+
+    def _fn_cell_fwd_tile(self, mb, layer, direction, lo, hi):
+        """Wavefront forward tile: steps ``[lo, hi)`` of one chain in one
+        payload, carrying ``h``/``c`` locally between steps and publishing
+        every per-step slot (merges and the next tile read them).  Step
+        arithmetic is byte-for-byte the per-step payloads': the local
+        carry *is* the array the previous iteration just stored."""
+        if not self.functional:
+            return None
+        state, spec, params, T = self.chunks[mb], self.spec, self.params, self.seq_len
+        fused = self.fused_layers[layer]
+        need_cache = self.training
+        fusion = self.fusion
+
+        def fn():
+            dp = params.layers[layer].direction(direction)
+            if direction == "fwd":
+                h_g, c_g, cache_g, zx_g = state.h_f, state.c_f, state.cache_f, state.zx_f
+            else:
+                h_g, c_g, cache_g, zx_g = state.h_r, state.c_r, state.cache_r, state.zx_r
+            h_prev = h_g[layer][lo - 1] if lo > 0 else state.h0
+            c_prev = c_g[layer][lo - 1] if lo > 0 else state.c0
+            if spec.cell != "lstm":
+                c_prev = None
+            for step in range(lo, hi):
+                pos = step if direction == "fwd" else T - 1 - step
+                if fused:
+                    h, c, cache = cell_forward_proj(
+                        spec, zx_g[layer][pos], h_prev, c_prev, dp.W, dp.b,
+                        need_cache, fusion,
+                    )
+                else:
+                    h, c, cache = cell_forward(
+                        spec, state.layer_input(layer, pos), h_prev, c_prev,
+                        dp.W, dp.b, fusion,
+                    )
+                h_g[layer][step] = h
+                c_g[layer][step] = c
+                cache_g[layer][step] = cache
+                h_prev, c_prev = h, c
 
         return fn
 
@@ -658,6 +753,7 @@ class _Builder:
         if not self.functional:
             return None
         state, spec, params, T = self.chunks[mb], self.spec, self.params, self.seq_len
+        fusion = self.fusion
 
         def fn():
             dp = params.layers[layer].direction(direction)
@@ -668,7 +764,7 @@ class _Builder:
             else:
                 dh, dc = state.dh_r[layer][step], state.dc_r[layer][step]
                 cache = state.cache_r[layer][step]
-            dx, dh_prev, dc_prev = cell_backward(spec, dh, dc, cache, dp.W, gp.W, gp.b)
+            dx, dh_prev, dc_prev = cell_backward(spec, dh, dc, cache, dp.W, gp.W, gp.b, fusion)
             if step > 0:
                 if direction == "fwd":
                     state.dh_f[layer][step - 1] += dh_prev
@@ -712,6 +808,58 @@ class _Builder:
                     state.dh_r[layer][step - 1] += dh_prev
                     if dc_prev is not None:
                         state.dc_r[layer][step - 1] += dc_prev
+
+        return fn
+
+    def _fn_cell_bwd_tile(self, mb, layer, direction, lo, hi):
+        """Wavefront backward tile: steps ``hi-1 .. lo`` of one chain.
+
+        Each step reads its ``dh``/``dc`` slot and *adds* the local carry
+        from the step above — exactly the per-step discipline, where the
+        carry is ``+=``-ed into the slot before the next task reads it
+        (merge contributions land first in both orders, so sums associate
+        identically and results stay bitwise).  The carry leaving the tile
+        is ``+=``-ed into slot ``lo-1`` for the next tile."""
+        if not self.functional:
+            return None
+        state, spec, params, T = self.chunks[mb], self.spec, self.params, self.seq_len
+        fused = self.fused_layers[layer]
+        fusion = self.fusion
+
+        def fn():
+            dp = params.layers[layer].direction(direction)
+            gp = state.grads.layers[layer].direction(direction)
+            if direction == "fwd":
+                dh_g, dc_g = state.dh_f, state.dc_f
+                cache_g, dz_g = state.cache_f, state.dz_f
+            else:
+                dh_g, dc_g = state.dh_r, state.dc_r
+                cache_g, dz_g = state.cache_r, state.dz_r
+            dh_c = dc_c = None
+            for step in range(hi - 1, lo - 1, -1):
+                dh = dh_g[layer][step]
+                if dh_c is not None:
+                    dh = dh + dh_c
+                dc = dc_g[layer][step]
+                if dc_c is not None:
+                    dc = dc + dc_c
+                cache = cache_g[layer][step]
+                pos = step if direction == "fwd" else T - 1 - step
+                if fused:
+                    dz, dh_c, dc_c = cell_backward_proj(
+                        spec, dh, dc, cache, dp.W, gp.W, gp.b
+                    )
+                    dz_g[layer][pos] = dz
+                else:
+                    dx, dh_c, dc_c = cell_backward(
+                        spec, dh, dc, cache, dp.W, gp.W, gp.b, fusion
+                    )
+                    if layer > 0:
+                        state.dmerged[layer - 1][pos] += dx
+            if lo > 0:
+                dh_g[layer][lo - 1] += dh_c
+                if dc_c is not None:
+                    dc_g[layer][lo - 1] += dc_c
 
         return fn
 
@@ -852,6 +1000,8 @@ class _Builder:
             params=self.params,
             fused_layers=list(self.fused_layers),
             velocity=self.velocity,
+            fusion=self.fusion,
+            wavefront_tile=self.wave_tile if self.fusion == "wavefront" else None,
         )
 
     def _build_forward(self, mb: int) -> None:
@@ -899,9 +1049,35 @@ class _Builder:
                 )
 
     def _build_forward_layer(self, mb: int, layer: int, serial_dirs: bool = False) -> None:
+        # The per-step and wavefront variants are separate methods, not a
+        # branch: the closure-capture lint audits each payload factory
+        # against the accessor calls reachable from the method that
+        # instantiates it, so the per-step build site must not reach the
+        # tile builder's declarations (and vice versa).
+        if self.fusion == "wavefront":
+            self._build_forward_layer_wave(mb, layer, serial_dirs)
+        else:
+            self._build_forward_layer_steps(mb, layer, serial_dirs)
+
+    def _build_forward_layer_wave(
+        self, mb: int, layer: int, serial_dirs: bool = False
+    ) -> None:
+        spec = self.spec
+        bc = self.chunk_batches[mb]
+        fused = self.fused_layers[layer]
+        if fused:
+            self._build_proj_tasks(mb, layer)
+            fwd_flops = cell_fwd_step_proj_flops(spec, bc)
+        else:
+            fwd_flops = cell_fwd_flops(spec, bc, layer)
+        self._build_forward_chain_tiles(mb, layer, fused, fwd_flops, serial_dirs)
+        self._build_forward_layer_outputs(mb, layer)
+
+    def _build_forward_layer_steps(
+        self, mb: int, layer: int, serial_dirs: bool = False
+    ) -> None:
         spec, T = self.spec, self.seq_len
         bc = self.chunk_batches[mb]
-        last = spec.num_layers - 1
         fused = self.fused_layers[layer]
 
         if fused:
@@ -948,11 +1124,17 @@ class _Builder:
                         "layer": layer,
                         "dir": direction,
                         "step": step,
-                        "reuse": self._gemm_reuse(mb),
+                        **self._fusion_meta(mb),
                     },
                     mb=mb,
                 )
-        if layer < last:
+        self._build_forward_layer_outputs(mb, layer)
+
+    def _build_forward_layer_outputs(self, mb: int, layer: int) -> None:
+        """Per-timestep merge tasks (interior layers) or the head (last)."""
+        spec, T = self.spec, self.seq_len
+        bc = self.chunk_batches[mb]
+        if layer < spec.num_layers - 1:
             mflops = merge_flops(spec.merge_mode, bc, spec.hidden_size)
             for t in range(T):
                 self._add(
@@ -970,6 +1152,139 @@ class _Builder:
                 )
         else:
             self._build_head(mb)
+
+    def _wave_tiles(self) -> List[tuple]:
+        """Ascending ``(lo, hi)`` step ranges of the wavefront chain tiles."""
+        T, K = self.seq_len, self.wave_tile
+        return [(lo, min(lo + K, T)) for lo in range(0, T, K)]
+
+    def _build_forward_chain_tiles(
+        self, mb: int, layer: int, fused: bool, step_flops: float, serial_dirs: bool
+    ) -> None:
+        """Wavefront tiling of a layer's two forward chains (docs/PERF.md).
+
+        One task per ``wavefront_tile`` consecutive chain steps, declaring
+        the *union* of the per-step declarations it replaces — every input
+        (or ``zx``) position, the carried ``h`` from below the tile, and
+        every ``h``/cache slot it publishes — so racecheck and the
+        over-declaration analyzer audit tiles exactly like steps.  With
+        the chains cut into tiles, layer ``l+1``'s first tile depends only
+        on layer ``l``'s merges of its own positions: the layer×time
+        diagonal of the wavefront becomes explicit while per-layer task
+        count drops from ``T`` to ``⌈T/K⌉``.
+        """
+        T = self.seq_len
+        tiles = self._wave_tiles()
+        if serial_dirs:
+            schedule = [(d, i) for d in ("fwd", "rev") for i in range(len(tiles))]
+        else:
+            schedule = [(d, i) for i in range(len(tiles)) for d in ("fwd", "rev")]
+        for direction, i in schedule:
+            lo, hi = tiles[i]
+            steps = range(lo, hi)
+            if fused:
+                ins = [
+                    self.r_zx(mb, layer, direction, s if direction == "fwd" else T - 1 - s)
+                    for s in steps
+                ]
+            else:
+                ins = [
+                    self._in_region(mb, layer, s if direction == "fwd" else T - 1 - s)
+                    for s in steps
+                ]
+            ins.append(self.r_w(layer, direction))
+            if lo > 0:
+                ins.append(self.r_h(mb, layer, direction, lo - 1))
+            if serial_dirs and direction == "rev" and lo == 0:
+                # framework discipline: reverse pass starts only after the
+                # forward pass of this layer has finished
+                ins.append(self.r_h(mb, layer, "fwd", T - 1))
+            outs = [self.r_h(mb, layer, direction, s) for s in steps]
+            if not fused or self.training:
+                outs += [self.r_cache(mb, layer, direction, s) for s in steps]
+            self._add(
+                f"{direction}[{mb}]L{layer}w{lo}-{hi}",
+                self._fn_cell_fwd_tile(mb, layer, direction, lo, hi),
+                ins=ins,
+                outs=outs,
+                flops=step_flops * (hi - lo),
+                kind="cell",
+                meta={
+                    "mb": mb,
+                    "layer": layer,
+                    "dir": direction,
+                    "lo": lo,
+                    "hi": hi,
+                    "tile": hi - lo,
+                    **self._fusion_meta(mb),
+                    # one stacked GEMM call per tiled step
+                    "gemm_calls": hi - lo,
+                },
+                mb=mb,
+            )
+
+    def _build_backward_chain_tiles(
+        self, mb: int, layer: int, fused: bool, step_flops: float, serial_dirs: bool
+    ) -> None:
+        """Wavefront tiling of a layer's two backward chains.
+
+        Mirrors :meth:`_build_forward_chain_tiles`: tiles run in
+        descending step order, read every ``dh``/cache slot they consume
+        (merge contributions land first — the per-step summation order),
+        accumulate the carry leaving the tile into slot ``lo-1``, and emit
+        either per-position ``dz`` (fused layers) or ``dm`` contributions.
+        """
+        T = self.seq_len
+        tiles = self._wave_tiles()
+        order = list(range(len(tiles) - 1, -1, -1))
+        if serial_dirs:
+            schedule = [(d, i) for d in ("fwd", "rev") for i in order]
+        else:
+            schedule = [(d, i) for i in order for d in ("fwd", "rev")]
+        for direction, i in schedule:
+            lo, hi = tiles[i]
+            steps = range(hi - 1, lo - 1, -1)
+            ins = [self.r_dh(mb, layer, direction, s) for s in steps]
+            ins += [self.r_cache(mb, layer, direction, s) for s in steps]
+            ins.append(self.r_w(layer, direction))
+            if serial_dirs and direction == "rev" and i == order[0]:
+                # framework discipline: the reverse backward pass waits for
+                # the forward-direction backward pass (its final gW write)
+                ins.append(self.r_gw(mb, layer, "fwd"))
+            inouts = [self.r_gw(mb, layer, direction)]
+            if lo > 0:
+                inouts.append(self.r_dh(mb, layer, direction, lo - 1))
+            outs = []
+            if fused:
+                outs = [
+                    self.r_dz(mb, layer, direction, s if direction == "fwd" else T - 1 - s)
+                    for s in steps
+                ]
+            elif layer > 0:
+                inouts += [
+                    self.r_dm(mb, layer - 1, s if direction == "fwd" else T - 1 - s)
+                    for s in steps
+                ]
+            self._add(
+                f"{direction}Bwd[{mb}]L{layer}w{lo}-{hi}",
+                self._fn_cell_bwd_tile(mb, layer, direction, lo, hi),
+                ins=ins,
+                outs=outs,
+                inouts=inouts,
+                flops=step_flops * (hi - lo),
+                kind="cell_bwd",
+                meta={
+                    "mb": mb,
+                    "layer": layer,
+                    "dir": direction,
+                    "lo": lo,
+                    "hi": hi,
+                    "tile": hi - lo,
+                    **self._fusion_meta(mb),
+                    "gemm_calls": hi - lo,
+                },
+                mb=mb,
+            )
 
     def _head_slots(self):
         """(slot, t_fwd, u_rev, t_label) tuples for the last-layer merges."""
@@ -1114,11 +1429,32 @@ class _Builder:
                 )
 
     def _build_backward_layer(self, mb: int, layer: int, serial_dirs: bool = False) -> None:
+        # Split like _build_forward_layer: keep each payload factory's
+        # build site reaching only its own declarations (closure lint).
+        if self.fusion == "wavefront":
+            self._build_backward_layer_wave(mb, layer, serial_dirs)
+        else:
+            self._build_backward_layer_steps(mb, layer, serial_dirs)
+
+    def _build_backward_layer_wave(
+        self, mb: int, layer: int, serial_dirs: bool = False
+    ) -> None:
+        spec = self.spec
+        bc = self.chunk_batches[mb]
+        fused = self.fused_layers[layer]
+        if fused:
+            bwd_flops = cell_bwd_step_proj_flops(spec, bc)
+        else:
+            bwd_flops = cell_bwd_flops(spec, bc, layer)
+        self._build_backward_chain_tiles(mb, layer, fused, bwd_flops, serial_dirs)
+        self._build_backward_layer_outputs(mb, layer, fused)
+
+    def _build_backward_layer_steps(
+        self, mb: int, layer: int, serial_dirs: bool = False
+    ) -> None:
         spec, T = self.spec, self.seq_len
         bc = self.chunk_batches[mb]
-        mul = spec.merge_mode == "mul"
         fused = self.fused_layers[layer]
-        mbflops = 2.0 * merge_flops(spec.merge_mode, bc, spec.hidden_size)
         if fused:
             bwd_flops = cell_bwd_step_proj_flops(spec, bc)
         else:
@@ -1174,10 +1510,18 @@ class _Builder:
                         "layer": layer,
                         "dir": direction,
                         "step": step,
-                        "reuse": self._gemm_reuse(mb),
+                        **self._fusion_meta(mb),
                     },
                     mb=mb,
                 )
+        self._build_backward_layer_outputs(mb, layer, fused)
+
+    def _build_backward_layer_outputs(self, mb: int, layer: int, fused: bool) -> None:
+        """Per-fused-block proj backward and the merge-backward fan-out."""
+        spec, T = self.spec, self.seq_len
+        bc = self.chunk_batches[mb]
+        mul = spec.merge_mode == "mul"
+        mbflops = 2.0 * merge_flops(spec.merge_mode, bc, spec.hidden_size)
         if fused:
             self._build_proj_bwd_tasks(mb, layer)
         if layer > 0:
@@ -1272,6 +1616,8 @@ def build_brnn_graph(
     velocity: Optional[BRNNParams] = None,
     fused_input_projection="off",
     proj_block: Optional[int] = None,
+    fusion: str = "gates",
+    wavefront_tile: Optional[int] = None,
 ) -> GraphBuildResult:
     """Build the B-Par task graph for one batch.
 
@@ -1288,6 +1634,19 @@ def build_brnn_graph(
     ``proj_block`` timesteps each (default :data:`DEFAULT_PROJ_BLOCK`,
     clamped to the sequence length); forward results stay bit-identical to
     the sequential oracle.
+
+    ``fusion`` selects the gate-GEMM/activation fusion policy
+    (docs/PERF.md): ``"off"`` runs per-gate GEMMs with separate
+    activation passes (and disables projection hoisting — the fully
+    unfused baseline), ``"gates"`` is the stacked gate GEMM (default),
+    ``"gates+act"`` applies activations in place inside the cell payload,
+    and ``"wavefront"`` additionally tiles each direction chain into
+    tasks of ``wavefront_tile`` steps (default
+    :data:`DEFAULT_WAVEFRONT_TILE`, clamped to the sequence length),
+    making the layer×time diagonal concurrency explicit.  Every mode's
+    forward is bitwise identical to the default; backward matches
+    gradcheck-exactly (bitwise for all modes but ``"off"``, whose
+    per-gate data-gradient GEMMs reassociate the K-dimension reduction).
     """
     functional = x is not None
     if functional:
@@ -1329,7 +1688,14 @@ def build_brnn_graph(
         serialize_chunks=serialize_chunks,
         momentum=momentum,
         velocity=velocity,
-        fused_layers=resolve_fused_layers(spec, fused_input_projection),
+        fused_layers=(
+            # the fully unfused baseline also forgoes projection hoisting
+            [False] * spec.num_layers
+            if fusion == "off"
+            else resolve_fused_layers(spec, fused_input_projection)
+        ),
         proj_block=proj_block,
+        fusion=fusion,
+        wavefront_tile=wavefront_tile,
     )
     return builder.build()

@@ -11,11 +11,13 @@ from repro.harness.bench_json import (
     write_bench_json,
 )
 from repro.harness.fusedbench import run_fused_bench
+from repro.harness.fusionbench import run_fusion_bench
 from repro.harness.simtime import simulated_batch_time, SimTiming
 
 __all__ = [
     "bench_json_path",
     "run_fused_bench",
+    "run_fusion_bench",
     "simulated_batch_time",
     "SimTiming",
     "summarize_times",

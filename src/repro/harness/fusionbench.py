@@ -1,0 +1,284 @@
+"""Fusion-policy ablation driver (docs/PERF.md §fusion).
+
+Walks the cumulative fusion ladder — per-gate GEMMs (``off``), the stacked
+gate GEMM (``gates``), in-payload activations (``gates+act``), wavefront
+chain tiling (``wavefront``) — on both substrates:
+
+* **threaded** — real wall time of inference batches on the host's worker
+  threads, interleaved round-robin across the modes so host noise hits
+  every sample set equally; summarised as median/p95 with
+  ``speedup_median`` relative to the fully unfused baseline.
+* **sim** — cost-only graphs on the modelled 48-core machine: simulated
+  batch time, task count, and the *duration-weighted* critical path
+  (:meth:`~repro.simarch.costmodel.CostModel.standalone` per task), whose
+  ``cp_ratio`` vs ``off`` captures what each rung removes from the chain.
+  Flop-weighted span alone cannot see the wavefront win — tiling removes
+  per-task overhead and pointwise passes, not GEMM flops.
+
+Also records the static-analysis contrast behind the tiling claim: graph
+width and average parallelism of the wavefront graph against the
+layer-ordered (barriered) build, with the linter/analyzer finding counts —
+both must be zero — and a flop-conservation check tying the fused gate
+GEMM to the sum of its per-gate parts.
+
+``benchmarks/bench_fusion.py`` and the ``fusion-bench`` CLI command both
+drive :func:`run_fusion_bench`; the recorded baseline lives in
+``benchmarks/baselines/BENCH_fusion.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.graphlint import lint_graph
+from repro.analysis.parallelism import analyze_graph
+from repro.config import ExecutionConfig
+from repro.core.bpar import BParEngine
+from repro.core.graph_builder import build_brnn_graph
+from repro.harness.bench_json import summarize_times
+from repro.models.cells import (
+    cell_bwd_pointwise_flops,
+    cell_fwd_flops,
+    cell_fwd_pointwise_flops,
+    cell_gate_gemm_flops,
+)
+from repro.models.params import BRNNParams
+from repro.models.spec import BRNNSpec
+from repro.runtime.simexec import SimulatedExecutor
+from repro.simarch.costmodel import CostModel
+from repro.simarch.presets import xeon_8160_2s
+
+#: The cumulative ablation ladder, baseline first (speed-ups are relative
+#: to ``off``).  Each rung is (fusion, fused_input_projection): the
+#: ``gates+act``/``wavefront`` rungs compose with projection hoisting —
+#: the policy they generalise — while the two baselines run without it
+#: (``fusion="off"`` forces hoisting off in the builder regardless).
+MODES = (
+    ("off", "off"),
+    ("gates", "off"),
+    ("gates+act", "on"),
+    ("wavefront", "on"),
+)
+
+#: The recorded-baseline configuration: the paper-scale BLSTM shape
+#: (spectrogram-like input ≫ hidden) as in the fused-projection bench,
+#: under the paper's hybrid-parallelism default (``mbs=4``, the CLI
+#: default) — the discipline whose task counts the wavefront rung
+#: collapses.
+RECORD_CONFIG = dict(
+    cell="lstm", input_size=1024, hidden=128, layers=2,
+    seq_len=100, batch=32, head="many_to_one", mbs=4,
+)
+
+
+def make_spec(cell: str, input_size: int, hidden: int, layers: int, head: str) -> BRNNSpec:
+    return BRNNSpec(
+        cell=cell, input_size=input_size, hidden_size=hidden,
+        num_layers=layers, merge_mode="sum", head=head, num_classes=11,
+    )
+
+
+def _mode_config(fusion: str, proj: str, **common) -> ExecutionConfig:
+    return ExecutionConfig(fusion=fusion, fused_input_projection=proj, **common)
+
+
+def threaded_fusion_times(
+    spec: BRNNSpec,
+    seq_len: int,
+    batch: int,
+    modes: Sequence[tuple] = MODES,
+    *,
+    mbs: int = 1,
+    n_workers: Optional[int] = None,
+    wavefront_tile: Optional[int] = None,
+    iters: int = 5,
+    warmup: int = 1,
+    seed: int = 0,
+) -> Dict[str, List[float]]:
+    """Wall-clock samples of one inference batch per fusion mode,
+    interleaved round-robin so drift hits every mode equally."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((seq_len, batch, spec.input_size)).astype(np.float32)
+    params = BRNNParams.initialize(spec, seed=seed)
+    engines = {
+        fusion: BParEngine(
+            spec,
+            params=params,
+            config=_mode_config(
+                fusion, proj,
+                executor="threaded", n_workers=n_workers, mbs=mbs,
+                wavefront_tile=wavefront_tile,
+            ),
+        )
+        for fusion, proj in modes
+    }
+    for _ in range(warmup):
+        for engine in engines.values():
+            engine.forward(x)
+    samples: Dict[str, List[float]] = {mode: [] for mode in engines}
+    for _ in range(iters):
+        for mode, engine in engines.items():
+            t0 = time.perf_counter()
+            engine.forward(x)
+            samples[mode].append(time.perf_counter() - t0)
+    return samples
+
+
+def simulated_fusion_comparison(
+    spec: BRNNSpec,
+    seq_len: int,
+    batch: int,
+    modes: Sequence[tuple] = MODES,
+    *,
+    mbs: int = 1,
+    n_cores: Optional[int] = None,
+    wavefront_tile: Optional[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Cost-only ladder on the modelled machine.
+
+    Per mode: ``batch_s`` (makespan + creation), ``n_tasks``,
+    ``critical_path_s`` (duration-weighted via
+    :meth:`~repro.simarch.costmodel.CostModel.standalone`), and
+    ``cp_ratio`` relative to the ``off`` rung.
+    """
+    machine = xeon_8160_2s()
+    cost = CostModel(machine)
+    out: Dict[str, Dict[str, float]] = {}
+    for fusion, proj in modes:
+        graph = build_brnn_graph(
+            spec, seq_len=seq_len, batch=batch, mbs=mbs, training=False,
+            fused_input_projection=proj, fusion=fusion,
+            wavefront_tile=wavefront_tile,
+        ).graph
+        sim = SimulatedExecutor(machine, n_cores=n_cores, scheduler="locality")
+        sim.run(graph)          # warm: weights NUMA-homed, as in simtime
+        trace = sim.run(graph)
+        out[fusion] = {
+            "batch_s": trace.makespan + len(graph) * machine.task_create_s,
+            "critical_path_s": graph.critical_path_length(cost.standalone),
+            "n_tasks": float(len(graph)),
+        }
+    base = out["off"]["critical_path_s"]
+    for fusion, _ in modes:
+        out[fusion]["cp_ratio"] = (
+            out[fusion]["critical_path_s"] / base if base > 0 else 0.0
+        )
+    return out
+
+
+def wavefront_analysis_contrast(
+    spec: BRNNSpec,
+    seq_len: int,
+    batch: int,
+    *,
+    mbs: int = 1,
+    wavefront_tile: Optional[int] = None,
+) -> Dict[str, float]:
+    """Static parallelism of the wavefront graph vs the layer-ordered build.
+
+    The contrast quantifying the diagonal: the barrier-free wavefront
+    graph's width/average parallelism against the same model built
+    layer-ordered (``barrier_free=False``, default fusion) — the
+    execution discipline of conventional frameworks.  Also records the
+    linter + analyzer finding counts on the wavefront graph (the bench
+    gate requires both zero: tiled declarations are exact, not padded).
+    """
+    wave = build_brnn_graph(
+        spec, seq_len=seq_len, batch=batch, mbs=mbs, training=False,
+        fused_input_projection="on", fusion="wavefront",
+        wavefront_tile=wavefront_tile,
+    ).graph
+    layered = build_brnn_graph(
+        spec, seq_len=seq_len, batch=batch, mbs=mbs, training=False,
+        barrier_free=False,
+    ).graph
+    wave_metrics = analyze_graph(wave)
+    layered_metrics = analyze_graph(layered)
+    return {
+        "wavefront_width": wave_metrics.metrics["width"],
+        "wavefront_avg_parallelism": wave_metrics.metrics["avg_parallelism"],
+        "layered_width": layered_metrics.metrics["width"],
+        "layered_avg_parallelism": layered_metrics.metrics["avg_parallelism"],
+        "lint_findings": float(len(lint_graph(wave).findings)),
+        "analyzer_findings": float(len(wave_metrics.findings)),
+    }
+
+
+def gate_flops_conservation(spec: BRNNSpec, batch: int) -> bool:
+    """Do the per-gate GEMM flops sum exactly to the stacked total, and the
+    forward total to GEMM + pointwise, on every layer?  Exact float
+    comparison: the splits are definitions, not measurements."""
+    for layer in range(spec.num_layers):
+        stacked = cell_gate_gemm_flops(spec, batch, layer)
+        per_gate = cell_gate_gemm_flops(spec, batch, layer, n_gates=1)
+        gates = {"lstm": 4, "gru": 3, "rnn": 1}[spec.cell]
+        if per_gate * gates != stacked:
+            return False
+        total = stacked + cell_fwd_pointwise_flops(spec, batch)
+        if total != cell_fwd_flops(spec, batch, layer):
+            return False
+        if cell_bwd_pointwise_flops(spec, batch) <= 0:
+            return False
+    return True
+
+
+def run_fusion_bench(
+    cell: str = "lstm",
+    input_size: int = 1024,
+    hidden: int = 128,
+    layers: int = 2,
+    seq_len: int = 100,
+    batch: int = 32,
+    head: str = "many_to_one",
+    *,
+    mbs: int = 1,
+    iters: int = 5,
+    warmup: int = 1,
+    n_workers: Optional[int] = None,
+    sim_cores: Optional[int] = None,
+    wavefront_tile: Optional[int] = None,
+    seed: int = 0,
+) -> Dict:
+    """One full ablation point: threaded wall time + simulated cost model
+    + static wavefront contrast, ready for
+    :func:`repro.harness.bench_json.write_bench_json`."""
+    spec = make_spec(cell, input_size, hidden, layers, head)
+    raw = threaded_fusion_times(
+        spec, seq_len, batch,
+        mbs=mbs, n_workers=n_workers, wavefront_tile=wavefront_tile,
+        iters=iters, warmup=warmup, seed=seed,
+    )
+    threaded: Dict[str, Dict[str, float]] = {
+        mode: summarize_times(xs) for mode, xs in raw.items()
+    }
+    base = threaded["off"]["median_s"]
+    threaded["speedup_median"] = {
+        mode: base / threaded[mode]["median_s"]
+        for mode, _ in MODES if mode != "off"
+    }
+    sim = simulated_fusion_comparison(
+        spec, seq_len, batch,
+        mbs=mbs, n_cores=sim_cores, wavefront_tile=wavefront_tile,
+    )
+    analysis = wavefront_analysis_contrast(
+        spec, seq_len, batch, mbs=mbs, wavefront_tile=wavefront_tile,
+    )
+    return {
+        "config": {
+            "cell": cell, "input_size": input_size, "hidden": hidden,
+            "layers": layers, "seq_len": seq_len, "batch": batch,
+            "head": head, "mbs": mbs, "wavefront_tile": wavefront_tile,
+            "iters": iters, "warmup": warmup, "seed": seed,
+            "modes": [list(m) for m in MODES],
+            "threaded_workers": n_workers, "sim_cores": sim_cores,
+        },
+        "results": {
+            "threaded": threaded,
+            "sim": sim,
+            "analysis": analysis,
+            "flops_conserved": gate_flops_conservation(spec, batch),
+        },
+    }

@@ -25,6 +25,29 @@ def tanh(x: np.ndarray) -> np.ndarray:
     return np.tanh(x)
 
 
+def sigmoid_(x: np.ndarray) -> np.ndarray:
+    """In-place :func:`sigmoid` — overwrites ``x`` (typically a gate-column
+    view of the fused pre-activation buffer) and returns it.
+
+    Runs the *same* ufunc sequence as the out-of-place version on the same
+    input values, so each element is bitwise identical to ``sigmoid(x)``;
+    only the destination differs.  Used by the ``gates+act`` fusion mode to
+    apply activations inside the cell payload without materialising
+    per-gate temporaries.
+    """
+    x *= np.asarray(0.5, dtype=x.dtype)
+    np.tanh(x, out=x)
+    x += np.asarray(1.0, dtype=x.dtype)
+    x *= np.asarray(0.5, dtype=x.dtype)
+    return x
+
+
+def tanh_(x: np.ndarray) -> np.ndarray:
+    """In-place :func:`tanh` — overwrites ``x`` and returns it (bitwise
+    identical per element to the out-of-place version)."""
+    return np.tanh(x, out=x)
+
+
 def dsigmoid(y: np.ndarray) -> np.ndarray:
     """Derivative of sigmoid expressed in its *output* y = σ(x)."""
     return y * (1.0 - y)

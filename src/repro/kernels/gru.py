@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.kernels.activations import dsigmoid, dtanh, sigmoid, tanh
+from repro.kernels.activations import dsigmoid, dtanh, sigmoid, sigmoid_, tanh, tanh_
 
 
 def gru_param_shapes(input_size: int, hidden_size: int) -> Tuple[Tuple[int, int], Tuple[int]]:
@@ -22,11 +22,33 @@ def gru_param_shapes(input_size: int, hidden_size: int) -> Tuple[Tuple[int, int]
     return (input_size + hidden_size, 3 * hidden_size), (3 * hidden_size,)
 
 
+def gru_gate_gemm_flops(
+    batch: int, input_size: int, hidden_size: int, n_gates: Optional[int] = None
+) -> float:
+    """GEMM flops of ``n_gates`` gate pre-activations (default: all three).
+
+    ``3 × gru_gate_gemm_flops(..., n_gates=1) == gru_gate_gemm_flops(...)``
+    holds exactly — the fusion pass's conservation contract.
+    """
+    g = 3 if n_gates is None else n_gates
+    return 2.0 * batch * (input_size + hidden_size) * g * hidden_size
+
+
+def gru_fwd_pointwise_flops(batch: int, hidden_size: int) -> float:
+    """Elementwise flops of one forward cell update."""
+    return 13.0 * batch * hidden_size
+
+
+def gru_bwd_pointwise_flops(batch: int, hidden_size: int) -> float:
+    """Elementwise flops of one backward cell update."""
+    return 28.0 * batch * hidden_size
+
+
 def gru_fwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
     """Floating-point operations of one forward cell update."""
-    gemm = 2.0 * batch * (input_size + hidden_size) * 3 * hidden_size
-    elementwise = 13.0 * batch * hidden_size
-    return gemm + elementwise
+    return gru_gate_gemm_flops(batch, input_size, hidden_size) + gru_fwd_pointwise_flops(
+        batch, hidden_size
+    )
 
 
 def gru_bwd_data_flops(batch: int, input_size: int, hidden_size: int) -> float:
@@ -41,11 +63,10 @@ def gru_bwd_weight_flops(batch: int, input_size: int, hidden_size: int) -> float
 
 def gru_bwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
     """Floating-point operations of one backward cell update (≈2× forward)."""
-    elementwise = 28.0 * batch * hidden_size
     return (
         gru_bwd_data_flops(batch, input_size, hidden_size)
         + gru_bwd_weight_flops(batch, input_size, hidden_size)
-        + elementwise
+        + gru_bwd_pointwise_flops(batch, hidden_size)
     )
 
 
@@ -235,3 +256,145 @@ def gru_backward_step_proj(
     db[:two_h] += dzr.sum(axis=0)
     db[two_h:] += da.sum(axis=0)
     return dz, dh_prev
+
+
+# -- fusion-policy kernel variants (docs/PERF.md §fusion) -----------------------
+
+
+def gru_forward_step_unfused(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+) -> Tuple[np.ndarray, GRUCache]:
+    """One GRU cell update via per-gate GEMM pairs (fusion="off").
+
+    The update and reset gates each get their own GEMM pair against their
+    column block; the candidate keeps its inherently separate product.
+    Bitwise identical to the stacked kernel (independent GEMM columns).
+    """
+    input_size = x.shape[1]
+    hidden = h_prev.shape[1]
+    two_h = 2 * hidden
+
+    zc = x @ W[:input_size, :hidden]
+    zc += h_prev @ W[input_size:, :hidden]
+    zc += b[:hidden]
+    z = sigmoid(zc)
+
+    rc = x @ W[:input_size, hidden:two_h]
+    rc += h_prev @ W[input_size:, hidden:two_h]
+    rc += b[hidden:two_h]
+    r = sigmoid(rc)
+
+    rh = r * h_prev
+    a = x @ W[:input_size, two_h:]
+    a += rh @ W[input_size:, two_h:]
+    a += b[two_h:]
+    hbar = tanh(a)
+
+    h = z * hbar + (1.0 - z) * h_prev
+    return h, GRUCache(x=x, h_prev=h_prev, z=z, r=r, hbar=hbar, rh=rh)
+
+
+def gru_backward_step_unfused(
+    dh: np.ndarray,
+    cache: GRUCache,
+    W: np.ndarray,
+    dW: np.ndarray,
+    db: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backward of one GRU cell update via per-gate GEMMs (fusion="off").
+
+    Per-gate ``dW``/``db`` blocks are bitwise identical to the stacked
+    kernel's; ``dx``/``dh_prev`` split the 2H-wide ``dzr`` reduction into
+    per-gate products — gradcheck-exact, not bitwise.
+    """
+    input_size = cache.x.shape[1]
+    hidden = cache.h_prev.shape[1]
+    two_h = 2 * hidden
+
+    dz_gate = dh * (cache.hbar - cache.h_prev)
+    dhbar = dh * cache.z
+    dh_prev = dh * (1.0 - cache.z)
+
+    da = dhbar * dtanh(cache.hbar)
+    dx = da @ W[:input_size, two_h:].T
+    drh = da @ W[input_size:, two_h:].T
+    dr = drh * cache.h_prev
+    dh_prev += drh * cache.r
+
+    dz_z = dz_gate * dsigmoid(cache.z)
+    dz_r = dr * dsigmoid(cache.r)
+    dx += dz_z @ W[:input_size, :hidden].T
+    dx += dz_r @ W[:input_size, hidden:two_h].T
+    dh_prev += dz_z @ W[input_size:, :hidden].T
+    dh_prev += dz_r @ W[input_size:, hidden:two_h].T
+
+    dW[:input_size, :hidden] += cache.x.T @ dz_z
+    dW[:input_size, hidden:two_h] += cache.x.T @ dz_r
+    dW[input_size:, :hidden] += cache.h_prev.T @ dz_z
+    dW[input_size:, hidden:two_h] += cache.h_prev.T @ dz_r
+    dW[:input_size, two_h:] += cache.x.T @ da
+    dW[input_size:, two_h:] += cache.rh.T @ da
+    db[:hidden] += dz_z.sum(axis=0)
+    db[hidden:two_h] += dz_r.sum(axis=0)
+    db[two_h:] += da.sum(axis=0)
+    return dx, dh_prev
+
+
+def gru_forward_step_act(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+) -> Tuple[np.ndarray, GRUCache]:
+    """One GRU cell update with in-payload activations (fusion="gates+act")."""
+    input_size = x.shape[1]
+    hidden = h_prev.shape[1]
+    two_h = 2 * hidden
+
+    zr = x @ W[:input_size, :two_h]
+    zr += h_prev @ W[input_size:, :two_h]
+    zr += b[:two_h]
+    z = sigmoid_(zr[:, :hidden])
+    r = sigmoid_(zr[:, hidden:])
+
+    rh = r * h_prev
+    a = x @ W[:input_size, two_h:]
+    a += rh @ W[input_size:, two_h:]
+    a += b[two_h:]
+    hbar = tanh_(a)
+
+    h = z * hbar + (1.0 - z) * h_prev
+    return h, GRUCache(x=x, h_prev=h_prev, z=z, r=r, hbar=hbar, rh=rh)
+
+
+def gru_forward_step_proj_act(
+    zx: np.ndarray,
+    h_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+    need_cache: bool = True,
+) -> Tuple[np.ndarray, Optional[GRUCache]]:
+    """Shrunken cell update with in-payload activations (gates+act ∘ proj)."""
+    hidden = h_prev.shape[1]
+    input_size = W.shape[0] - hidden
+    two_h = 2 * hidden
+
+    zr = h_prev @ W[input_size:, :two_h]
+    zr += zx[:, :two_h]
+    zr += b[:two_h]
+    z = sigmoid_(zr[:, :hidden])
+    r = sigmoid_(zr[:, hidden:])
+
+    rh = r * h_prev
+    a = rh @ W[input_size:, two_h:]
+    a += zx[:, two_h:]
+    a += b[two_h:]
+    hbar = tanh_(a)
+
+    h = z * hbar + (1.0 - z) * h_prev
+    if not need_cache:
+        return h, None
+    return h, GRUCache(x=None, h_prev=h_prev, z=z, r=r, hbar=hbar, rh=rh)

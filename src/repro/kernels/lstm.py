@@ -16,7 +16,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.kernels.activations import dsigmoid, dtanh, sigmoid, tanh
+from repro.kernels.activations import dsigmoid, dtanh, sigmoid, sigmoid_, tanh, tanh_
 
 
 def lstm_param_shapes(input_size: int, hidden_size: int) -> Tuple[Tuple[int, int], Tuple[int]]:
@@ -24,11 +24,35 @@ def lstm_param_shapes(input_size: int, hidden_size: int) -> Tuple[Tuple[int, int
     return (input_size + hidden_size, 4 * hidden_size), (4 * hidden_size,)
 
 
+def lstm_gate_gemm_flops(
+    batch: int, input_size: int, hidden_size: int, n_gates: Optional[int] = None
+) -> float:
+    """GEMM flops of ``n_gates`` gate pre-activations (default: all four).
+
+    Conservation contract of the fusion pass: the stacked 4-gate GEMM does
+    exactly the arithmetic of the four per-gate GEMMs, so
+    ``4 × lstm_gate_gemm_flops(..., n_gates=1) == lstm_gate_gemm_flops(...)``
+    holds *exactly* (each factor is a small integer product — no rounding).
+    """
+    g = 4 if n_gates is None else n_gates
+    return 2.0 * batch * (input_size + hidden_size) * g * hidden_size
+
+
+def lstm_fwd_pointwise_flops(batch: int, hidden_size: int) -> float:
+    """Elementwise flops of one forward cell update (activations + Eq. 5/6)."""
+    return 14.0 * batch * hidden_size
+
+
+def lstm_bwd_pointwise_flops(batch: int, hidden_size: int) -> float:
+    """Elementwise flops of one backward cell update."""
+    return 30.0 * batch * hidden_size
+
+
 def lstm_fwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
     """Floating-point operations of one forward cell update."""
-    gemm = 2.0 * batch * (input_size + hidden_size) * 4 * hidden_size
-    elementwise = 14.0 * batch * hidden_size
-    return gemm + elementwise
+    return lstm_gate_gemm_flops(batch, input_size, hidden_size) + lstm_fwd_pointwise_flops(
+        batch, hidden_size
+    )
 
 
 def lstm_bwd_data_flops(batch: int, input_size: int, hidden_size: int) -> float:
@@ -43,11 +67,10 @@ def lstm_bwd_weight_flops(batch: int, input_size: int, hidden_size: int) -> floa
 
 def lstm_bwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
     """Floating-point operations of one backward cell update (≈2× forward)."""
-    elementwise = 30.0 * batch * hidden_size
     return (
         lstm_bwd_data_flops(batch, input_size, hidden_size)
         + lstm_bwd_weight_flops(batch, input_size, hidden_size)
-        + elementwise
+        + lstm_bwd_pointwise_flops(batch, hidden_size)
     )
 
 
@@ -224,3 +247,141 @@ def lstm_backward_step_proj(
     db += dz.sum(axis=0)
     dc_prev = dc * cache.f
     return dz, dh_prev, dc_prev
+
+
+# -- fusion-policy kernel variants (docs/PERF.md §fusion) -----------------------
+#
+# ``*_unfused``: the fusion="off" baseline — one GEMM pair *per gate*
+# against the gate's column block of the stacked weight matrix, activations
+# applied in a separate pass per gate.  Forward is bitwise identical to the
+# stacked kernel (BLAS computes each output-column block of a GEMM
+# independently, so a column slice of ``X·W`` equals ``X·W[:, cols]``
+# exactly); backward splits the ``dx``/``dh_prev`` reductions across gates,
+# which reassociates the K-dimension sum — gradcheck-exact, not bitwise.
+#
+# ``*_act``: the fusion="gates+act" kernels — the stacked GEMM with the
+# activations applied *in place* on the pre-activation buffer inside the
+# payload (gate tensors become views of ``z``, no per-gate temporaries).
+# Bitwise identical to the stacked kernel: the in-place ufunc passes run
+# the same operation sequence on the same values.
+
+
+def lstm_forward_step_unfused(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    c_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, LSTMCache]:
+    """One LSTM cell update via four per-gate GEMM pairs (fusion="off")."""
+    input_size = x.shape[1]
+    hidden = h_prev.shape[1]
+    gates = []
+    for g4 in range(4):
+        cols = slice(g4 * hidden, (g4 + 1) * hidden)
+        zg = x @ W[:input_size, cols]
+        zg += h_prev @ W[input_size:, cols]
+        zg += b[cols]
+        gates.append(zg)
+    i = sigmoid(gates[0])
+    f = sigmoid(gates[1])
+    g = tanh(gates[2])
+    o = sigmoid(gates[3])
+    c = f * c_prev
+    c += i * g
+    tc = tanh(c)
+    h = o * tc
+    return h, c, LSTMCache(x=x, h_prev=h_prev, c_prev=c_prev, i=i, f=f, g=g, o=o, tc=tc)
+
+
+def lstm_backward_step_unfused(
+    dh: np.ndarray,
+    dc_in: np.ndarray,
+    cache: LSTMCache,
+    W: np.ndarray,
+    dW: np.ndarray,
+    db: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward of one cell update via per-gate GEMMs (fusion="off").
+
+    The per-gate ``dW``/``db`` blocks are bitwise identical to the stacked
+    kernel's (independent output columns / slice sums); ``dx``/``dh_prev``
+    accumulate four per-gate products, reassociating the 4H-wide reduction
+    — gradcheck-exact against the stacked kernel, not bitwise.
+    """
+    input_size = cache.x.shape[1]
+    hidden = cache.h_prev.shape[1]
+
+    do = dh * cache.tc
+    dc = dc_in + dh * cache.o * dtanh(cache.tc)
+    dzs = (
+        dc * cache.g * dsigmoid(cache.i),
+        dc * cache.c_prev * dsigmoid(cache.f),
+        dc * cache.i * dtanh(cache.g),
+        do * dsigmoid(cache.o),
+    )
+    dx = dh_prev = None
+    for g4, dzg in enumerate(dzs):
+        cols = slice(g4 * hidden, (g4 + 1) * hidden)
+        if dx is None:
+            dx = dzg @ W[:input_size, cols].T
+            dh_prev = dzg @ W[input_size:, cols].T
+        else:
+            dx += dzg @ W[:input_size, cols].T
+            dh_prev += dzg @ W[input_size:, cols].T
+        dW[:input_size, cols] += cache.x.T @ dzg
+        dW[input_size:, cols] += cache.h_prev.T @ dzg
+        db[cols] += dzg.sum(axis=0)
+    dc_prev = dc * cache.f
+    return dx, dh_prev, dc_prev
+
+
+def lstm_forward_step_act(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    c_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, LSTMCache]:
+    """One LSTM cell update with in-payload activations (fusion="gates+act")."""
+    input_size = x.shape[1]
+    hidden = h_prev.shape[1]
+    z = x @ W[:input_size]
+    z += h_prev @ W[input_size:]
+    z += b
+    i = sigmoid_(z[:, :hidden])
+    f = sigmoid_(z[:, hidden : 2 * hidden])
+    g = tanh_(z[:, 2 * hidden : 3 * hidden])
+    o = sigmoid_(z[:, 3 * hidden :])
+    c = f * c_prev
+    c += i * g
+    tc = tanh(c)
+    h = o * tc
+    return h, c, LSTMCache(x=x, h_prev=h_prev, c_prev=c_prev, i=i, f=f, g=g, o=o, tc=tc)
+
+
+def lstm_forward_step_proj_act(
+    zx: np.ndarray,
+    h_prev: np.ndarray,
+    c_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+    need_cache: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, Optional[LSTMCache]]:
+    """Shrunken cell update with in-payload activations (gates+act ∘ proj)."""
+    hidden = h_prev.shape[1]
+    input_size = W.shape[0] - hidden
+    z = h_prev @ W[input_size:]
+    z += zx
+    z += b
+    i = sigmoid_(z[:, :hidden])
+    f = sigmoid_(z[:, hidden : 2 * hidden])
+    g = tanh_(z[:, 2 * hidden : 3 * hidden])
+    o = sigmoid_(z[:, 3 * hidden :])
+    c = f * c_prev
+    c += i * g
+    tc = tanh(c)
+    h = o * tc
+    if not need_cache:
+        return h, c, None
+    return h, c, LSTMCache(x=None, h_prev=h_prev, c_prev=c_prev, i=i, f=f, g=g, o=o, tc=tc)

@@ -16,7 +16,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.kernels.activations import dtanh, tanh
+from repro.kernels.activations import dtanh, tanh, tanh_
 
 
 def rnn_param_shapes(input_size: int, hidden_size: int) -> Tuple[Tuple[int, int], Tuple[int]]:
@@ -24,11 +24,29 @@ def rnn_param_shapes(input_size: int, hidden_size: int) -> Tuple[Tuple[int, int]
     return (input_size + hidden_size, hidden_size), (hidden_size,)
 
 
+def rnn_gate_gemm_flops(
+    batch: int, input_size: int, hidden_size: int, n_gates: Optional[int] = None
+) -> float:
+    """GEMM flops of the single tanh gate (``n_gates`` kept for symmetry)."""
+    g = 1 if n_gates is None else n_gates
+    return 2.0 * batch * (input_size + hidden_size) * g * hidden_size
+
+
+def rnn_fwd_pointwise_flops(batch: int, hidden_size: int) -> float:
+    """Elementwise flops of one forward cell update."""
+    return 3.0 * batch * hidden_size
+
+
+def rnn_bwd_pointwise_flops(batch: int, hidden_size: int) -> float:
+    """Elementwise flops of one backward cell update."""
+    return 6.0 * batch * hidden_size
+
+
 def rnn_fwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
     """Floating-point operations of one forward cell update."""
-    gemm = 2.0 * batch * (input_size + hidden_size) * hidden_size
-    elementwise = 3.0 * batch * hidden_size
-    return gemm + elementwise
+    return rnn_gate_gemm_flops(batch, input_size, hidden_size) + rnn_fwd_pointwise_flops(
+        batch, hidden_size
+    )
 
 
 def rnn_bwd_data_flops(batch: int, input_size: int, hidden_size: int) -> float:
@@ -43,11 +61,10 @@ def rnn_bwd_weight_flops(batch: int, input_size: int, hidden_size: int) -> float
 
 def rnn_bwd_flops(batch: int, input_size: int, hidden_size: int) -> float:
     """Floating-point operations of one backward cell update (≈2× forward)."""
-    elementwise = 6.0 * batch * hidden_size
     return (
         rnn_bwd_data_flops(batch, input_size, hidden_size)
         + rnn_bwd_weight_flops(batch, input_size, hidden_size)
-        + elementwise
+        + rnn_bwd_pointwise_flops(batch, hidden_size)
     )
 
 
@@ -160,3 +177,47 @@ def rnn_backward_step_proj(
     dW[input_size:] += cache.h_prev.T @ da
     db += da.sum(axis=0)
     return da, dh_prev
+
+
+# -- fusion-policy kernel variants (docs/PERF.md §fusion) -----------------------
+#
+# The basic RNN has a single gate, so there is nothing to unfuse: the
+# "off" variants alias the stacked kernels (bitwise trivially).  The
+# "gates+act" variants apply the tanh in place on the pre-activation.
+
+rnn_forward_step_unfused = rnn_forward_step
+rnn_backward_step_unfused = rnn_backward_step
+
+
+def rnn_forward_step_act(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+) -> Tuple[np.ndarray, RNNCache]:
+    """One basic-RNN cell update with the tanh applied in place."""
+    input_size = x.shape[1]
+    a = x @ W[:input_size]
+    a += h_prev @ W[input_size:]
+    a += b
+    h = tanh_(a)
+    return h, RNNCache(x=x, h_prev=h_prev, h=h)
+
+
+def rnn_forward_step_proj_act(
+    zx: np.ndarray,
+    h_prev: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+    need_cache: bool = True,
+) -> Tuple[np.ndarray, Optional[RNNCache]]:
+    """Shrunken cell update with the tanh applied in place."""
+    hidden = h_prev.shape[1]
+    input_size = W.shape[0] - hidden
+    a = h_prev @ W[input_size:]
+    a += zx
+    a += b
+    h = tanh_(a)
+    if not need_cache:
+        return h, None
+    return h, RNNCache(x=None, h_prev=h_prev, h=h)

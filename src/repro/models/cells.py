@@ -16,12 +16,19 @@ from repro.kernels.gru import (
     GRUCache,
     gru_backward_step,
     gru_backward_step_proj,
+    gru_backward_step_unfused,
     gru_bwd_flops,
+    gru_bwd_pointwise_flops,
     gru_bwd_step_proj_flops,
     gru_forward_step,
+    gru_forward_step_act,
     gru_forward_step_proj,
+    gru_forward_step_proj_act,
+    gru_forward_step_unfused,
     gru_fwd_flops,
+    gru_fwd_pointwise_flops,
     gru_fwd_step_proj_flops,
+    gru_gate_gemm_flops,
     gru_proj_bwd_flops,
     gru_proj_flops,
 )
@@ -29,12 +36,19 @@ from repro.kernels.lstm import (
     LSTMCache,
     lstm_backward_step,
     lstm_backward_step_proj,
+    lstm_backward_step_unfused,
     lstm_bwd_flops,
+    lstm_bwd_pointwise_flops,
     lstm_bwd_step_proj_flops,
     lstm_forward_step,
+    lstm_forward_step_act,
     lstm_forward_step_proj,
+    lstm_forward_step_proj_act,
+    lstm_forward_step_unfused,
     lstm_fwd_flops,
+    lstm_fwd_pointwise_flops,
     lstm_fwd_step_proj_flops,
+    lstm_gate_gemm_flops,
     lstm_proj_bwd_flops,
     lstm_proj_flops,
 )
@@ -42,16 +56,72 @@ from repro.kernels.rnn import (
     RNNCache,
     rnn_backward_step,
     rnn_backward_step_proj,
+    rnn_backward_step_unfused,
     rnn_bwd_flops,
+    rnn_bwd_pointwise_flops,
     rnn_bwd_step_proj_flops,
     rnn_forward_step,
+    rnn_forward_step_act,
     rnn_forward_step_proj,
+    rnn_forward_step_proj_act,
+    rnn_forward_step_unfused,
     rnn_fwd_flops,
+    rnn_fwd_pointwise_flops,
     rnn_fwd_step_proj_flops,
+    rnn_gate_gemm_flops,
     rnn_proj_bwd_flops,
     rnn_proj_flops,
 )
 from repro.models.spec import BRNNSpec
+
+#: The fusion-policy vocabulary (``ExecutionConfig.fusion``, docs/PERF.md):
+#: "off" — per-gate GEMMs, separate activation passes; "gates" — the
+#: stacked gate GEMM (the default, and the kernels' historical behaviour);
+#: "gates+act" — stacked GEMM with activations applied in-payload;
+#: "wavefront" — gates+act kernels inside multi-step wavefront tiles (the
+#: tiling itself is a graph-builder concern, so the kernel dispatch treats
+#: it as gates+act).
+FUSION_MODES = ("off", "gates", "gates+act", "wavefront")
+
+
+def _kernel_mode(fusion: str) -> str:
+    """Kernel-variant selector: 'unfused' | 'stacked' | 'act'."""
+    if fusion == "off":
+        return "unfused"
+    if fusion in ("gates+act", "wavefront"):
+        return "act"
+    return "stacked"
+
+
+_FWD_STEP = {
+    "lstm": {
+        "unfused": lstm_forward_step_unfused,
+        "stacked": lstm_forward_step,
+        "act": lstm_forward_step_act,
+    },
+    "gru": {
+        "unfused": gru_forward_step_unfused,
+        "stacked": gru_forward_step,
+        "act": gru_forward_step_act,
+    },
+    "rnn": {
+        "unfused": rnn_forward_step_unfused,
+        "stacked": rnn_forward_step,
+        "act": rnn_forward_step_act,
+    },
+}
+
+_BWD_STEP = {
+    "lstm": {"unfused": lstm_backward_step_unfused, "stacked": lstm_backward_step},
+    "gru": {"unfused": gru_backward_step_unfused, "stacked": gru_backward_step},
+    "rnn": {"unfused": rnn_backward_step_unfused, "stacked": rnn_backward_step},
+}
+
+_FWD_STEP_PROJ = {
+    "lstm": {"stacked": lstm_forward_step_proj, "act": lstm_forward_step_proj_act},
+    "gru": {"stacked": gru_forward_step_proj, "act": gru_forward_step_proj_act},
+    "rnn": {"stacked": rnn_forward_step_proj, "act": rnn_forward_step_proj_act},
+}
 
 
 def cell_forward(
@@ -61,14 +131,17 @@ def cell_forward(
     c_prev: Optional[np.ndarray],
     W: np.ndarray,
     b: np.ndarray,
+    fusion: str = "gates",
 ):
-    """One cell update; returns ``(h, c_or_None, cache)``."""
+    """One cell update; returns ``(h, c_or_None, cache)``.
+
+    ``fusion`` selects the kernel variant (:data:`FUSION_MODES`); every
+    variant's forward is bitwise identical to the default stacked kernel.
+    """
+    fn = _FWD_STEP[spec.cell][_kernel_mode(fusion)]
     if spec.cell == "lstm":
-        return lstm_forward_step(x, h_prev, c_prev, W, b)
-    if spec.cell == "gru":
-        h, cache = gru_forward_step(x, h_prev, W, b)
-        return h, None, cache
-    h, cache = rnn_forward_step(x, h_prev, W, b)
+        return fn(x, h_prev, c_prev, W, b)
+    h, cache = fn(x, h_prev, W, b)
     return h, None, cache
 
 
@@ -80,14 +153,19 @@ def cell_backward(
     W: np.ndarray,
     dW: np.ndarray,
     db: np.ndarray,
+    fusion: str = "gates",
 ):
-    """Backward of one cell update; returns ``(dx, dh_prev, dc_prev_or_None)``."""
+    """Backward of one cell update; returns ``(dx, dh_prev, dc_prev_or_None)``.
+
+    ``fusion="off"`` uses the split per-gate backward (gradcheck-exact);
+    the other modes share the stacked backward (the in-payload activation
+    fusion changes only where the forward writes its gate tensors).
+    """
+    mode = "unfused" if _kernel_mode(fusion) == "unfused" else "stacked"
+    fn = _BWD_STEP[spec.cell][mode]
     if spec.cell == "lstm":
-        return lstm_backward_step(dh, dc, cache, W, dW, db)
-    if spec.cell == "gru":
-        dx, dh_prev = gru_backward_step(dh, cache, W, dW, db)
-        return dx, dh_prev, None
-    dx, dh_prev = rnn_backward_step(dh, cache, W, dW, db)
+        return fn(dh, dc, cache, W, dW, db)
+    dx, dh_prev = fn(dh, cache, W, dW, db)
     return dx, dh_prev, None
 
 
@@ -122,14 +200,19 @@ def cell_forward_proj(
     W: np.ndarray,
     b: np.ndarray,
     need_cache: bool = True,
+    fusion: str = "gates",
 ):
-    """Shrunken cell update from a precomputed ``Zx_t``; returns ``(h, c, cache)``."""
+    """Shrunken cell update from a precomputed ``Zx_t``; returns ``(h, c, cache)``.
+
+    ``fusion="off"`` never composes with the hoisted projection (the
+    builder disables hoisting for the unfused baseline), so the proj
+    dispatch only distinguishes stacked vs in-payload activations.
+    """
+    mode = "act" if _kernel_mode(fusion) == "act" else "stacked"
+    fn = _FWD_STEP_PROJ[spec.cell][mode]
     if spec.cell == "lstm":
-        return lstm_forward_step_proj(zx, h_prev, c_prev, W, b, need_cache)
-    if spec.cell == "gru":
-        h, cache = gru_forward_step_proj(zx, h_prev, W, b, need_cache)
-        return h, None, cache
-    h, cache = rnn_forward_step_proj(zx, h_prev, W, b, need_cache)
+        return fn(zx, h_prev, c_prev, W, b, need_cache)
+    h, cache = fn(zx, h_prev, W, b, need_cache)
     return h, None, cache
 
 
@@ -141,8 +224,14 @@ def cell_backward_proj(
     W: np.ndarray,
     dW: np.ndarray,
     db: np.ndarray,
+    fusion: str = "gates",
 ):
-    """Backward of the shrunken cell update; returns ``(dz, dh_prev, dc_prev)``."""
+    """Backward of the shrunken cell update; returns ``(dz, dh_prev, dc_prev)``.
+
+    All proj-composable fusion modes share the stacked backward — ``dz``
+    must stay a single ``(B, G·H)`` block for the per-block ``proj_bwd``
+    GEMMs downstream.
+    """
     if spec.cell == "lstm":
         return lstm_backward_step_proj(dh, dc, cache, W, dW, db)
     if spec.cell == "gru":
@@ -169,6 +258,21 @@ _PROJ_BWD_FLOPS = {
     "lstm": lstm_proj_bwd_flops,
     "gru": gru_proj_bwd_flops,
     "rnn": rnn_proj_bwd_flops,
+}
+_GATE_GEMM_FLOPS = {
+    "lstm": lstm_gate_gemm_flops,
+    "gru": gru_gate_gemm_flops,
+    "rnn": rnn_gate_gemm_flops,
+}
+_FWD_POINTWISE_FLOPS = {
+    "lstm": lstm_fwd_pointwise_flops,
+    "gru": gru_fwd_pointwise_flops,
+    "rnn": rnn_fwd_pointwise_flops,
+}
+_BWD_POINTWISE_FLOPS = {
+    "lstm": lstm_bwd_pointwise_flops,
+    "gru": gru_bwd_pointwise_flops,
+    "rnn": rnn_bwd_pointwise_flops,
 }
 
 
@@ -205,6 +309,29 @@ def cell_proj_bwd_flops(
     layer 0, ``dX``)."""
     fn = _PROJ_BWD_FLOPS[spec.cell]
     return fn(batch, spec.layer_input_size(layer), spec.hidden_size, need_dx)
+
+
+def cell_gate_gemm_flops(
+    spec: BRNNSpec, batch: int, layer: int, n_gates: Optional[int] = None
+) -> float:
+    """GEMM flops of ``n_gates`` gate pre-activations (``None`` = all gates).
+
+    Summing the per-gate calls (``n_gates=1``) over a cell's gates equals
+    the stacked total *exactly* — the conservation invariant the fusion
+    pass's flops accounting is audited against.
+    """
+    fn = _GATE_GEMM_FLOPS[spec.cell]
+    return fn(batch, spec.layer_input_size(layer), spec.hidden_size, n_gates)
+
+
+def cell_fwd_pointwise_flops(spec: BRNNSpec, batch: int) -> float:
+    """Elementwise flops of one forward cell update (activation + state math)."""
+    return _FWD_POINTWISE_FLOPS[spec.cell](batch, spec.hidden_size)
+
+
+def cell_bwd_pointwise_flops(spec: BRNNSpec, batch: int) -> float:
+    """Elementwise flops of one backward cell update."""
+    return _BWD_POINTWISE_FLOPS[spec.cell](batch, spec.hidden_size)
 
 
 def zeros_state(spec: BRNNSpec, batch: int) -> Tuple[np.ndarray, Optional[np.ndarray]]:

@@ -137,6 +137,8 @@ class InferenceEngine:
             fused = "on"
         self.fused_input_projection = fused
         self.proj_block = cfg.proj_block
+        self.fusion = cfg.fusion
+        self.wavefront_tile = cfg.wavefront_tile
         self.metrics = cfg.metrics
         self.hooks = cfg.hooks
         if name == "sim":
@@ -182,6 +184,8 @@ class InferenceEngine:
             training=False,
             fused_input_projection=self.fused_input_projection if fused is None else fused,
             proj_block=self.proj_block,
+            fusion=self.fusion,
+            wavefront_tile=self.wavefront_tile,
             **kwargs,
         )
 

@@ -80,12 +80,33 @@ class CostModel:
         if task.kind in GEMM_KINDS:
             rate = self.machine.gemm_gflops
             # Small GEMMs cannot amortise vectorisation/blocking overhead.
+            # Builders annotate tasks that issue several GEMM calls
+            # (``fusion="off"``'s per-gate calls, a wavefront tile's
+            # per-step calls) with ``gemm_calls``: the penalty applies to
+            # the *per-call* problem size, not the task total.
             ref = self.machine.small_gemm_ref_flops
             if ref > 0:
-                rate *= task.flops / (task.flops + ref)
+                calls = max(1, int(task.meta.get("gemm_calls", 1)))
+                per_call = task.flops / calls
+                rate *= per_call / (per_call + ref)
         else:
             rate = self.machine.elementwise_gflops
         return task.flops / (rate * 1e9)
+
+    def standalone(self, task: Task) -> float:
+        """Context-free duration of ``task``: no cache residency, no
+        bandwidth sharing — declared bytes stream once per sweep from the
+        core's DRAM port.  A deterministic per-task weight for
+        critical-path accounting (duration-weighted span), comparable
+        across graphs built for the same machine.
+        """
+        m = self.machine
+        compute = self.compute_time(task)
+        reuse = float(task.meta.get("reuse", self.reuse.get(task.kind, 1.0)))
+        nbytes = sum(r.nbytes for r in task.regions()) * reuse
+        mem = nbytes / (m.core_mem_bw_gbps * 1e9)
+        overhead = m.task_overhead_s + float(task.meta.get("extra_overhead_s", 0.0))
+        return overhead + max(compute, mem) + RESIDUAL * min(compute, mem)
 
     def cost(
         self,

@@ -24,6 +24,8 @@ def build_functional(
     mbs=2,
     fused="off",
     proj_block=None,
+    fusion="gates",
+    wavefront_tile=None,
     seed=5,
 ):
     """A freshly built functional graph from deterministic state."""
@@ -44,6 +46,8 @@ def build_functional(
         lr=0.05,
         fused_input_projection=fused,
         proj_block=proj_block,
+        fusion=fusion,
+        wavefront_tile=wavefront_tile,
     )
 
 

@@ -38,10 +38,41 @@ def test_ignores_observability_attachments():
     ("proj_block", 4),
     ("seed", 99),
     ("compile", "auto"),
+    ("fusion", "wavefront"),
+    ("wavefront_tile", 4),
 ])
 def test_every_execution_field_matters(field, value):
     base = ExecutionConfig()
     assert base.fingerprint() != base.replace(**{field: value}).fingerprint()
+
+
+def test_fusion_modes_fingerprint_distinctly():
+    """Every fusion rung (and every wavefront tile size) is a distinct
+    plan-cache key: a cached plan can never leak across fusion modes."""
+    fps = [
+        ExecutionConfig(fusion=f, wavefront_tile=t).fingerprint()
+        for f, t in [
+            ("off", None), ("gates", None), ("gates+act", None),
+            ("wavefront", None), ("wavefront", 4), ("wavefront", 8),
+        ]
+    ]
+    assert len(set(fps)) == len(fps)
+
+
+def test_no_stale_plan_cache_hit_across_fusion_modes():
+    """A plan cached under one fusion mode's fingerprint is invisible to
+    every other mode sharing the cache (the key's config half differs)."""
+    from repro.compile import PlanCache, compile_graph
+    from tests.compile.conftest import build_cost_only
+
+    cache = PlanCache()
+    shape = (6, 4)
+    wavefront = ExecutionConfig(fusion="wavefront")
+    cache.put((wavefront.fingerprint(), shape), compile_graph(build_cost_only().graph))
+    for fusion in ("off", "gates", "gates+act"):
+        other = ExecutionConfig(fusion=fusion)
+        assert cache.get((other.fingerprint(), shape)) is None
+    assert cache.get((wavefront.fingerprint(), shape)) is not None
 
 
 def test_executor_instances_hash_by_type():
@@ -63,3 +94,31 @@ def test_compile_field_validation():
         ExecutionConfig(compile="sometimes")
     for mode in ("off", "on", "auto"):
         assert ExecutionConfig(compile=mode).compile == mode
+
+
+def test_fusion_field_validation():
+    with pytest.raises(ValueError, match="fusion"):
+        ExecutionConfig(fusion="sometimes")
+    with pytest.raises(ValueError, match="wavefront_tile"):
+        ExecutionConfig(wavefront_tile=0)
+    for mode in ("off", "gates", "gates+act", "wavefront"):
+        assert ExecutionConfig(fusion=mode).fusion == mode
+
+
+def test_legacy_kwargs_shim_with_fusion_defaults():
+    """Legacy engine kwargs still shim onto a config — and land on the
+    fusion defaults, so pre-fusion callers keep their exact graphs."""
+    with pytest.warns(DeprecationWarning, match="fused_input_projection"):
+        cfg = ExecutionConfig.from_kwargs(
+            executor="threaded", mbs=2, fused_input_projection="on", proj_block=2
+        )
+    assert cfg.fusion == "gates"
+    assert cfg.wavefront_tile is None
+    assert cfg.fused_input_projection == "on"
+    # the new fields pass through from_kwargs without a deprecation nag
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        cfg = ExecutionConfig.from_kwargs(fusion="wavefront", wavefront_tile=4)
+    assert (cfg.fusion, cfg.wavefront_tile) == ("wavefront", 4)

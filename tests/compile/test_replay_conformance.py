@@ -19,6 +19,16 @@ from tests.compile.conftest import build_functional
 # block, and a block larger than the sequence (clamps to proj_block=T)
 PROJ_CONFIGS = [("off", None), ("on", 1), ("on", 2), ("on", 16)]
 
+# (fusion, wavefront_tile): the non-default rungs of the fusion ladder,
+# wavefront at per-step tiles, a mid-size tile, and ≥T (one tile per chain)
+FUSION_CONFIGS = [
+    ("off", None),
+    ("gates+act", None),
+    ("wavefront", 1),
+    ("wavefront", 2),
+    ("wavefront", 16),
+]
+
 
 @pytest.mark.parametrize("cell", ["lstm", "gru"])
 @pytest.mark.parametrize("head", ["many_to_one", "many_to_many"])
@@ -30,6 +40,24 @@ def test_replay_bitwise_equivalent(cell, head, training, mbs, fused, proj_block)
         lambda: build_functional(
             cell=cell, head=head, training=training, mbs=mbs,
             fused=fused, proj_block=proj_block,
+        ),
+        n_workers=2,
+    )
+    assert not mismatched, f"replay diverged on {mismatched}"
+
+
+@pytest.mark.parametrize("cell", ["lstm", "gru"])
+@pytest.mark.parametrize("head", ["many_to_one", "many_to_many"])
+@pytest.mark.parametrize("training", [False, True])
+@pytest.mark.parametrize("fusion,wavefront_tile", FUSION_CONFIGS)
+def test_fusion_replay_bitwise_equivalent(cell, head, training, fusion, wavefront_tile):
+    """The fusion ladder's graphs replay bitwise under compiled plans,
+    composed with chunking (mbs=2) and projection hoisting (pb=2)."""
+    mismatched = plan_equivalence_check(
+        lambda: build_functional(
+            cell=cell, head=head, training=training, mbs=2,
+            fused="on", proj_block=2,
+            fusion=fusion, wavefront_tile=wavefront_tile,
         ),
         n_workers=2,
     )

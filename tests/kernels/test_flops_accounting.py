@@ -16,30 +16,39 @@ import pytest
 from repro.kernels.gru import (
     gru_bwd_data_flops,
     gru_bwd_flops,
+    gru_bwd_pointwise_flops,
     gru_bwd_step_proj_flops,
     gru_bwd_weight_flops,
     gru_fwd_flops,
+    gru_fwd_pointwise_flops,
     gru_fwd_step_proj_flops,
+    gru_gate_gemm_flops,
     gru_proj_bwd_flops,
     gru_proj_flops,
 )
 from repro.kernels.lstm import (
     lstm_bwd_data_flops,
     lstm_bwd_flops,
+    lstm_bwd_pointwise_flops,
     lstm_bwd_step_proj_flops,
     lstm_bwd_weight_flops,
     lstm_fwd_flops,
+    lstm_fwd_pointwise_flops,
     lstm_fwd_step_proj_flops,
+    lstm_gate_gemm_flops,
     lstm_proj_bwd_flops,
     lstm_proj_flops,
 )
 from repro.kernels.rnn import (
     rnn_bwd_data_flops,
     rnn_bwd_flops,
+    rnn_bwd_pointwise_flops,
     rnn_bwd_step_proj_flops,
     rnn_bwd_weight_flops,
     rnn_fwd_flops,
+    rnn_fwd_pointwise_flops,
     rnn_fwd_step_proj_flops,
+    rnn_gate_gemm_flops,
     rnn_proj_bwd_flops,
     rnn_proj_flops,
 )
@@ -63,6 +72,14 @@ FNS = {
     "rnn": (rnn_fwd_flops, rnn_bwd_flops, rnn_bwd_data_flops,
             rnn_bwd_weight_flops, rnn_proj_flops, rnn_fwd_step_proj_flops,
             rnn_bwd_step_proj_flops, rnn_proj_bwd_flops),
+}
+
+#: (stacked gate GEMM, forward pointwise, backward pointwise) per cell —
+#: the fusion pass's accounting splits (docs/PERF.md)
+FUSION_FNS = {
+    "lstm": (lstm_gate_gemm_flops, lstm_fwd_pointwise_flops, lstm_bwd_pointwise_flops),
+    "gru": (gru_gate_gemm_flops, gru_fwd_pointwise_flops, gru_bwd_pointwise_flops),
+    "rnn": (rnn_gate_gemm_flops, rnn_fwd_pointwise_flops, rnn_bwd_pointwise_flops),
 }
 
 
@@ -101,6 +118,43 @@ def test_hoisting_conserves_flops(cell):
     assert proj(B, I, H) + fwd_sp(B, H) == fwd(B, I, H)
     # backward: hoisted dW_x + dX blocks + shrunken step == full step
     assert proj_bwd(B, I, H, need_dx=True) + bwd_sp(B, H) == bwd(B, I, H)
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_gate_gemm_conservation(cell):
+    """The fusion pass's conservation contract: the stacked gate GEMM does
+    exactly the arithmetic of the per-gate GEMMs (``fusion="off"``), with
+    strict float equality — these splits are definitions, not measurements."""
+    g, _, _ = CELLS[cell]
+    gate_gemm, _, _ = FUSION_FNS[cell]
+    stacked = gate_gemm(B, I, H)
+    assert stacked == 2.0 * B * (I + H) * g * H
+    assert g * gate_gemm(B, I, H, n_gates=1) == stacked
+    # any partial split conserves, not just the per-gate one
+    for k in range(1, g + 1):
+        assert gate_gemm(B, I, H, n_gates=k) + gate_gemm(B, I, H, n_gates=g - k) \
+            == stacked
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_fwd_splits_into_gemm_plus_pointwise(cell):
+    """``fusion="gates+act"`` moves activations in-payload; the GEMM +
+    pointwise split must reconstitute the forward total exactly."""
+    fwd, *_ = FNS[cell]
+    gate_gemm, fwd_pw, _ = FUSION_FNS[cell]
+    assert gate_gemm(B, I, H) + fwd_pw(B, H) == fwd(B, I, H)
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_bwd_splits_into_gemms_plus_pointwise(cell):
+    """Backward: data GEMM + weight GEMM + pointwise == total, with the
+    pointwise share matching the pinned elementwise coefficient."""
+    _, ew_f, ew_b = CELLS[cell]
+    _, bwd, bwd_data, bwd_weight, *_ = FNS[cell]
+    _, fwd_pw, bwd_pw = FUSION_FNS[cell]
+    assert fwd_pw(B, H) == ew_f * B * H
+    assert bwd_pw(B, H) == ew_b * B * H
+    assert bwd_data(B, I, H) + bwd_weight(B, I, H) + bwd_pw(B, H) == bwd(B, I, H)
 
 
 @pytest.mark.parametrize("cell", sorted(CELLS))

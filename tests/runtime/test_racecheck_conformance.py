@@ -9,7 +9,8 @@ the entire correctness basis of the barrier-free runtime — are complete
 for LSTM/GRU × many-to-one/many-to-many × inference/training ×
 data-parallel chunking × the fused input-projection path at every block
 size (1, a mid-sequence block, and ≥T which clamps to the whole
-sequence).
+sequence) — and, in a second sweep, × the fusion-policy ladder
+(``off``/``gates+act``/``wavefront`` at tile sizes 1, mid, and ≥T).
 """
 
 import numpy as np
@@ -27,6 +28,16 @@ BATCH = 4
 # block, and a block larger than the sequence (clamps to proj_block=T)
 PROJ_CONFIGS = [("off", None), ("on", 1), ("on", 2), ("on", 16)]
 
+# (fusion, wavefront_tile): the non-default rungs of the fusion ladder,
+# wavefront at per-step tiles, a mid-size tile, and ≥T (one tile per chain)
+FUSION_CONFIGS = [
+    ("off", None),
+    ("gates+act", None),
+    ("wavefront", 1),
+    ("wavefront", 2),
+    ("wavefront", 16),
+]
+
 
 def _tiny_spec(cell, head):
     return small_spec(
@@ -34,7 +45,8 @@ def _tiny_spec(cell, head):
     )
 
 
-def _build(cell, head, training, mbs, fused, proj_block):
+def _build(cell, head, training, mbs, fused, proj_block,
+           fusion="gates", wavefront_tile=None):
     spec = _tiny_spec(cell, head)
     rng = np.random.default_rng(5)
     x = rng.standard_normal((SEQ_LEN, BATCH, spec.input_size)).astype(spec.dtype)
@@ -53,7 +65,18 @@ def _build(cell, head, training, mbs, fused, proj_block):
         lr=0.05,
         fused_input_projection=fused,
         proj_block=proj_block,
+        fusion=fusion,
+        wavefront_tile=wavefront_tile,
     )
+
+
+def _assert_conformant(result):
+    report = check_build(result)  # observation + ordering
+    assert report.observed_tasks == sum(1 for t in result.graph if t.fn is not None)
+    undeclared = [f for f in report.findings if f.kind.startswith("undeclared")]
+    unordered = [f for f in report.findings if f.kind == "unordered_conflict"]
+    assert not undeclared, "\n".join(f.describe() for f in undeclared)
+    assert not unordered, "\n".join(f.describe() for f in unordered)
 
 
 @pytest.mark.parametrize("cell", ["lstm", "gru"])
@@ -64,10 +87,24 @@ def _build(cell, head, training, mbs, fused, proj_block):
     "fused,proj_block", PROJ_CONFIGS, ids=[f"{f}-pb{p}" for f, p in PROJ_CONFIGS]
 )
 def test_declarations_cover_observed_accesses(cell, head, training, mbs, fused, proj_block):
-    result = _build(cell, head, training, mbs, fused, proj_block)
-    report = check_build(result)  # observation + ordering
-    assert report.observed_tasks == sum(1 for t in result.graph if t.fn is not None)
-    undeclared = [f for f in report.findings if f.kind.startswith("undeclared")]
-    unordered = [f for f in report.findings if f.kind == "unordered_conflict"]
-    assert not undeclared, "\n".join(f.describe() for f in undeclared)
-    assert not unordered, "\n".join(f.describe() for f in unordered)
+    _assert_conformant(_build(cell, head, training, mbs, fused, proj_block))
+
+
+@pytest.mark.parametrize("cell", ["lstm", "gru"])
+@pytest.mark.parametrize("head", ["many_to_one", "many_to_many"])
+@pytest.mark.parametrize("training", [False, True], ids=["forward", "backward"])
+@pytest.mark.parametrize(
+    "fusion,wavefront_tile", FUSION_CONFIGS,
+    ids=[f"{f}-wt{t}" for f, t in FUSION_CONFIGS],
+)
+def test_fusion_declarations_cover_observed_accesses(
+    cell, head, training, fusion, wavefront_tile
+):
+    """The fusion rungs compose with chunking (mbs=2) and projection
+    hoisting (pb=2; ``fusion="off"`` forces hoisting off in the builder,
+    exercising that interaction too)."""
+    result = _build(
+        cell, head, training, mbs=2, fused="on", proj_block=2,
+        fusion=fusion, wavefront_tile=wavefront_tile,
+    )
+    _assert_conformant(result)

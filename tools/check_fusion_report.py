@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Gate a ``BENCH_fusion.json`` fusion-policy ablation report.
+
+Used by the CI smoke target (``make smoke-fusion``).  Beyond schema
+shape, this gate enforces the fusion *outcomes* (docs/PERF.md):
+
+* the threaded ladder records a timing block per fusion mode
+  (``off``/``gates``/``gates+act``/``wavefront``) and the full ladder's
+  ``speedup_median.wavefront`` must exceed ``--min-speedup``
+  (default 1.0; the committed paper-scale baseline is gated at 1.5);
+* the simulated duration-weighted critical path is monotone
+  non-increasing along the ladder and ``wavefront``'s ``cp_ratio`` falls
+  below ``--max-cp-ratio`` (default 0.686 — the fused-projection bar);
+* the wavefront graph is strictly wider than the layer-ordered build and
+  carries zero linter/analyzer findings (tile declarations are exact);
+* the gate-GEMM flop split conserves exactly
+  (``flops_conserved == true``).
+
+    python tools/check_fusion_report.py BENCH_fusion.json [...]
+    python tools/check_fusion_report.py --min-speedup 1.5 BENCH_fusion.json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _reportlib import (
+    check_envelope,
+    check_schema,
+    check_timing_block,
+    finish,
+    load_report,
+    lookup,
+)
+
+DEFAULT_MIN_SPEEDUP = 1.0
+DEFAULT_MAX_CP_RATIO = 0.686
+
+#: the fusion ladder, baseline first — must match repro.harness.fusionbench.MODES
+MODES = ("off", "gates", "gates+act", "wavefront")
+
+SIM_MODE_SCHEMA = [
+    ("batch_s", (int, float)),
+    ("critical_path_s", (int, float)),
+    ("n_tasks", (int, float)),
+    ("cp_ratio", (int, float)),
+]
+
+ANALYSIS_SCHEMA = [
+    ("wavefront_width", (int, float)),
+    ("wavefront_avg_parallelism", (int, float)),
+    ("layered_width", (int, float)),
+    ("layered_avg_parallelism", (int, float)),
+    ("lint_findings", (int, float)),
+    ("analyzer_findings", (int, float)),
+]
+
+
+def check_threaded(results, label, errors, min_speedup):
+    threaded = results.get("threaded")
+    if not isinstance(threaded, dict):
+        errors.append(f"{label}: missing/invalid 'threaded' block")
+        return
+    tlabel = f"{label}.threaded"
+    for mode in MODES:
+        block = threaded.get(mode)
+        if not isinstance(block, dict):
+            errors.append(f"{tlabel}: missing {mode!r} timing block")
+            continue
+        check_timing_block(block, f"{tlabel}.{mode}", errors)
+    speedups = threaded.get("speedup_median")
+    if not isinstance(speedups, dict):
+        errors.append(f"{tlabel}: missing 'speedup_median' block")
+        return
+    for mode in MODES[1:]:
+        value = speedups.get(mode)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{tlabel}.speedup_median: missing/mistyped {mode!r}")
+            return
+    if speedups["wavefront"] < min_speedup:
+        errors.append(
+            f"{tlabel}: speedup_median.wavefront {speedups['wavefront']:.3f} "
+            f"below {min_speedup} — the full fusion ladder no longer beats "
+            "the unfused baseline by the required margin"
+        )
+
+
+def check_sim(results, label, errors, max_cp_ratio):
+    sim = results.get("sim")
+    if not isinstance(sim, dict):
+        errors.append(f"{label}: missing/invalid 'sim' block")
+        return
+    slabel = f"{label}.sim"
+    for mode in MODES:
+        block = sim.get(mode)
+        if not isinstance(block, dict):
+            errors.append(f"{slabel}: missing {mode!r} block")
+            return
+        check_schema(block, SIM_MODE_SCHEMA, f"{slabel}.{mode}", errors)
+    try:
+        ratios = [lookup(sim, f"{mode}.cp_ratio") for mode in MODES]
+    except KeyError:
+        return  # already reported
+    if ratios[-1] >= max_cp_ratio:
+        errors.append(
+            f"{slabel}: wavefront cp_ratio {ratios[-1]:.4f} not below "
+            f"{max_cp_ratio} — the duration-weighted critical path no "
+            "longer clears the fused-projection bar"
+        )
+    # Monotone non-increasing along the ladder, with 5 % slack: at smoke
+    # (tiny) shapes the projection hoisting that the upper rungs compose
+    # with can nudge adjacent rungs within a few percent of each other.
+    for prev, mode, prev_r, r in zip(MODES, MODES[1:], ratios, ratios[1:]):
+        if r > prev_r * 1.05:
+            errors.append(
+                f"{slabel}: cp_ratio not monotone — {mode!r} ({r:.4f}) "
+                f"exceeds {prev!r} ({prev_r:.4f})"
+            )
+    try:
+        if lookup(sim, "wavefront.n_tasks") >= lookup(sim, "gates.n_tasks"):
+            errors.append(
+                f"{slabel}: wavefront task count did not shrink vs gates"
+            )
+    except KeyError:
+        pass  # already reported
+
+
+def check_analysis(results, label, errors):
+    analysis = results.get("analysis")
+    if not isinstance(analysis, dict):
+        errors.append(f"{label}: missing/invalid 'analysis' block")
+        return
+    alabel = f"{label}.analysis"
+    check_schema(analysis, ANALYSIS_SCHEMA, alabel, errors)
+    try:
+        if lookup(analysis, "lint_findings") != 0:
+            errors.append(
+                f"{alabel}: {analysis['lint_findings']:.0f} graph-lint "
+                "findings — tiled declarations are no longer exact"
+            )
+        if lookup(analysis, "analyzer_findings") != 0:
+            errors.append(
+                f"{alabel}: {analysis['analyzer_findings']:.0f} analyzer "
+                "findings — fused tasks flagged (e.g. over-declaration)"
+            )
+        if lookup(analysis, "wavefront_width") <= lookup(analysis, "layered_width"):
+            errors.append(
+                f"{alabel}: wavefront width "
+                f"{analysis['wavefront_width']:.1f} not above layered "
+                f"{analysis['layered_width']:.1f} — the diagonal is gone"
+            )
+    except KeyError:
+        pass  # already reported
+
+
+def check_report(report, label, errors, min_speedup, max_cp_ratio):
+    check_envelope(report, label, errors, bench="fusion")
+    results = report.get("results")
+    if not isinstance(results, dict):
+        errors.append(f"{label}: missing/invalid 'results' block")
+        return
+    check_threaded(results, label, errors, min_speedup)
+    check_sim(results, label, errors, max_cp_ratio)
+    check_analysis(results, label, errors)
+    if results.get("flops_conserved") is not True:
+        errors.append(
+            f"{label}: flops_conserved is not true — the per-gate GEMM "
+            "flop split no longer sums exactly to the stacked total"
+        )
+
+
+def main(argv) -> int:
+    args = list(argv[1:])
+    min_speedup = DEFAULT_MIN_SPEEDUP
+    max_cp_ratio = DEFAULT_MAX_CP_RATIO
+    for flag, caster in (("--min-speedup", float), ("--max-cp-ratio", float)):
+        if flag in args:
+            i = args.index(flag)
+            try:
+                value = caster(args[i + 1])
+            except (IndexError, ValueError):
+                print(__doc__)
+                return 2
+            del args[i:i + 2]
+            if flag == "--min-speedup":
+                min_speedup = value
+            else:
+                max_cp_ratio = value
+    if not args:
+        print(__doc__)
+        return 2
+    errors: list = []
+    for path in args:
+        check_report(load_report(path), path, errors, min_speedup, max_cp_ratio)
+    return finish(errors, [f"{path}: fusion report OK" for path in args])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
