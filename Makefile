@@ -1,6 +1,6 @@
 # Convenience targets; CI (.github/workflows/ci.yml) runs `test`, `lint`,
 # `smoke-serving`, `smoke-fused`, `smoke-racecheck`, `smoke-analysis`,
-# `smoke-obs`, `smoke-compile` and `smoke-fusion` on every push.
+# `smoke-obs`, `smoke-compile`, `smoke-fusion` and `smoke-mp` on every push.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -11,11 +11,12 @@ SMOKE_ANALYSIS_REPORT ?= /tmp/repro_analysis_smoke.json
 SMOKE_OBS_REPORT ?= /tmp/repro_obs_smoke.json
 SMOKE_COMPILE_REPORT ?= /tmp/repro_compile_smoke.json
 SMOKE_FUSION_REPORT ?= /tmp/repro_fusion_smoke.json
+SMOKE_MP_REPORT ?= /tmp/repro_mp_smoke.json
 # CI runners are noisy shared tenants: the committed baseline records the
 # ≤2 % claim; the freshly-measured smoke run gets slack against tenancy.
 SMOKE_OBS_BUDGET ?= 1.10
 
-.PHONY: test lint smoke-serving smoke-fused smoke-racecheck smoke-analysis smoke-obs smoke-compile smoke-fusion bench fused-bench fusion-bench serve-bench clean
+.PHONY: test lint smoke-serving smoke-fused smoke-racecheck smoke-analysis smoke-obs smoke-compile smoke-fusion smoke-mp bench fused-bench fusion-bench multiproc-bench serve-bench clean
 
 # tier-1: the full unit/integration/property suite (serving tests included)
 test:
@@ -113,6 +114,23 @@ smoke-fusion:
 	$(PYTHON) tools/check_fusion_report.py --min-speedup 1.5 \
 		benchmarks/baselines/BENCH_fusion.json
 
+# multiprocess-executor smoke: the full cross-executor conformance,
+# fault-injection, shm-arena property and schedule-fuzz sweeps (the
+# `slow_mp` legs included), then a tiny substrate comparison end-to-end
+# through the real CLI, then the JSON gate — bitwise + zero-leak always;
+# speed-up bars only on ≥2-core recordings — on both the fresh smoke
+# report and the committed paper-scale baseline
+smoke-mp:
+	$(PYTHON) -m pytest tests/runtime/test_executor_conformance.py \
+		tests/runtime/test_mpexec_faults.py tests/properties/test_shm_arena.py \
+		tests/runtime/test_schedule_fuzz.py -x -q -m "slow_mp or not slow_mp"
+	$(PYTHON) -m repro multiproc-bench \
+		--cell gru --input-size 64 --hidden 32 --layers 2 \
+		--seq-len 16 --batch 8 --iters 2 --mbs 2 \
+		--output $(SMOKE_MP_REPORT) > /dev/null
+	$(PYTHON) tools/check_multiproc_report.py $(SMOKE_MP_REPORT)
+	$(PYTHON) tools/check_multiproc_report.py benchmarks/baselines/BENCH_multiproc.json
+
 # regenerate every paper table/figure + the serving sweep (minutes)
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -127,6 +145,11 @@ fused-bench:
 fusion-bench:
 	$(PYTHON) -m pytest benchmarks/bench_fusion.py --benchmark-only -q
 
+# the acceptance-criteria executor substrate comparison (paper-scale
+# GIL-bound shape), recording benchmarks/baselines/BENCH_multiproc.json
+multiproc-bench:
+	$(PYTHON) -m pytest benchmarks/bench_multiproc.py --benchmark-only -q
+
 # the acceptance-criteria serving run (paper machine, 200 req/s, 5 s)
 serve-bench:
 	$(PYTHON) -m repro serve-bench --arrival-rate 200 --duration 5 --executor sim
@@ -134,4 +157,4 @@ serve-bench:
 clean:
 	rm -f $(SMOKE_REPORT) $(SMOKE_FUSED_REPORT) $(SMOKE_ANALYSIS_REPORT) \
 		$(SMOKE_OBS_REPORT) $(SMOKE_COMPILE_REPORT) $(SMOKE_FUSION_REPORT) \
-		serving_report.json
+		$(SMOKE_MP_REPORT) serving_report.json

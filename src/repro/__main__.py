@@ -12,6 +12,7 @@
     python -m repro obs-report [...]        # scheduler counters + metrics overhead
     python -m repro compile-bench [...]     # compiled-plan replay benchmark (JSON)
     python -m repro fusion-bench [...]      # fusion-policy ablation ladder (JSON)
+    python -m repro multiproc-bench [...]   # process-vs-threaded executor (JSON)
 
 ``--full`` runs the paper's complete configuration grids (minutes); the
 default grids cover every regime in seconds.  The same drivers back the
@@ -160,7 +161,7 @@ def _cmd_serve_bench(args) -> None:
         rate_hz=args.arrival_rate,
         duration_s=args.duration,
         seq_len_range=(args.seq_min, args.seq_max),
-        features=spec.input_size if args.executor == "threaded" else None,
+        features=spec.input_size if args.executor in ("threaded", "process") else None,
         slo_s=args.slo,
     )
     requests = make_workload(args.workload, workload_cfg, seed=args.seed)
@@ -356,6 +357,55 @@ def _cmd_fusion_bench(args) -> int:
         or analysis["lint_findings"] > 0
         or analysis["analyzer_findings"] > 0
         or analysis["wavefront_width"] <= analysis["layered_width"]
+    )
+    return 1 if failed else 0
+
+
+def _cmd_multiproc_bench(args) -> int:
+    """Executor substrate comparison; emits the ``multiproc`` BENCH JSON.
+
+    Times identical inference batches on the threaded and multiprocess
+    executors in the GIL-bound (``fusion="off"``) and default
+    (``fusion="gates"``) regimes (docs/EXECUTORS.md).  Exits 1 when the
+    substrates diverge bitwise or a ``/dev/shm`` segment leaks; the
+    speed-up bars are the report gate's job
+    (``tools/check_multiproc_report.py``), which waives them on
+    single-core hosts.
+    """
+    import json
+
+    from repro.harness.bench_json import write_bench_json
+    from repro.harness.mpbench import run_multiproc_bench
+
+    point = run_multiproc_bench(
+        cell=args.cell,
+        input_size=args.input_size,
+        hidden=args.hidden,
+        layers=args.layers,
+        seq_len=args.seq_len,
+        batch=args.batch,
+        head=args.head,
+        mbs=args.mbs,
+        iters=args.iters,
+        n_workers=args.cores,
+        seed=args.seed,
+    )
+    results = point["results"]
+    for name, row in results["regimes"].items():
+        print(f"{name}: process {row['process']['median_s'] * 1e3:.1f} ms vs "
+              f"threaded {row['threaded']['median_s'] * 1e3:.1f} ms "
+              f"(x{row['speedup_median']:.2f})")
+    print(f"bitwise identical: {results['bitwise_identical']}; "
+          f"leaked segments: {results['leaked_segments']}; "
+          f"host cores: {results['host_cores']}")
+    if args.output:
+        write_bench_json(args.output, "multiproc", point["config"], results)
+        print(f"# report written to {args.output}", file=sys.stderr)
+    else:
+        print(json.dumps({"bench": "multiproc", **point}, indent=2))
+    failed = (
+        not results["bitwise_identical"]
+        or results["leaked_segments"] != 0
     )
     return 1 if failed else 0
 
@@ -615,6 +665,7 @@ COMMANDS = {
     "obs-report": _cmd_obs_report,
     "compile-bench": _cmd_compile_bench,
     "fusion-bench": _cmd_fusion_bench,
+    "multiproc-bench": _cmd_multiproc_bench,
 }
 
 

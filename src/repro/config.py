@@ -62,12 +62,15 @@ class ExecutionConfig:
     Parameters
     ----------
     executor:
-        ``"threaded"`` (real worker threads), ``"sim"`` (deterministic
-        modelled machine), a ready executor instance, or ``None`` for the
-        owning engine's default substrate.
+        ``"threaded"`` (real worker threads), ``"process"`` (pinned worker
+        processes over shared memory — true parallelism past the GIL, see
+        docs/EXECUTORS.md), ``"sim"`` (deterministic modelled machine), a
+        ready executor instance, or ``None`` for the owning engine's
+        default substrate.
     n_workers:
-        Worker threads (threaded) or simulated cores (sim); ``None`` means
-        the substrate default (host-sized pool / whole modelled machine).
+        Worker threads (threaded), worker processes (process), or
+        simulated cores (sim); ``None`` means the substrate default
+        (host-sized pool / whole modelled machine).
     scheduler:
         Ready-queue policy: ``"fifo"``/``"lifo"``/``"locality"``/
         ``"steal"``/``"fuzz:SEED"``.
@@ -243,10 +246,12 @@ def add_execution_args(parser: argparse.ArgumentParser) -> None:
     an :class:`ExecutionConfig`.
     """
     g = parser.add_argument_group("execution options")
-    g.add_argument("--executor", choices=("sim", "threaded"), default="sim",
-                   help="simulated machine (deterministic) or real worker threads")
+    g.add_argument("--executor", choices=("sim", "threaded", "process"), default="sim",
+                   help="simulated machine (deterministic), real worker "
+                        "threads, or pinned worker processes over shared "
+                        "memory (docs/EXECUTORS.md)")
     g.add_argument("--cores", type=int, default=None,
-                   help="simulated cores / worker threads "
+                   help="simulated cores / worker threads / worker processes "
                         "(default: whole modelled machine or host-sized pool)")
     g.add_argument("--scheduler", type=str, default="locality",
                    help="ready-queue policy: fifo|lifo|locality|steal|fuzz:SEED")

@@ -35,14 +35,26 @@ def default_executor(config: Optional[ExecutionConfig] = None) -> ThreadedExecut
 def resolve_executor(config: ExecutionConfig):
     """Executor instance for a config's ``executor`` field.
 
-    ``None``/``"threaded"`` → host threads; ``"sim"`` → the modelled
-    48-core Xeon; a ready executor instance passes through unchanged (the
-    config's ``n_workers``/``scheduler``/``metrics``/``hooks`` are then the
+    ``None``/``"threaded"`` → host threads; ``"process"`` → pinned worker
+    processes over shared memory (true parallelism past the GIL, see
+    docs/EXECUTORS.md); ``"sim"`` → the modelled 48-core Xeon; a ready
+    executor instance passes through unchanged (the config's
+    ``n_workers``/``scheduler``/``metrics``/``hooks`` are then the
     instance's responsibility).
     """
     ex = config.executor
     if ex is None or ex == "threaded":
         return default_executor(config)
+    if ex == "process":
+        from repro.runtime.mpexec import MultiprocessExecutor
+
+        n = config.n_workers if config.n_workers is not None else min(8, os.cpu_count() or 1)
+        return MultiprocessExecutor(
+            n,
+            scheduler_factory=config.scheduler,
+            metrics=config.metrics,
+            hooks=config.hooks,
+        )
     if ex == "sim":
         from repro.runtime.simexec import SimulatedExecutor
         from repro.simarch.presets import xeon_8160_2s
@@ -55,7 +67,9 @@ def resolve_executor(config: ExecutionConfig):
             hooks=config.hooks,
         )
     if isinstance(ex, str):
-        raise ValueError(f"unknown executor name {ex!r} (use 'threaded' or 'sim')")
+        raise ValueError(
+            f"unknown executor name {ex!r} (use 'threaded', 'process' or 'sim')"
+        )
     return ex
 
 

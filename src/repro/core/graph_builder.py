@@ -68,6 +68,32 @@ _GATE_MULT = {"lstm": 4, "gru": 3, "rnn": 1}
 #: enough to amortise per-task dispatch over several cell updates.
 DEFAULT_WAVEFRONT_TILE = 8
 
+#: Region kinds whose storage is *lazily materialised* by payloads
+#: (``state.h_f[l][s] = h`` and friends) rather than preallocated.  Under a
+#: fork-based multiprocess run these assignments land in the worker's
+#: private copy of the ChunkState, so their values must be shipped between
+#: processes via :meth:`GraphBuildResult.export_region` /
+#: :meth:`GraphBuildResult.import_region`.  Every other kind is either
+#: preallocated storage the executor rebinds into shared memory before
+#: forking (``x``/``W``/``gW``/``dh``/``dm``/``vel``/…, mutated strictly
+#: in place) or the zero-byte ``serial`` token.
+SHIPPED_REGION_KINDS = frozenset(
+    {"h", "cache", "zx", "dz", "m", "mlast", "logits", "dlogits", "dmlast"}
+)
+
+#: Shipped kinds the *manager* process must import after the run so result
+#: readback (:meth:`GraphBuildResult.logits`) works; losses travel through
+#: the side-state channel (:meth:`GraphBuildResult.export_side_state`).
+PARENT_REGION_KINDS = frozenset({"logits"})
+
+#: lazily-assigned per-slot row attributes, by region kind
+_ROW_ATTRS = {
+    "mlast": "last_merged",
+    "logits": "logits",
+    "dlogits": "dlogits",
+    "dmlast": "dlast_merged",
+}
+
 
 def resolve_fused_layers(spec: BRNNSpec, mode) -> List[bool]:
     """Per-layer fuse decision for ``fused_input_projection``.
@@ -297,6 +323,131 @@ class GraphBuildResult:
                         map_list(row)
                 map_list(state.dlast_merged)
                 map_params(state.grads)
+
+    # -- cross-process region transport (multiprocess executor) -----------------
+
+    def shipped_kinds(self) -> frozenset:
+        """Region kinds that must travel between processes (see
+        :data:`SHIPPED_REGION_KINDS`)."""
+        return SHIPPED_REGION_KINDS
+
+    def parent_kinds(self) -> frozenset:
+        """Shipped kinds the manager imports for result readback."""
+        return PARENT_REGION_KINDS
+
+    def export_region(self, key):
+        """Picklable payload of one lazily-materialised region slot.
+
+        The multiprocess executor calls this in the *worker* that just ran
+        the slot's writer; :meth:`import_region` installs the payload in
+        any process that reads it.  Only keys whose kind is in
+        :data:`SHIPPED_REGION_KINDS` are meaningful here — preallocated
+        storage is shared in place and never exported.
+        """
+        if not self.functional:
+            raise RuntimeError("cost-only graphs carry no data to export")
+        kind = key[0]
+        if kind == "h":
+            _, mb, layer, d, step = key
+            state = self.chunks[mb]
+            h = (state.h_f if d == "fwd" else state.h_r)[layer][step]
+            c = (state.c_f if d == "fwd" else state.c_r)[layer][step]
+            return (h, c)
+        if kind == "cache":
+            _, mb, layer, d, step = key
+            state = self.chunks[mb]
+            return (state.cache_f if d == "fwd" else state.cache_r)[layer][step]
+        if kind in ("zx", "dz"):
+            _, mb, layer, d, pos = key
+            state = self.chunks[mb]
+            grids = {
+                "zx": (state.zx_f, state.zx_r),
+                "dz": (state.dz_f, state.dz_r),
+            }[kind]
+            return (grids[0] if d == "fwd" else grids[1])[layer][pos]
+        if kind == "m":
+            _, mb, layer, t = key
+            return self.chunks[mb].merged[layer][t]
+        if kind in _ROW_ATTRS:
+            _, mb, slot = key
+            return getattr(self.chunks[mb], _ROW_ATTRS[kind])[slot]
+        raise KeyError(f"region kind {kind!r} is not shipped between processes")
+
+    def import_region(self, key, payload) -> None:
+        """Install a payload produced by :meth:`export_region` elsewhere."""
+        if not self.functional:
+            raise RuntimeError("cost-only graphs carry no data to import")
+        kind = key[0]
+        if kind == "h":
+            _, mb, layer, d, step = key
+            state = self.chunks[mb]
+            h, c = payload
+            (state.h_f if d == "fwd" else state.h_r)[layer][step] = h
+            (state.c_f if d == "fwd" else state.c_r)[layer][step] = c
+            return
+        if kind == "cache":
+            _, mb, layer, d, step = key
+            state = self.chunks[mb]
+            (state.cache_f if d == "fwd" else state.cache_r)[layer][step] = payload
+            return
+        if kind in ("zx", "dz"):
+            _, mb, layer, d, pos = key
+            state = self.chunks[mb]
+            grids = {
+                "zx": (state.zx_f, state.zx_r),
+                "dz": (state.dz_f, state.dz_r),
+            }[kind]
+            (grids[0] if d == "fwd" else grids[1])[layer][pos] = payload
+            return
+        if kind == "m":
+            _, mb, layer, t = key
+            self.chunks[mb].merged[layer][t] = payload
+            return
+        if kind in _ROW_ATTRS:
+            _, mb, slot = key
+            getattr(self.chunks[mb], _ROW_ATTRS[kind])[slot] = payload
+            return
+        raise KeyError(f"region kind {kind!r} is not shipped between processes")
+
+    def export_region_nbytes(self, key, region_nbytes: int) -> int:
+        """Upper bound on the raw payload bytes :meth:`export_region` yields.
+
+        Usually the region's own byte count; ``cache`` payloads addition­ally
+        retain the cell *input* on the unfused path (``cache.x``), whose
+        width is the layer input size — wider than the hidden-width arrays
+        the cache region's accounting covers.  The multiprocess executor
+        sizes its export arenas from this.
+        """
+        if key[0] == "cache":
+            _, mb, layer, d, step = key
+            bc = self.chunk_batches[mb]
+            itemsize = np.dtype(self.spec.dtype).itemsize
+            return region_nbytes + bc * self.spec.layer_input_size(layer) * itemsize
+        return region_nbytes
+
+    def export_side_state(self, task) -> list:
+        """Non-region state a task mutated, as picklable items.
+
+        The only such state is ``ChunkState.loss_sums`` — plain floats the
+        loss payloads assign, invisible to the region system because they
+        are not arrays.  Identified by the task's declared writes: the
+        loss task is the unique writer of a chunk's ``dlogits`` slot.
+        """
+        items = []
+        for region in task.writes():
+            key = region.key
+            if key[0] == "dlogits":
+                _, mb, slot = key
+                items.append(("loss", mb, slot, self.chunks[mb].loss_sums[slot]))
+        return items
+
+    def apply_side_state(self, items) -> None:
+        """Install side-state items exported by a worker."""
+        for kind, mb, slot, value in items:
+            if kind == "loss":
+                self.chunks[mb].loss_sums[slot] = value
+            else:  # pragma: no cover - forward compatibility guard
+                raise KeyError(f"unknown side-state kind {kind!r}")
 
 
 def _axpy(dst: np.ndarray, alpha: float, src: np.ndarray) -> None:
@@ -988,7 +1139,7 @@ class _Builder:
                     self.graph.barrier(f"bwd_layer_barrier.L{layer}")
                 if self.update_weights:
                     self._build_updates()
-        return GraphBuildResult(
+        result = GraphBuildResult(
             graph=self.graph,
             regions=self.regions,
             spec=self.spec,
@@ -1003,6 +1154,11 @@ class _Builder:
             fusion=self.fusion,
             wavefront_tile=self.wave_tile if self.fusion == "wavefront" else None,
         )
+        # Executors that need storage resolution (the multiprocess
+        # substrate's shared-memory rebinding and region shipping) reach it
+        # through the graph they are handed — engines stay storage-blind.
+        self.graph.storage = result
+        return result
 
     def _build_forward(self, mb: int) -> None:
         for layer in range(self.spec.num_layers):

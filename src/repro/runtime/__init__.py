@@ -14,6 +14,11 @@ semantics of OmpSs/OpenMP task dependences), ready-queue schedulers
   (:mod:`repro.simarch`).  It reproduces the scheduling, cache-locality
   and NUMA behaviour of the paper's 48-core platform, which the GIL and
   a laptop-scale host cannot express directly.
+* :class:`~repro.runtime.mpexec.MultiprocessExecutor` — pinned worker
+  *processes* over POSIX shared memory (:mod:`repro.runtime.shm`): true
+  parallelism for the fine-grained task modes the GIL serialises.  The
+  substrate contract all of these implement is named by
+  :class:`~repro.runtime.protocol.Executor` (docs/EXECUTORS.md).
 """
 
 from repro.runtime.task import AccessMode, Region, RegionSpace, Task
@@ -34,6 +39,9 @@ from repro.runtime.scheduler import (
 from repro.runtime.trace import ExecutionTrace, TaskRecord
 from repro.runtime.executor import SerialExecutor, ThreadedExecutor
 from repro.runtime.simexec import SimulatedExecutor
+from repro.runtime.protocol import Executor, ExecutorError, WorkerCrashError
+from repro.runtime.mpexec import MultiprocessExecutor, plan_placement
+from repro.runtime.shm import ArenaExhausted, ArrayDesc, ShmArena, ShmBlock
 from repro.runtime.racecheck import (
     RaceError,
     RaceFinding,
@@ -70,6 +78,15 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "SimulatedExecutor",
+    "MultiprocessExecutor",
+    "plan_placement",
+    "Executor",
+    "ExecutorError",
+    "WorkerCrashError",
+    "ShmArena",
+    "ShmBlock",
+    "ArrayDesc",
+    "ArenaExhausted",
     "RaceError",
     "RaceFinding",
     "RaceReport",

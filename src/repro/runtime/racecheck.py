@@ -667,28 +667,33 @@ def mutation_probe(graph: TaskGraph, seed: int = 0) -> dict:
 
 
 def record_schedule(
-    graph: TaskGraph, scheduler="fuzz:0", n_workers: int = 1
+    graph: TaskGraph, scheduler="fuzz:0", n_workers: int = 1,
+    executor_factory=ThreadedExecutor,
 ) -> Tuple[ScheduleRecord, ExecutionTrace]:
     """Execute ``graph`` recording the scheduler's pop order.
 
     With ``n_workers=1`` the recorded order is a pure function of the
     scheduler (reproducible); more workers record whatever interleaving
     the host produced — still a valid, replayable schedule.
+    ``executor_factory`` picks the substrate — any callable accepting
+    ``(n_workers, scheduler)``, e.g. :class:`ThreadedExecutor` (default)
+    or :class:`~repro.runtime.mpexec.MultiprocessExecutor`.
     """
     recording = RecordingScheduler(resolve_scheduler(scheduler, n_workers))
-    trace = ThreadedExecutor(n_workers, recording).run(graph)
+    trace = executor_factory(n_workers, recording).run(graph)
     return recording.record(), trace
 
 
 def replay_schedule(
-    graph: TaskGraph, record: ScheduleRecord, n_workers: int = 1
+    graph: TaskGraph, record: ScheduleRecord, n_workers: int = 1,
+    executor_factory=ThreadedExecutor,
 ) -> ExecutionTrace:
     """Re-execute ``graph`` releasing tasks exactly in ``record`` order."""
     if len(record.order) != len(graph):
         raise ValueError(
             f"schedule records {len(record.order)} tasks, graph has {len(graph)}"
         )
-    return ThreadedExecutor(n_workers, ReplayScheduler(record)).run(graph)
+    return executor_factory(n_workers, ReplayScheduler(record)).run(graph)
 
 
 @dataclass
@@ -751,6 +756,7 @@ def fuzz_equivalence_sweep(
     *,
     n_workers: int = 1,
     reference_scheduler: str = "fifo",
+    executor_factory=ThreadedExecutor,
 ) -> FuzzSweepResult:
     """Run ``make_build()`` once per schedule and compare results bitwise.
 
@@ -759,7 +765,11 @@ def fuzz_equivalence_sweep(
     schedule starts from identical state.  The reference schedule (FIFO
     by default) fixes the expected bits; every fuzz seed must reproduce
     them exactly — the dataflow-determinism claim of the paper, asserted
-    rather than assumed.
+    rather than assumed.  The reference always runs threaded; the fuzzed
+    legs run on ``executor_factory`` (any ``(n_workers, scheduler)``
+    callable), so passing
+    :class:`~repro.runtime.mpexec.MultiprocessExecutor` additionally
+    asserts cross-substrate determinism.
     """
     seeds = list(seeds)
     reference = make_build()
@@ -771,7 +781,7 @@ def fuzz_equivalence_sweep(
     mismatches: List[FuzzMismatch] = []
     for seed in seeds:
         result = make_build()
-        ThreadedExecutor(n_workers, f"fuzz:{seed}").run(result.graph)
+        executor_factory(n_workers, f"fuzz:{seed}").run(result.graph)
         got = _result_fingerprint(result)
         bad = sorted(
             name
@@ -895,7 +905,10 @@ def check_plan(graph: TaskGraph, plan) -> RaceReport:
     return report
 
 
-def replay_plan(graph: TaskGraph, plan, n_workers: int = 1, check: bool = True):
+def replay_plan(
+    graph: TaskGraph, plan, n_workers: int = 1, check: bool = True,
+    executor_factory=ThreadedExecutor,
+):
     """Execute ``graph`` from a compiled plan, auditing it first.
 
     With ``check`` (default) a failed :func:`check_plan` raises
@@ -906,7 +919,7 @@ def replay_plan(graph: TaskGraph, plan, n_workers: int = 1, check: bool = True):
         report = check_plan(graph, plan)
         if not report.ok:
             raise RaceError(report)
-    return ThreadedExecutor(n_workers).run(graph, plan=plan)
+    return executor_factory(n_workers).run(graph, plan=plan)
 
 
 def plan_equivalence_check(
@@ -914,6 +927,7 @@ def plan_equivalence_check(
     *,
     n_workers: int = 1,
     reference_scheduler: str = "fifo",
+    executor_factory=ThreadedExecutor,
 ) -> List[str]:
     """Compiled-plan replay vs a dynamic schedule, compared bitwise.
 
@@ -921,7 +935,8 @@ def plan_equivalence_check(
     reference dynamically and the second build from a freshly compiled
     plan, and returns the names of arrays whose bits differ (empty list =
     equivalent) — the compiled-path counterpart of
-    :func:`fuzz_equivalence_sweep`.
+    :func:`fuzz_equivalence_sweep`.  The reference leg always runs
+    threaded; the replay leg runs on ``executor_factory``.
     """
     # Late import: repro.compile sits above the runtime in the layering.
     from repro.compile import compile_graph
@@ -934,7 +949,8 @@ def plan_equivalence_check(
 
     result = make_build()
     plan = compile_graph(result.graph, n_workers=n_workers)
-    replay_plan(result.graph, plan, n_workers=n_workers)
+    replay_plan(result.graph, plan, n_workers=n_workers,
+                executor_factory=executor_factory)
     got = _result_fingerprint(result)
     bad = sorted(name for name in expected if got.get(name) != expected[name])
     if set(got) != set(expected):

@@ -16,6 +16,11 @@ runs on one of two substrates:
 * ``executor="threaded"`` — functional graphs with real NumPy payloads on
   the :class:`~repro.runtime.executor.ThreadedExecutor`; service time is
   measured wall time and logits are returned.
+* ``executor="process"`` — the same functional path on the
+  :class:`~repro.runtime.mpexec.MultiprocessExecutor` (pinned worker
+  processes over shared memory; docs/EXECUTORS.md).  Bitwise identical to
+  ``threaded``, including compiled-plan replay for warm shapes — the
+  engine code below is substrate-blind between the two.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ import numpy as np
 
 from repro.compile import PlanCache, compile_graph
 from repro.config import ExecutionConfig, resolve_engine_config
-from repro.core.bpar import default_executor
+from repro.core.bpar import resolve_executor
 from repro.core.graph_builder import build_brnn_graph, split_batch
 from repro.models.params import BRNNParams
 from repro.models.spec import BRNNSpec
@@ -38,7 +43,7 @@ from repro.serve.batcher import Batch
 from repro.simarch.machine import MachineSpec
 from repro.simarch.presets import xeon_8160_2s
 
-EXECUTORS = ("sim", "threaded")
+EXECUTORS = ("sim", "threaded", "process")
 
 #: serving defaults under both the ``config=`` and legacy-kwargs paths:
 #: deterministic simulated substrate, fused projection resolved per mode
@@ -68,8 +73,9 @@ class InferenceEngine:
         keyword arguments below keep working through the same shim as the
         training engines, emitting a :class:`DeprecationWarning`.
     executor:
-        ``"sim"`` (deterministic simulated machine) or ``"threaded"``
-        (real worker threads, real numerics).
+        ``"sim"`` (deterministic simulated machine), ``"threaded"`` (real
+        worker threads, real numerics) or ``"process"`` (pinned worker
+        processes over shared memory, real numerics past the GIL).
     mbs:
         Data-parallel chunk count per batch (clamped to the batch size),
         the paper's hybrid-parallelism knob — larger batches need ``mbs>1``
@@ -158,7 +164,9 @@ class InferenceEngine:
             self.params = (
                 params if params is not None else BRNNParams.initialize(spec, cfg.seed)
             )
-            self._threaded = default_executor(cfg)
+            # "threaded" or "process": both run functional graphs through
+            # the same Executor protocol; everything below is shared.
+            self._threaded = resolve_executor(cfg.replace(executor=name))
         self.validate_dependencies = validate_dependencies
         self.compile = cfg.compile
         if cfg.compile != "off":

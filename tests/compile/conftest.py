@@ -1,54 +1,20 @@
-"""Shared builders for the compile-subsystem tests."""
+"""Shared builders for the compile-subsystem tests.
 
-import numpy as np
+The functional builder and the tiny spec live in ``tests/conftest.py``
+(they are shared with the cross-executor conformance sweeps); this module
+re-exports them under their historical names and adds the cost-only
+builder the structural compile tests use.
+"""
+
 import pytest
 
 from repro.core.graph_builder import build_brnn_graph
-from repro.models.params import BRNNParams
-from tests.conftest import small_spec
-
-SEQ_LEN = 4
-BATCH = 4
-
-
-def tiny_spec(cell="lstm", head="many_to_one"):
-    return small_spec(
-        cell=cell, head=head, num_layers=2, hidden_size=4, input_size=5, num_classes=3
-    )
-
-
-def build_functional(
-    cell="lstm",
-    head="many_to_one",
-    training=True,
-    mbs=2,
-    fused="off",
-    proj_block=None,
-    fusion="gates",
-    wavefront_tile=None,
-    seed=5,
-):
-    """A freshly built functional graph from deterministic state."""
-    spec = tiny_spec(cell, head)
-    rng = np.random.default_rng(seed)
-    x = rng.standard_normal((SEQ_LEN, BATCH, spec.input_size)).astype(spec.dtype)
-    if spec.head == "many_to_one":
-        labels = rng.integers(0, spec.num_classes, size=BATCH)
-    else:
-        labels = rng.integers(0, spec.num_classes, size=(SEQ_LEN, BATCH))
-    return build_brnn_graph(
-        spec,
-        x=x,
-        labels=labels if training else None,
-        params=BRNNParams.initialize(spec, seed=2),
-        training=training,
-        mbs=mbs,
-        lr=0.05,
-        fused_input_projection=fused,
-        proj_block=proj_block,
-        fusion=fusion,
-        wavefront_tile=wavefront_tile,
-    )
+from tests.conftest import (  # noqa: F401  (re-exported builder API)
+    CONF_BATCH as BATCH,
+    CONF_SEQ_LEN as SEQ_LEN,
+    build_functional,
+    conformance_spec as tiny_spec,
+)
 
 
 def build_cost_only(seq_len=6, batch=4, mbs=2, training=False, fused="on"):

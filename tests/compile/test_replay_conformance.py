@@ -13,21 +13,7 @@ release order shows up as diverging bits under the 2-worker replay.
 import pytest
 
 from repro.runtime.racecheck import plan_equivalence_check
-from tests.compile.conftest import build_functional
-
-# (fused_input_projection, proj_block): off, per-step blocks, a mid-size
-# block, and a block larger than the sequence (clamps to proj_block=T)
-PROJ_CONFIGS = [("off", None), ("on", 1), ("on", 2), ("on", 16)]
-
-# (fusion, wavefront_tile): the non-default rungs of the fusion ladder,
-# wavefront at per-step tiles, a mid-size tile, and ≥T (one tile per chain)
-FUSION_CONFIGS = [
-    ("off", None),
-    ("gates+act", None),
-    ("wavefront", 1),
-    ("wavefront", 2),
-    ("wavefront", 16),
-]
+from tests.conftest import FUSION_CONFIGS, PROJ_CONFIGS, build_functional
 
 
 @pytest.mark.parametrize("cell", ["lstm", "gru"])

@@ -1,8 +1,20 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Besides the tiny-model builders, this module is the single home of the
+cross-executor conformance machinery: the builder configuration matrices
+(``PROJ_CONFIGS``/``FUSION_CONFIGS``) that the racecheck and replay
+conformance sweeps share, and the executor matrix
+(``executor_matrix``/``make_executor``) that parametrizes conformance
+tests over every substrate — threaded, simulated (functional payload
+mode), and multiprocess.  The process leg of the *full* matrix carries
+``@pytest.mark.slow_mp`` (forking per case is expensive); a reduced
+process subset stays in tier-1 via ``EXECUTORS_TIER1``.
+"""
 
 import numpy as np
 import pytest
 
+from repro.core.graph_builder import build_brnn_graph
 from repro.models.params import BRNNParams
 from repro.models.spec import BRNNSpec
 
@@ -52,3 +64,121 @@ def batch(spec):
 @pytest.fixture
 def params(spec):
     return BRNNParams.initialize(spec, seed=3)
+
+
+# ---------------------------------------------------------------------------
+# Cross-executor conformance machinery (docs/EXECUTORS.md, docs/TESTING.md)
+# ---------------------------------------------------------------------------
+
+#: sequence length / batch of the conformance-sweep builds
+CONF_SEQ_LEN = 4
+CONF_BATCH = 4
+
+#: (fused_input_projection, proj_block): off, per-step blocks, a mid-size
+#: block, and a block larger than the sequence (clamps to proj_block=T)
+PROJ_CONFIGS = [("off", None), ("on", 1), ("on", 2), ("on", 16)]
+
+#: (fusion, wavefront_tile): the non-default rungs of the fusion ladder,
+#: wavefront at per-step tiles, a mid-size tile, and ≥T (one tile per chain)
+FUSION_CONFIGS = [
+    ("off", None),
+    ("gates+act", None),
+    ("wavefront", 1),
+    ("wavefront", 2),
+    ("wavefront", 16),
+]
+
+
+def conformance_spec(cell="lstm", head="many_to_one"):
+    """The 2-layer tiny spec every conformance sweep builds from."""
+    return small_spec(
+        cell=cell, head=head, num_layers=2, hidden_size=4, input_size=5, num_classes=3
+    )
+
+
+def build_functional(
+    cell="lstm",
+    head="many_to_one",
+    training=True,
+    mbs=2,
+    fused="off",
+    proj_block=None,
+    fusion="gates",
+    wavefront_tile=None,
+    seed=5,
+):
+    """A freshly built functional graph from deterministic state.
+
+    Every call with the same arguments starts from bit-identical inputs
+    and parameters, so two builds executed on different substrates must
+    finish with bit-identical results.
+    """
+    spec = conformance_spec(cell, head)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((CONF_SEQ_LEN, CONF_BATCH, spec.input_size)).astype(
+        spec.dtype
+    )
+    if spec.head == "many_to_one":
+        labels = rng.integers(0, spec.num_classes, size=CONF_BATCH)
+    else:
+        labels = rng.integers(0, spec.num_classes, size=(CONF_SEQ_LEN, CONF_BATCH))
+    return build_brnn_graph(
+        spec,
+        x=x,
+        labels=labels if training else None,
+        params=BRNNParams.initialize(spec, seed=2),
+        training=training,
+        mbs=mbs,
+        lr=0.05,
+        fused_input_projection=fused,
+        proj_block=proj_block,
+        fusion=fusion,
+        wavefront_tile=wavefront_tile,
+    )
+
+
+#: every functional substrate; ``process`` marked slow_mp (one fork set per
+#: case makes the full matrix expensive — ``make smoke-mp`` runs it)
+EXECUTOR_MATRIX = [
+    pytest.param("threaded", id="threaded"),
+    pytest.param("sim", id="sim"),
+    pytest.param("process", id="process", marks=pytest.mark.slow_mp),
+]
+
+#: the reduced cross-executor set that stays in tier-1: the process leg
+#: still runs, but only against the reduced config subset
+EXECUTORS_TIER1 = ["threaded", "sim", "process"]
+
+
+def make_executor(name, n_workers=2, scheduler="fifo"):
+    """A fresh functional executor of substrate ``name``.
+
+    ``sim`` returns the modelled machine with ``execute_payloads=True``,
+    so all three substrates run the real numerics and can be compared
+    bitwise.
+    """
+    if name == "threaded":
+        from repro.runtime.executor import ThreadedExecutor
+
+        return ThreadedExecutor(n_workers, scheduler)
+    if name == "process":
+        from repro.runtime.mpexec import MultiprocessExecutor
+
+        return MultiprocessExecutor(n_workers, scheduler)
+    if name == "sim":
+        from repro.runtime.simexec import SimulatedExecutor
+        from repro.simarch.presets import xeon_8160_2s
+
+        return SimulatedExecutor(
+            xeon_8160_2s(),
+            n_cores=n_workers,
+            scheduler=scheduler,
+            execute_payloads=True,
+        )
+    raise ValueError(f"unknown executor substrate {name!r}")
+
+
+@pytest.fixture(params=EXECUTOR_MATRIX)
+def executor_matrix(request):
+    """Parametrizes a test over every functional substrate by name."""
+    return request.param

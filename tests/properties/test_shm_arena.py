@@ -1,0 +1,234 @@
+"""Property-based tests of the shared-memory arena (hypothesis).
+
+The allocator invariants the multiprocess executor's correctness rests
+on: live blocks never overlap and never escape the segment; freeing
+coalesces so the arena never fragments permanently; arrays round-trip
+dtype, shape and bytes exactly — from the creating process and from a
+forked child mapping the same name via :meth:`ShmArena.attach`; and the
+``/dev/shm`` name is always removed, on clean exit and on exception
+alike.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.shm import (
+    ALIGNMENT,
+    ArenaExhausted,
+    ArrayDesc,
+    ShmArena,
+    ShmBlock,
+    list_segments,
+)
+
+CAPACITY = 1 << 14  # 16 KiB — small enough that exhaustion is reachable
+
+
+@st.composite
+def alloc_free_program(draw):
+    """A random interleaving of alloc/free operations.
+
+    Each element is either a request size (alloc) or the index of a
+    previously issued alloc to free (encoded negative, 1-based).
+    """
+    ops = []
+    n_allocated = 0
+    for _ in range(draw(st.integers(1, 40))):
+        if n_allocated and draw(st.booleans()):
+            ops.append(-draw(st.integers(1, n_allocated)))
+        else:
+            ops.append(draw(st.integers(1, CAPACITY // 4)))
+            n_allocated += 1
+    return ops
+
+
+@given(alloc_free_program())
+@settings(max_examples=60, deadline=None)
+def test_live_blocks_never_overlap_and_stay_in_bounds(program):
+    with ShmArena(CAPACITY) as arena:
+        issued = []  # all blocks ever allocated, None once freed
+        for op in program:
+            if op < 0:
+                idx = -op - 1
+                if issued[idx] is None:
+                    continue
+                arena.free(issued[idx])
+                issued[idx] = None
+            else:
+                try:
+                    issued.append(arena.alloc(op))
+                except ArenaExhausted:
+                    issued.append(None)
+            live = sorted(
+                (b.offset, b.offset + max(1, b.nbytes)) for b in issued if b
+            )
+            for (s0, e0), (s1, e1) in zip(live, live[1:]):
+                assert e0 <= s1, f"blocks overlap: [{s0},{e0}) and [{s1},{e1})"
+            for s, e in live:
+                assert 0 <= s and e <= arena.capacity
+                assert s % ALIGNMENT == 0
+
+
+@given(alloc_free_program())
+@settings(max_examples=40, deadline=None)
+def test_freeing_everything_restores_full_capacity(program):
+    with ShmArena(CAPACITY) as arena:
+        issued = []
+        for op in program:
+            if op < 0:
+                idx = -op - 1
+                if issued[idx] is not None:
+                    arena.free(issued[idx])
+                    issued[idx] = None
+            else:
+                try:
+                    issued.append(arena.alloc(op))
+                except ArenaExhausted:
+                    issued.append(None)
+        for b in issued:
+            if b is not None:
+                arena.free(b)
+        assert arena.allocated_bytes == 0
+        # Coalescing must leave one maximal free range: the next alloc
+        # can take the whole segment again.
+        whole = arena.alloc(arena.capacity)
+        arena.free(whole)
+
+
+@given(
+    dtype=st.sampled_from(["<f4", "<f8", "<i4", "<i8", "|u1"]),
+    shape=st.lists(st.integers(1, 6), min_size=0, max_size=3),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_put_get_array_roundtrips_dtype_shape_bytes(dtype, shape, seed):
+    rng = np.random.default_rng(seed)
+    arr = (rng.standard_normal(shape) * 100).astype(np.dtype(dtype))
+    with ShmArena(CAPACITY) as arena:
+        desc = arena.put_array(arr)
+        out = arena.get_array(desc)
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        assert out.tobytes() == arr.tobytes()
+        # a second copy through pickle transport round-trips too
+        block = arena.put_pickle(arr)
+        out2 = arena.get_pickle(block)
+        assert out2.dtype == arr.dtype and out2.tobytes() == arr.tobytes()
+
+
+def test_double_free_raises():
+    with ShmArena(CAPACITY) as arena:
+        block = arena.alloc(100)
+        arena.free(block)
+        with pytest.raises(ValueError, match="double free|unknown block"):
+            arena.free(block)
+
+
+def test_foreign_block_rejected():
+    with ShmArena(CAPACITY) as a, ShmArena(CAPACITY) as b:
+        block = a.alloc(64)
+        with pytest.raises(ValueError, match="belongs to segment"):
+            b.free(block)
+
+
+def test_exhaustion_raises_and_leaves_state_consistent():
+    with ShmArena(CAPACITY) as arena:
+        arena.alloc(CAPACITY)
+        with pytest.raises(ArenaExhausted):
+            arena.alloc(1)
+        assert arena.allocated_bytes == arena.capacity
+
+
+# ---------------------------------------------------------------------------
+# Name lifecycle: no /dev/shm leaks, ever
+# ---------------------------------------------------------------------------
+
+
+def test_context_manager_unlinks_on_success_and_exception():
+    before = list_segments()
+    with ShmArena(CAPACITY) as arena:
+        name = arena.name
+        assert name in list_segments()
+    assert name not in list_segments()
+
+    with pytest.raises(RuntimeError, match="boom"):
+        with ShmArena(CAPACITY) as arena:
+            name = arena.name
+            raise RuntimeError("boom")
+    assert name not in list_segments()
+    assert list_segments() == before
+
+
+def test_destroy_is_idempotent_and_survives_live_views():
+    arena = ShmArena(CAPACITY)
+    desc = arena.put_array(np.arange(8, dtype=np.float64))
+    copied = arena.get_array(desc)  # safe: copies out before destroy
+    view = arena.get_array(desc, copy=False)  # alias into the mapping
+    # destroy must not raise even while a zero-copy view is alive (the
+    # view itself becomes invalid — see ShmArena.close); twice is a no-op
+    arena.destroy()
+    arena.destroy()
+    assert arena.name not in list_segments()
+    assert copied[3] == 3.0
+    del view
+
+
+# ---------------------------------------------------------------------------
+# Child-process mapping via attach()
+# ---------------------------------------------------------------------------
+
+
+@given(
+    dtype=st.sampled_from(["<f4", "<i8"]),
+    shape=st.lists(st.integers(1, 5), min_size=1, max_size=2),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=8, deadline=None)
+def test_child_process_sees_parent_writes_and_vice_versa(dtype, shape, seed):
+    rng = np.random.default_rng(seed)
+    arr = (rng.standard_normal(shape) * 10).astype(np.dtype(dtype))
+    with ShmArena(CAPACITY) as arena:
+        desc = arena.put_array(arr)
+        reply = arena.alloc(max(1, arr.nbytes))
+
+        r, w = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child: attach by name, read, write back doubled
+            status = 1
+            try:
+                os.close(r)
+                child = ShmArena.attach(arena.name)
+                got = child.get_array(desc)
+                ok = got.tobytes() == arr.tobytes() and got.dtype == arr.dtype
+                doubled = (got * 2).astype(got.dtype)
+                child.view_array(ArrayDesc(reply, desc.dtype, desc.shape))[...] = (
+                    doubled
+                )
+                child.close()
+                os.write(w, b"1" if ok else b"0")
+                status = 0
+            finally:
+                os._exit(status)
+        os.close(w)
+        try:
+            verdict = os.read(r, 1)
+        finally:
+            os.close(r)
+            os.waitpid(pid, 0)
+        assert verdict == b"1", "child saw different bytes than the parent wrote"
+        echoed = arena.get_array(ArrayDesc(reply, desc.dtype, desc.shape))
+        expected = (arr * 2).astype(arr.dtype)
+        assert echoed.tobytes() == expected.tobytes()
+
+
+def test_attach_does_not_own_the_name():
+    with ShmArena(CAPACITY) as arena:
+        other = ShmArena.attach(arena.name)
+        other.unlink()  # non-owner: must be a no-op
+        assert arena.name in list_segments()
+        other.close()
+    assert arena.name not in list_segments()

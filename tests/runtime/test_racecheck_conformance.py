@@ -13,60 +13,18 @@ sequence) — and, in a second sweep, × the fusion-policy ladder
 (``off``/``gates+act``/``wavefront`` at tile sizes 1, mid, and ≥T).
 """
 
-import numpy as np
 import pytest
 
-from repro.core.graph_builder import build_brnn_graph
-from repro.models.params import BRNNParams
 from repro.runtime.racecheck import check_build
-from tests.conftest import small_spec
-
-SEQ_LEN = 4
-BATCH = 4
-
-# (fused_input_projection, proj_block): off, per-step blocks, a mid-size
-# block, and a block larger than the sequence (clamps to proj_block=T)
-PROJ_CONFIGS = [("off", None), ("on", 1), ("on", 2), ("on", 16)]
-
-# (fusion, wavefront_tile): the non-default rungs of the fusion ladder,
-# wavefront at per-step tiles, a mid-size tile, and ≥T (one tile per chain)
-FUSION_CONFIGS = [
-    ("off", None),
-    ("gates+act", None),
-    ("wavefront", 1),
-    ("wavefront", 2),
-    ("wavefront", 16),
-]
-
-
-def _tiny_spec(cell, head):
-    return small_spec(
-        cell=cell, head=head, num_layers=2, hidden_size=4, input_size=5, num_classes=3
-    )
+from tests.conftest import FUSION_CONFIGS, PROJ_CONFIGS, build_functional
 
 
 def _build(cell, head, training, mbs, fused, proj_block,
            fusion="gates", wavefront_tile=None):
-    spec = _tiny_spec(cell, head)
-    rng = np.random.default_rng(5)
-    x = rng.standard_normal((SEQ_LEN, BATCH, spec.input_size)).astype(spec.dtype)
-    if spec.head == "many_to_one":
-        labels = rng.integers(0, spec.num_classes, size=BATCH)
-    else:
-        labels = rng.integers(0, spec.num_classes, size=(SEQ_LEN, BATCH))
-    params = BRNNParams.initialize(spec, seed=2)
-    return build_brnn_graph(
-        spec,
-        x=x,
-        labels=labels if training else None,
-        params=params,
-        training=training,
-        mbs=mbs,
-        lr=0.05,
-        fused_input_projection=fused,
-        proj_block=proj_block,
-        fusion=fusion,
-        wavefront_tile=wavefront_tile,
+    return build_functional(
+        cell=cell, head=head, training=training, mbs=mbs,
+        fused=fused, proj_block=proj_block,
+        fusion=fusion, wavefront_tile=wavefront_tile,
     )
 
 

@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Gate a ``BENCH_multiproc.json`` executor-substrate report.
+
+Used by the CI smoke target (``make smoke-mp``).  The report compares the
+multiprocess executor against the threaded executor in two regimes
+(docs/EXECUTORS.md):
+
+* unconditional invariants — any recording, any host:
+
+  - timing blocks for both substrates in both regimes
+    (``gil_bound``/``default``);
+  - ``bitwise_identical`` is ``true`` (the substrates computed the same
+    bits at paper scale);
+  - ``leaked_segments`` is ``0`` (no ``/dev/shm`` entry survived the
+    run — the crash-safe cleanup epilogue held).
+
+* speed-up bars — enforced **only when** ``results.host_cores >= 2``,
+  because parallel speed-up cannot exist on a single core; a waived bar
+  prints a notice rather than silently passing:
+
+  - ``regimes.gil_bound.speedup_median`` ≥ ``--min-gil-speedup``
+    (default 1.3): worker processes beat the GIL-serialised threads on
+    the fully unfused, pointwise-heavy configuration;
+  - ``regimes.default.speedup_median`` ≥ ``--min-default-speedup``
+    (default 0.9): shared-memory transport costs ≤10 % where BLAS
+    already parallelises the threaded executor.
+
+    python tools/check_multiproc_report.py BENCH_multiproc.json [...]
+    python tools/check_multiproc_report.py --min-gil-speedup 1.3 report.json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _reportlib import (
+    check_envelope,
+    check_timing_block,
+    finish,
+    lookup,
+    load_report,
+)
+
+DEFAULT_MIN_GIL_SPEEDUP = 1.3
+DEFAULT_MIN_DEFAULT_SPEEDUP = 0.9
+
+#: must match repro.harness.mpbench.REGIMES names
+REGIMES = ("gil_bound", "default")
+
+
+def check_regime(regimes, name, label, errors):
+    block = regimes.get(name)
+    if not isinstance(block, dict):
+        errors.append(f"{label}: missing regime block {name!r}")
+        return None
+    rlabel = f"{label}.{name}"
+    for substrate in ("threaded", "process"):
+        timing = block.get(substrate)
+        if not isinstance(timing, dict):
+            errors.append(f"{rlabel}: missing {substrate!r} timing block")
+            continue
+        check_timing_block(timing, f"{rlabel}.{substrate}", errors)
+    speedup = block.get("speedup_median")
+    if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+        errors.append(f"{rlabel}: missing/mistyped 'speedup_median'")
+        return None
+    if block.get("bitwise_identical") is not True:
+        errors.append(
+            f"{rlabel}: bitwise_identical is not true — the process "
+            "executor computed different bits than the threaded executor"
+        )
+    return speedup
+
+
+def check_report(report, label, errors, min_gil, min_default):
+    check_envelope(report, label, errors, bench="multiproc")
+    results = report.get("results")
+    if not isinstance(results, dict):
+        errors.append(f"{label}: missing/invalid 'results' block")
+        return
+    regimes = results.get("regimes")
+    if not isinstance(regimes, dict):
+        errors.append(f"{label}: missing/invalid 'results.regimes' block")
+        return
+    speedups = {
+        name: check_regime(regimes, name, f"{label}.regimes", errors)
+        for name in REGIMES
+    }
+    if results.get("bitwise_identical") is not True:
+        errors.append(f"{label}: results.bitwise_identical is not true")
+    leaked = results.get("leaked_segments")
+    if leaked != 0:
+        errors.append(
+            f"{label}: leaked_segments is {leaked!r} — a /dev/shm segment "
+            "survived the run (guaranteed-cleanup invariant broken)"
+        )
+    host_cores = results.get("host_cores")
+    if not isinstance(host_cores, int) or isinstance(host_cores, bool):
+        errors.append(f"{label}: missing/mistyped 'results.host_cores'")
+        return
+    if host_cores < 2:
+        print(
+            f"{label}: NOTICE — recorded on a {host_cores}-core host; "
+            "speed-up bars waived (parallel speed-up is unmeasurable on "
+            "one core); schema, bitwise and leak invariants still gated",
+            file=sys.stderr,
+        )
+        return
+    bars = (
+        ("gil_bound", min_gil,
+         "worker processes no longer beat the GIL-serialised threads"),
+        ("default", min_default,
+         "shared-memory transport overhead exceeds the budget"),
+    )
+    for name, bar, meaning in bars:
+        s = speedups.get(name)
+        if s is None:
+            continue  # already reported
+        if s < bar:
+            errors.append(
+                f"{label}: regimes.{name}.speedup_median {s:.3f} below "
+                f"{bar} — {meaning}"
+            )
+
+
+def main(argv) -> int:
+    args = list(argv[1:])
+    min_gil = DEFAULT_MIN_GIL_SPEEDUP
+    min_default = DEFAULT_MIN_DEFAULT_SPEEDUP
+    for flag in ("--min-gil-speedup", "--min-default-speedup"):
+        if flag in args:
+            i = args.index(flag)
+            try:
+                value = float(args[i + 1])
+            except (IndexError, ValueError):
+                print(__doc__)
+                return 2
+            del args[i:i + 2]
+            if flag == "--min-gil-speedup":
+                min_gil = value
+            else:
+                min_default = value
+    if not args:
+        print(__doc__)
+        return 2
+    errors: list = []
+    for path in args:
+        check_report(load_report(path), path, errors, min_gil, min_default)
+    return finish(errors, [f"{path}: multiproc report OK" for path in args])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
