@@ -1,6 +1,7 @@
 # Convenience targets; CI (.github/workflows/ci.yml) runs `test`, `lint`,
 # `smoke-serving`, `smoke-fused`, `smoke-racecheck`, `smoke-analysis`,
-# `smoke-obs`, `smoke-compile`, `smoke-fusion` and `smoke-mp` on every push.
+# `smoke-obs`, `smoke-compile`, `smoke-fusion`, `smoke-mp` and
+# `smoke-verify` on every push.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -12,11 +13,12 @@ SMOKE_OBS_REPORT ?= /tmp/repro_obs_smoke.json
 SMOKE_COMPILE_REPORT ?= /tmp/repro_compile_smoke.json
 SMOKE_FUSION_REPORT ?= /tmp/repro_fusion_smoke.json
 SMOKE_MP_REPORT ?= /tmp/repro_mp_smoke.json
+SMOKE_VERIFY_CERT ?= /tmp/repro_verify_cert.json
 # CI runners are noisy shared tenants: the committed baseline records the
 # ≤2 % claim; the freshly-measured smoke run gets slack against tenancy.
 SMOKE_OBS_BUDGET ?= 1.10
 
-.PHONY: test lint smoke-serving smoke-fused smoke-racecheck smoke-analysis smoke-obs smoke-compile smoke-fusion smoke-mp bench fused-bench fusion-bench multiproc-bench serve-bench clean
+.PHONY: test lint smoke-serving smoke-fused smoke-racecheck smoke-analysis smoke-obs smoke-compile smoke-fusion smoke-mp smoke-verify bench fused-bench fusion-bench multiproc-bench serve-bench clean
 
 # tier-1: the full unit/integration/property suite (serving tests included)
 test:
@@ -131,6 +133,20 @@ smoke-mp:
 	$(PYTHON) tools/check_multiproc_report.py $(SMOKE_MP_REPORT)
 	$(PYTHON) tools/check_multiproc_report.py benchmarks/baselines/BENCH_multiproc.json
 
+# symbolic-verifier smoke: the affine-algebra units, the verifier's own
+# positive/negative/mutation tests and the adversarial edge-drop /
+# shrink / widen properties, then the full 96-family certificate
+# end-to-end through the real CLI (--strict: any uncertified family,
+# missed mutation, or dynamic cross-validation finding is nonzero),
+# then the standalone certificate gate
+smoke-verify:
+	$(PYTHON) -m pytest tests/analysis/test_symbolic.py \
+		tests/analysis/test_verify.py \
+		tests/properties/test_verify_properties.py -x -q
+	$(PYTHON) -m repro analyze --skip-graph --verify --strict \
+		--verify-output $(SMOKE_VERIFY_CERT)
+	$(PYTHON) tools/check_verify.py $(SMOKE_VERIFY_CERT)
+
 # regenerate every paper table/figure + the serving sweep (minutes)
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -157,4 +173,4 @@ serve-bench:
 clean:
 	rm -f $(SMOKE_REPORT) $(SMOKE_FUSED_REPORT) $(SMOKE_ANALYSIS_REPORT) \
 		$(SMOKE_OBS_REPORT) $(SMOKE_COMPILE_REPORT) $(SMOKE_FUSION_REPORT) \
-		$(SMOKE_MP_REPORT) serving_report.json
+		$(SMOKE_MP_REPORT) $(SMOKE_VERIFY_CERT) serving_report.json

@@ -509,7 +509,11 @@ def _cmd_analyze(args) -> int:
     The graph half runs on a *cost-only* build (graph structure is
     independent of hidden size, so even paper-scale configs lint in
     seconds); ``--lint [PATH]`` adds the AST pass over the source tree;
-    ``--skip-graph`` makes it lint-only.  Exit 1 on any finding.
+    ``--skip-graph`` makes it lint-only.  ``--verify [SCOPE]`` runs the
+    symbolic dependence verifier over the config-family matrix and
+    emits the ``repro.cert.v1`` certificate (``--verify-output``);
+    ``--strict`` makes an incomplete certificate exit nonzero.  Exit 1
+    on any graph/AST finding.
     """
     from repro.analysis.graphlint import lint_graph
     from repro.analysis.parallelism import analyze_graph
@@ -582,6 +586,47 @@ def _cmd_analyze(args) -> int:
             "n_findings": len(findings),
             "findings": [f.to_dict() for f in findings],
         }
+
+    if args.verify:
+        import json
+
+        from repro.analysis.verify import build_certificate, full_family_matrix
+
+        if args.verify not in ("full", "smoke"):
+            print(f"unknown --verify scope {args.verify!r} (full|smoke)",
+                  file=sys.stderr)
+            return 2
+        families = full_family_matrix()
+        if args.verify == "smoke":
+            families = families[::8]  # a 12-family diagonal of the matrix
+        cert = build_certificate(families, samples=args.verify_samples)
+        cross = cert["cross_validation"]
+        print(
+            f"verify: {cert['n_certified']}/{cert['n_families']} families "
+            f"certified, mutations "
+            f"{'all detected' if cert['mutations']['all_detected'] else 'MISSED'}, "
+            f"cross-validation {cross['samples']} configs "
+            f"{'clean' if cross['ok'] else 'FINDINGS'}"
+        )
+        for entry in cert["families"]:
+            if not entry["ok"]:
+                print(f"  UNCERTIFIED {entry['label']}")
+                for f in entry["findings"][:4]:
+                    print(f"    {f['kind']}: {f['task']} {f['region']} {f['detail']}")
+        results["verify"] = {
+            "scope": args.verify,
+            "n_families": cert["n_families"],
+            "n_certified": cert["n_certified"],
+            "mutations_detected": cert["mutations"]["all_detected"],
+            "cross_validation_ok": cross["ok"],
+            "ok": cert["ok"],
+        }
+        if args.verify_output:
+            with open(args.verify_output, "w") as fh:
+                fh.write(json.dumps(cert, indent=2) + "\n")
+            print(f"# certificate written to {args.verify_output}", file=sys.stderr)
+        if args.strict:
+            failed |= not cert["ok"]
 
     if args.output:
         write_bench_json(args.output, "graph_analysis", config, results)
@@ -742,6 +787,21 @@ def _add_analyze_args(parser: argparse.ArgumentParser) -> None:
                    help="analyze the per-layer-barrier (framework) graph variant")
     g.add_argument("--serialize-chunks", action="store_true",
                    help="analyze the B-Seq (chunk-serialised) graph variant")
+    g.add_argument("--verify", nargs="?", const="full", default=None,
+                   metavar="SCOPE",
+                   help="run the symbolic dependence verifier: SCOPE 'full' "
+                        "(default) certifies the whole 96-family matrix, "
+                        "'smoke' a 12-family diagonal")
+    g.add_argument("--verify-samples", type=int, default=8,
+                   help="concrete configs the certificate cross-validates "
+                        "against the dynamic race checker (default 8)")
+    g.add_argument("--verify-output", type=str, default=None, metavar="PATH",
+                   help="write the repro.cert.v1 certificate JSON to PATH "
+                        "(the input of tools/check_verify.py)")
+    g.add_argument("--strict", action="store_true",
+                   help="with --verify: exit nonzero unless every family "
+                        "certifies, every mutation is detected, and "
+                        "cross-validation is clean")
 
 
 def _add_compile_bench_args(parser: argparse.ArgumentParser) -> None:

@@ -2,8 +2,9 @@
 
 Two halves: trace analyses over *executed* graphs (§IV-B granularity and
 working-set studies), and static analyses over *declared* graphs — the
-structural linter, the over-declaration/parallelism analyzer, and the
-AST payload lint — which need no execution at all.
+structural linter, the over-declaration/parallelism analyzer, the AST
+payload lint, and the symbolic dependence verifier — which need no
+execution at all.
 """
 
 from repro.analysis.granularity import GranularityStats, granularity_stats
@@ -16,6 +17,18 @@ from repro.analysis.parallelism import (
 )
 from repro.analysis.pylint import PyLintFinding, lint_file, lint_paths, lint_source
 from repro.analysis.report import format_table, speedup
+from repro.analysis.verify import (
+    CERT_FORMAT,
+    Family,
+    VerifyFinding,
+    VerifyReport,
+    build_certificate,
+    cross_validate,
+    full_family_matrix,
+    verify_build,
+    verify_family,
+    verify_mutations,
+)
 
 __all__ = [
     "GranularityStats",
@@ -34,4 +47,14 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "CERT_FORMAT",
+    "Family",
+    "VerifyFinding",
+    "VerifyReport",
+    "build_certificate",
+    "cross_validate",
+    "full_family_matrix",
+    "verify_build",
+    "verify_family",
+    "verify_mutations",
 ]

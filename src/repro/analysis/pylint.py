@@ -30,6 +30,22 @@ float32 zone.  This pass encodes those project rules:
     A payload closure mutates (``+=``, slice/index assignment) storage
     whose region family the build site declares only as ``in``.
 
+``fork-unsafe-capture``
+    A ``_fn_*`` payload closure captures state that does not survive the
+    fork/pickle boundary the multiprocess executor pushes payloads
+    across: a lock/semaphore/condition bound in the factory, an open
+    file handle, a generator object (both pickle-hostile), or the
+    ``np.random`` *global* generator (forked children inherit identical
+    RNG state, so "random" draws repeat across workers — use a
+    ``default_rng`` instance threaded through the closure instead).
+
+``shm-use-after-close``
+    A zero-copy :class:`~repro.runtime.shm.ShmArena` view
+    (``view_array`` / ``get_array(..., copy=False)``) is dereferenced
+    after the arena's ``close()``/``destroy()`` in the same function —
+    the unmap can succeed underneath the view, turning the access into
+    undefined behaviour (see the lifecycle note in ``runtime/shm.py``).
+
 Waivers: append ``# lint: waive <rule>[, <rule>...]`` (or ``waive all``)
 on the finding's line or the line above.
 
@@ -56,6 +72,8 @@ RULES = (
     "float64-creep",
     "undeclared-closure-capture",
     "inplace-mutation-in-only",
+    "fork-unsafe-capture",
+    "shm-use-after-close",
 )
 
 _BROAD_EXCEPTIONS = {"Exception", "BaseException"}
@@ -520,6 +538,274 @@ def _closure_findings(tree: ast.AST, path: str) -> List[PyLintFinding]:
     return findings
 
 
+# -- fork/pickle-safety of payload closures -------------------------------
+
+_LOCK_CONSTRUCTORS = {
+    "Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition", "Event",
+    "Barrier",
+}
+#: ``np.random`` attributes that are *not* the shared global generator
+_SAFE_NP_RANDOM = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+                   "PCG64", "Philox", "SFC64"}
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a ``Name``/``Attribute`` chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _fork_unsafe_bindings(factory: ast.FunctionDef) -> Dict[str, str]:
+    """``{name: hazard}`` for factory-level bindings a payload must not
+    capture: locks, open file handles, and generator objects."""
+    hazards: Dict[str, str] = {}
+    payload_ids = {
+        id(n)
+        for stmt in factory.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for n in ast.walk(stmt)
+    }
+    for node in ast.walk(factory):
+        if id(node) in payload_ids:
+            continue
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(
+            node.targets[0], ast.Name
+        ):
+            name, value = node.targets[0].id, node.value
+            if isinstance(value, ast.GeneratorExp):
+                hazards[name] = "a generator object"
+            elif isinstance(value, ast.Call):
+                callee = _terminal_name(value.func)
+                if callee in _LOCK_CONSTRUCTORS:
+                    hazards[name] = f"a {callee.lower()}"
+                elif callee == "open":
+                    hazards[name] = "an open file handle"
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                if (
+                    item.optional_vars is not None
+                    and isinstance(item.optional_vars, ast.Name)
+                    and isinstance(item.context_expr, ast.Call)
+                    and _terminal_name(item.context_expr.func) == "open"
+                ):
+                    hazards[item.optional_vars.id] = "an open file handle"
+    return hazards
+
+
+def _np_random_global(node: ast.AST) -> Optional[str]:
+    """``"np.random.<fn>"`` when ``node`` touches the global generator."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr == "random"
+        and isinstance(node.value.value, ast.Name)
+        and node.value.value.id in ("np", "numpy")
+        and node.attr not in _SAFE_NP_RANDOM
+    ):
+        return f"{node.value.value.id}.random.{node.attr}"
+    return None
+
+
+def _fork_unsafe_findings(tree: ast.AST, path: str) -> List[PyLintFinding]:
+    findings: List[PyLintFinding] = []
+    for factory in ast.walk(tree):
+        if not isinstance(factory, ast.FunctionDef) or not factory.name.startswith(
+            "_fn_"
+        ):
+            continue
+        hazards = _fork_unsafe_bindings(factory)
+        for fn in factory.body:
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            reported: Set[str] = set()
+            for node in ast.walk(fn):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in hazards
+                    and node.id not in reported
+                ):
+                    reported.add(node.id)
+                    findings.append(
+                        PyLintFinding(
+                            rule="fork-unsafe-capture",
+                            path=path,
+                            line=node.lineno,
+                            message=f"payload closure in `{factory.name}` captures "
+                            f"`{node.id}` ({hazards[node.id]}) — it cannot cross "
+                            "the multiprocess executor's fork/pickle boundary",
+                        )
+                    )
+                    continue
+                hit = _np_random_global(node)
+                if hit and hit not in reported:
+                    reported.add(hit)
+                    findings.append(
+                        PyLintFinding(
+                            rule="fork-unsafe-capture",
+                            path=path,
+                            line=node.lineno,
+                            message=f"payload closure in `{factory.name}` uses "
+                            f"`{hit}` — forked workers inherit identical global "
+                            "RNG state; thread a `default_rng` instance through "
+                            "the closure instead",
+                        )
+                    )
+    return findings
+
+
+# -- shm view lifetime -----------------------------------------------------
+
+_ARENA_CLOSERS = {"close", "destroy"}
+
+
+def _receiver_name(func: ast.AST) -> Optional[str]:
+    """Dotted receiver of a method call (``self._arena.close`` → the
+    ``self._arena`` part), or None for non-attribute calls."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    parts = []
+    node = func.value
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_view_call(value: ast.AST) -> Optional[str]:
+    """Arena receiver when ``value`` is a zero-copy view construction."""
+    if not isinstance(value, ast.Call):
+        return None
+    callee = _terminal_name(value.func)
+    if callee == "view_array":
+        return _receiver_name(value.func)
+    if callee == "get_array":
+        for kw in value.keywords:
+            if (
+                kw.arg == "copy"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+            ):
+                return _receiver_name(value.func)
+    return None
+
+
+def _is_arena_ctor(value: ast.AST) -> bool:
+    return isinstance(value, ast.Call) and _terminal_name(value.func) in (
+        "ShmArena",
+        "attach",
+    ) and (
+        _terminal_name(value.func) == "ShmArena"
+        or (
+            isinstance(value.func, ast.Attribute)
+            and _terminal_name(value.func.value) == "ShmArena"
+        )
+    )
+
+
+def _linear_events(body: Sequence[ast.stmt]):
+    """Statements of a function body flattened in source order.
+
+    Compound statements contribute their header expression, then their
+    nested bodies, then (for ``with``) a ``("with_end", stmt)`` marker so
+    the lifetime scan can model ``__exit__``.  Nested function/class
+    definitions are separate scopes and are skipped.
+    """
+    for stmt in body:
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                yield item.context_expr
+            yield from _linear_events(stmt.body)
+            yield ("with_end", stmt)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            yield stmt.test
+            yield from _linear_events(stmt.body)
+            yield from _linear_events(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            yield stmt.iter
+            yield from _linear_events(stmt.body)
+            yield from _linear_events(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            yield from _linear_events(stmt.body)
+            for handler in stmt.handlers:
+                yield from _linear_events(handler.body)
+            yield from _linear_events(stmt.orelse)
+            yield from _linear_events(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        else:
+            yield stmt
+
+
+def _shm_findings(tree: ast.AST, path: str) -> List[PyLintFinding]:
+    """Linear per-function scan for view dereference after arena close."""
+    findings: List[PyLintFinding] = []
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        arenas: Set[str] = set()
+        views: Dict[str, str] = {}  # view var -> arena receiver
+        closed: Dict[str, int] = {}  # arena receiver -> close lineno
+        for event in _linear_events(fn.body):
+            if isinstance(event, tuple):
+                for item in event[1].items:
+                    if (
+                        isinstance(item.optional_vars, ast.Name)
+                        and _is_arena_ctor(item.context_expr)
+                    ):
+                        closed[item.optional_vars.id] = (
+                            event[1].end_lineno or event[1].lineno
+                        )
+                continue
+            for node in ast.walk(event):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in views
+                    and views[node.id] in closed
+                ):
+                    arena = views[node.id]
+                    findings.append(
+                        PyLintFinding(
+                            rule="shm-use-after-close",
+                            path=path,
+                            line=node.lineno,
+                            message=f"zero-copy view `{node.id}` dereferenced "
+                            f"after `{arena}` was closed on line "
+                            f"{closed[arena]} — the mapping may be gone",
+                        )
+                    )
+                    del views[node.id]  # one finding per stale view
+            for node in ast.walk(event):
+                if isinstance(node, ast.Call):
+                    recv = _receiver_name(node.func)
+                    if (
+                        recv is not None
+                        and _terminal_name(node.func) in _ARENA_CLOSERS
+                        and recv in arenas
+                    ):
+                        closed.setdefault(recv, node.lineno)
+                if isinstance(node, ast.Assign) and len(node.targets) == 1 and (
+                    isinstance(node.targets[0], ast.Name)
+                ):
+                    name, value = node.targets[0].id, node.value
+                    views.pop(name, None)
+                    arena = _is_view_call(value)
+                    if arena is not None:
+                        views[name] = arena
+                        arenas.add(arena)
+                    elif _is_arena_ctor(value):
+                        arenas.add(name)
+                        closed.pop(name, None)
+    return findings
+
+
 # -- entry points ---------------------------------------------------------
 
 
@@ -541,6 +827,8 @@ def lint_source(source: str, path: str = "<string>") -> List[PyLintFinding]:
         + _swallowed_exception_findings(tree, path)
         + _float64_findings(tree, path)
         + _closure_findings(tree, path)
+        + _fork_unsafe_findings(tree, path)
+        + _shm_findings(tree, path)
     )
     waived = _waivers(source)
     kept = [f for f in findings if not _is_waived(f, waived)]

@@ -105,6 +105,28 @@ class CompiledPlan:
             order=list(self.order), names=list(self.names), scheduler="compiled"
         )
 
+    def without_edge(self, a: int, b: int) -> "CompiledPlan":
+        """A copy of this plan with reduced edge ``a → b`` deleted.
+
+        Every edge of a transitive reduction is order-defining (no
+        parallel path exists, by minimality), so the copy must fail
+        :func:`~repro.runtime.racecheck.check_plan`'s closure audit —
+        the mutation the verifier's plan-soundness self-test seeds.
+        """
+        if b not in self.successors[a]:
+            raise ValueError(f"plan has no edge {a} → {b}")
+        successors = [list(s) for s in self.successors]
+        successors[a].remove(b)
+        return CompiledPlan(
+            order=list(self.order),
+            names=list(self.names),
+            assignments=list(self.assignments),
+            successors=successors,
+            n_workers=self.n_workers,
+            meta=dict(self.meta),
+            key=self.key,
+        )
+
     # -- serialization -----------------------------------------------------------
 
     def to_json(self, indent: int = 2) -> str:

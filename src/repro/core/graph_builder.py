@@ -52,6 +52,7 @@ from repro.models.cells import (
 from repro.models.params import BRNNParams
 from repro.models.spec import BRNNSpec
 from repro.core.state import ChunkState
+from repro.core.symbolic import Affine, Extent, Interval
 from repro.runtime.depgraph import TaskGraph
 from repro.runtime.task import INTERLEAVED_HOME, Region, RegionSpace
 
@@ -138,6 +139,8 @@ class GraphBuildResult:
     velocity: Optional[BRNNParams] = None
     fusion: str = "gates"
     wavefront_tile: Optional[int] = None
+    serialize_chunks: bool = False
+    barrier_free: bool = True
 
     @property
     def total_batch(self) -> int:
@@ -267,6 +270,125 @@ class GraphBuildResult:
             _, layer, d = key
             vp = self.velocity.layers[layer].direction(d)
             return (vp.W, vp.b)
+        if kind == "serial":
+            return ()
+        raise KeyError(f"unknown region key vocabulary: {key!r}")
+
+    # -- symbolic region metadata (static verifier) -----------------------------
+
+    def symbol_env(self) -> dict:
+        """Concrete valuation of the symbolic size parameters of this build.
+
+        Evaluating any :meth:`symbolic_storage` extent under this
+        environment must reproduce the concrete byte counts the builder
+        declared — the consistency obligation :mod:`repro.analysis.verify`
+        checks to tie the symbolic model to the built graph.
+        """
+        env = {
+            "H": self.spec.hidden_size,
+            "I0": self.spec.input_size,
+            "M": self.spec.merged_size,
+            "C": self.spec.num_classes,
+            "isz": int(np.dtype(self.spec.dtype).itemsize),
+        }
+        for mb, bc in enumerate(self.chunk_batches):
+            env[f"b{mb}"] = bc
+        return env
+
+    def symbolic_storage(self, key) -> tuple:
+        """Symbolic byte extents of the region named ``key``.
+
+        The symbolic mirror of :meth:`region_storage`: instead of the
+        concrete backing arrays, it returns :class:`~repro.core.symbolic.
+        Extent` tuples — byte intervals in symbolic size parameters
+        (``H``, ``I0``, ``M``, ``C``, ``isz``, per-chunk ``b{mb}``) inside
+        named address spaces.  Region keys that can alias share a space
+        and must be proven disjoint there; the genuinely aliased layouts
+        are
+
+        * ``x(mb, t)`` — batch/time slices of the one parent input array,
+        * ``gW``/``gWx`` — the recurrent-rows / input-rows split of one
+          per-chunk weight-gradient panel,
+        * slot grids (``h``/``dh``/``cache``/``zx``/``dz``/``m``/``dm``
+          and the per-slot head rows) — packed per ``(kind, mb, layer)``
+          with the forward chain's slots before the reverse chain's.
+
+        Works for cost-only graphs too (no storage needed): the extents
+        describe the *declared* layout, which is what the static verifier
+        reasons about.
+        """
+        kind = key[0]
+        spec = self.spec
+        H, I0, M = Affine.sym("H"), Affine.sym("I0"), Affine.sym("M")
+        C, isz = Affine.sym("C"), Affine.sym("isz")
+        G = _GATE_MULT[spec.cell]
+        state_mult = 2 if spec.cell == "lstm" else 1
+        cache_mult = {"lstm": 7, "gru": 5, "rnn": 2}[spec.cell]
+        T = self.seq_len
+
+        def b(mb: int) -> Affine:
+            return Affine.sym(f"b{mb}")
+
+        def lin(layer: int) -> Affine:
+            return I0 if layer == 0 else M
+
+        def own(space, nbytes) -> tuple:
+            return (Extent(space, Interval(Affine.const(0), nbytes)),)
+
+        def slot(space, index, size) -> tuple:
+            return (Extent(space, Interval(index * size, (index + 1) * size)),)
+
+        if kind == "x":
+            _, mb, t = key
+            row = I0 * isz  # bytes per sample row
+            total = Affine.const(0)
+            for j in range(len(self.chunk_batches)):
+                total = total + b(j)
+            off = Affine.const(0)
+            for j in range(mb):
+                off = off + b(j)
+            lo = (Affine.const(t) * total + off) * row
+            return (Extent(("x",), Interval(lo, lo + b(mb) * row)),)
+        if kind == "W":
+            _, layer, d = key
+            return own(key, ((lin(layer) + H) * (G * H) + G * H) * isz)
+        if kind == "Wout":
+            return own(key, (M * C + C) * isz)
+        if kind in ("gW", "gWx"):
+            _, mb, layer, d = key
+            panel = ("Wgrad", mb, layer, d)
+            rowb = G * H * isz  # bytes per weight row
+            split = lin(layer) * rowb  # input-rows / recurrent-rows boundary
+            if kind == "gWx":
+                return (Extent(panel, Interval(Affine.const(0), split)),)
+            bias = own(("Wgrad.b", mb, layer, d), G * H * isz)
+            if self.fused_layers and self.fused_layers[layer]:
+                wext = Extent(panel, Interval(split, split + H * rowb))
+            else:
+                wext = Extent(panel, Interval(Affine.const(0), split + H * rowb))
+            return (wext,) + bias
+        if kind == "gWout":
+            _, mb = key
+            return own(key, (M * C + C) * isz)
+        if kind in ("h", "dh", "cache", "zx", "dz"):
+            _, mb, layer, d, idx = key
+            mult = {"h": state_mult, "dh": state_mult, "cache": cache_mult}.get(kind, G)
+            size = Affine.const(mult) * b(mb) * H * isz
+            return slot(("slots", kind, mb, layer), idx if d == "fwd" else T + idx, size)
+        if kind in ("m", "dm"):
+            _, mb, layer, t = key
+            return slot(("slots", kind, mb, layer), t, b(mb) * M * isz)
+        if kind in ("mlast", "dmlast"):
+            _, mb, s = key
+            return slot(("rows", kind, mb), s, b(mb) * M * isz)
+        if kind in ("logits", "dlogits"):
+            _, mb, s = key
+            return slot(("rows", kind, mb), s, b(mb) * C * isz)
+        if kind == "vel":
+            if key[1] == "head":
+                return own(key, (M * C + C) * isz)
+            _, layer, d = key
+            return own(key, ((lin(layer) + H) * (G * H) + G * H) * isz)
         if kind == "serial":
             return ()
         raise KeyError(f"unknown region key vocabulary: {key!r}")
@@ -592,13 +714,17 @@ class _Builder:
         Also stamps ``meta["site"]`` with the name of the builder method
         that emitted the task — declaration *provenance*, so static-
         analysis findings (:mod:`repro.analysis.graphlint`) can point at
-        the build site that declared a region, not just the task name.
+        the build site that declared a region, not just the task name —
+        and ``meta["family"]`` (``kind@site``), the key under which
+        :mod:`repro.core.access_spec` records what the task family's
+        kernel is allowed to touch.
         """
         inouts = list(inouts)
         if self.serialize_chunks and mb is not None:
             inouts.append(self.r_serial(mb))
         meta = dict(meta or {})
         meta.setdefault("site", sys._getframe(1).f_code.co_name)
+        meta.setdefault("family", f"{kind}@{meta['site']}")
         return self.graph.add_task(
             name, fn, ins=ins, outs=outs, inouts=inouts, flops=flops, kind=kind, meta=meta
         )
@@ -1153,6 +1279,8 @@ class _Builder:
             velocity=self.velocity,
             fusion=self.fusion,
             wavefront_tile=self.wave_tile if self.fusion == "wavefront" else None,
+            serialize_chunks=self.serialize_chunks,
+            barrier_free=self.barrier_free,
         )
         # Executors that need storage resolution (the multiprocess
         # substrate's shared-memory rebinding and region shipping) reach it

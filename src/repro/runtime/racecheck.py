@@ -630,6 +630,32 @@ def order_defining_edges(graph: TaskGraph) -> List[Tuple[int, int]]:
     ]
 
 
+def probe_edge(graph: TaskGraph, edge: Tuple[int, int]) -> dict:
+    """Delete dependence ``edge`` and re-run the ordering audit.
+
+    The mutation primitive shared by :func:`mutation_probe` (one seeded
+    edge) and the symbolic verifier's exhaustive per-edge sweep
+    (:mod:`repro.analysis.verify`): ``detected`` is True iff the audit
+    flags exactly the deleted edge's endpoints as an unordered
+    conflicting pair.
+    """
+    a, b = edge
+    mutated = [list(s) for s in graph.successors]
+    mutated[a].remove(b)
+    findings, pairs = ordering_findings(graph, successors=mutated)
+    flagged = any(
+        {f.tid, f.other_tid} == {a, b} for f in findings
+    )
+    return {
+        "edge": (a, b),
+        "edge_names": (graph.tasks[a].name, graph.tasks[b].name),
+        "region": repr(_declared_conflict(graph.tasks[a], graph.tasks[b])),
+        "findings": len(findings),
+        "checked_pairs": pairs,
+        "detected": flagged,
+    }
+
+
 def mutation_probe(graph: TaskGraph, seed: int = 0) -> dict:
     """Delete one random declared dependence; ask the checker to notice.
 
@@ -643,22 +669,9 @@ def mutation_probe(graph: TaskGraph, seed: int = 0) -> dict:
     if not candidates:
         raise ValueError("graph has no order-defining conflicting edges to delete")
     rng = random.Random(seed)
-    a, b = candidates[rng.randrange(len(candidates))]
-    mutated = [list(s) for s in graph.successors]
-    mutated[a].remove(b)
-    findings, pairs = ordering_findings(graph, successors=mutated)
-    flagged = any(
-        {f.tid, f.other_tid} == {a, b} for f in findings
-    )
-    return {
-        "edge": (a, b),
-        "edge_names": (graph.tasks[a].name, graph.tasks[b].name),
-        "region": repr(_declared_conflict(graph.tasks[a], graph.tasks[b])),
-        "candidates": len(candidates),
-        "findings": len(findings),
-        "checked_pairs": pairs,
-        "detected": flagged,
-    }
+    result = probe_edge(graph, candidates[rng.randrange(len(candidates))])
+    result["candidates"] = len(candidates)
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -149,6 +149,160 @@ def test_local_alias_resolves_to_family():
     assert all("'dm'" in f.message for f in findings)
 
 
+# -- fork-unsafe-capture ----------------------------------------------------
+
+_FACTORY_TEMPLATE = """
+import threading
+import numpy as np
+
+class Builder:
+    def _fn_probe(self, i):
+        {setup}
+        def fn():
+            {body}
+        return fn
+"""
+
+
+def _factory_src(setup, body):
+    return _FACTORY_TEMPLATE.format(setup=setup, body=body)
+
+
+def test_captured_lock_flagged():
+    src = _factory_src("guard = threading.Lock()", "with guard:\n                pass")
+    findings = lint_source(src)
+    assert _rules(findings) == ["fork-unsafe-capture"]
+    assert "`guard`" in findings[0].message and "lock" in findings[0].message
+
+
+def test_captured_open_file_handle_flagged():
+    src = _factory_src("fh = open('/tmp/log')", "fh.write('x')")
+    findings = lint_source(src)
+    assert _rules(findings) == ["fork-unsafe-capture"]
+    assert "file handle" in findings[0].message
+
+
+def test_captured_with_open_handle_flagged():
+    src = _factory_src(
+        "with open('/tmp/log') as fh:\n            header = fh.readline()",
+        "fh.read()",
+    )
+    assert _rules(lint_source(src)) == ["fork-unsafe-capture"]
+
+
+def test_captured_generator_flagged():
+    src = _factory_src("gen = (k for k in range(i))", "return next(gen)")
+    findings = lint_source(src)
+    assert _rules(findings) == ["fork-unsafe-capture"]
+    assert "generator" in findings[0].message
+
+
+def test_global_np_random_flagged():
+    src = _factory_src("pass", "return np.random.standard_normal(i)")
+    findings = lint_source(src)
+    assert _rules(findings) == ["fork-unsafe-capture"]
+    assert "np.random.standard_normal" in findings[0].message
+
+
+def test_default_rng_instance_clean():
+    src = _factory_src(
+        "rng = np.random.default_rng(i)", "return rng.standard_normal(i)"
+    )
+    assert lint_source(src) == []
+
+
+def test_hazard_used_only_in_factory_body_clean():
+    # the factory may use a handle itself; only *capture* by the payload lints
+    src = _factory_src(
+        "with open('/tmp/cfg') as fh:\n            scale = float(fh.read())",
+        "return scale * i",
+    )
+    assert lint_source(src) == []
+
+
+def test_hazard_outside_fn_factory_clean():
+    src = (
+        "import threading\n"
+        "def make(i):\n"
+        "    guard = threading.Lock()\n"
+        "    def fn():\n"
+        "        with guard:\n"
+        "            pass\n"
+        "    return fn\n"
+    )
+    assert lint_source(src) == []
+
+
+# -- shm-use-after-close ----------------------------------------------------
+
+
+def test_view_after_close_flagged():
+    src = (
+        "def f(arena, desc):\n"
+        "    v = arena.view_array(desc)\n"
+        "    arena.close()\n"
+        "    return v.sum()\n"
+    )
+    findings = lint_source(src)
+    assert _rules(findings) == ["shm-use-after-close"]
+    assert "`v`" in findings[0].message and "`arena`" in findings[0].message
+
+
+def test_zero_copy_get_array_after_destroy_flagged():
+    src = (
+        "def f(arena, desc):\n"
+        "    v = arena.get_array(desc, copy=False)\n"
+        "    arena.destroy()\n"
+        "    return v[0]\n"
+    )
+    assert _rules(lint_source(src)) == ["shm-use-after-close"]
+
+
+def test_copying_get_array_after_close_clean():
+    src = (
+        "def f(arena, desc):\n"
+        "    v = arena.get_array(desc)\n"
+        "    arena.close()\n"
+        "    return v.sum()\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_view_used_before_close_clean():
+    src = (
+        "def f(arena, desc):\n"
+        "    v = arena.view_array(desc)\n"
+        "    total = v.sum()\n"
+        "    arena.close()\n"
+        "    return total\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_view_escaping_context_manager_flagged():
+    src = (
+        "def f(desc):\n"
+        "    with ShmArena(1024) as arena:\n"
+        "        v = arena.view_array(desc)\n"
+        "        ok = v.sum()\n"
+        "    return v.sum()\n"
+    )
+    findings = lint_source(src)
+    assert _rules(findings) == ["shm-use-after-close"]
+    assert findings[0].line == 5
+
+
+def test_close_of_unrelated_object_clean():
+    # only receivers known to be arenas arm the rule; file.close() doesn't
+    src = (
+        "def f(arena, desc, fh):\n"
+        "    v = arena.view_array(desc)\n"
+        "    fh.close()\n"
+        "    return v.sum()\n"
+    )
+    assert lint_source(src) == []
+
+
 # -- waivers ----------------------------------------------------------------
 
 
@@ -188,6 +342,7 @@ def test_rule_registry_matches_emitted_rules():
     assert set(RULES) == {
         "mutable-default", "swallowed-exception", "float64-creep",
         "undeclared-closure-capture", "inplace-mutation-in-only",
+        "fork-unsafe-capture", "shm-use-after-close",
     }
 
 

@@ -1,0 +1,177 @@
+"""Units for the affine interval algebra under the symbolic verifier.
+
+The algebra only ever *proves* (sound, incomplete): every ``provably_*``
+True must be semantically true for all nonnegative symbol valuations,
+and the tests check both directions — proofs hold under random concrete
+valuations, and statements that are false at some valuation are never
+proven.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.symbolic import Affine, Extent, Interval, union_covers
+
+
+def _env(**kw):
+    return dict(kw)
+
+
+# -- Affine ------------------------------------------------------------------
+
+
+def test_affine_arithmetic_matches_concrete_evaluation():
+    H, b = Affine.sym("H"), Affine.sym("b")
+    expr = (H * 3 + b) * Affine.const(2) - H
+    env = _env(H=5, b=7)
+    assert expr.evaluate(env) == (5 * 3 + 7) * 2 - 5
+
+
+def test_affine_product_of_symbols_is_a_monomial():
+    H, b = Affine.sym("H"), Affine.sym("b")
+    expr = H * b * 4
+    assert expr.evaluate(_env(H=3, b=2)) == 24
+    assert (expr - expr).is_zero()
+
+
+def test_affine_equality_and_hash_are_structural():
+    H = Affine.sym("H")
+    assert H * 2 + 1 == Affine.const(1) + H + H
+    assert hash(H * 2 + 1) == hash(Affine.const(1) + H + H)
+    assert H * 2 != H * 3
+
+
+def test_provably_nonneg_is_sound_not_complete():
+    H, b = Affine.sym("H"), Affine.sym("b")
+    assert (H * 2 + b).provably_nonneg()
+    assert Affine.const(0).provably_nonneg()
+    # H - b can be negative (b > H), must not be proven
+    assert not (H - b).provably_nonneg()
+    # ... even though it is nonnegative at some valuations
+    assert (H - b).evaluate(_env(H=5, b=2)) > 0
+
+
+def test_provably_positive_uses_the_symbols_at_least_one_convention():
+    H = Affine.sym("H")
+    assert (H + 1).provably_positive()
+    assert H.provably_positive()  # model dimensions are >= 1
+    assert not Affine.const(0).provably_positive()
+    assert not (H - 1).provably_positive()  # negative coeff: no proof
+
+
+# -- Interval ----------------------------------------------------------------
+
+
+def test_adjacent_intervals_are_provably_disjoint():
+    H = Affine.sym("H")
+    a = Interval(Affine.const(0), H)
+    b = Interval(H, H * 2)
+    assert a.provably_disjoint(b) and b.provably_disjoint(a)
+
+
+def test_overlapping_intervals_are_not_provably_disjoint():
+    H = Affine.sym("H")
+    a = Interval(Affine.const(0), H + 1)
+    b = Interval(H, H * 2)
+    assert not a.provably_disjoint(b)
+
+
+def test_symbolic_gap_requires_a_proof_not_luck():
+    H, b = Affine.sym("H"), Affine.sym("b")
+    # [0, H) vs [b, b + H): disjoint only when b >= H — not provable
+    a = Interval(Affine.const(0), H)
+    c = Interval(b, b + H)
+    assert not a.provably_disjoint(c)
+
+
+def test_empty_interval_is_disjoint_from_everything():
+    H = Affine.sym("H")
+    empty = Interval(H, H)
+    assert empty.provably_empty()
+    assert empty.provably_disjoint(Interval(Affine.const(0), H * 9))
+
+
+def test_contains_and_evaluate():
+    H = Affine.sym("H")
+    outer = Interval(Affine.const(0), H * 4)
+    inner = Interval(H, H * 2)
+    assert outer.provably_contains(inner)
+    assert not inner.provably_contains(outer)
+    assert inner.evaluate(_env(H=3)) == (3, 6)
+
+
+# -- Extent ------------------------------------------------------------------
+
+
+def test_extents_in_different_spaces_are_disjoint():
+    H = Affine.sym("H")
+    iv = Interval(Affine.const(0), H)
+    assert Extent(("a",), iv).provably_disjoint(Extent(("b",), iv))
+    assert not Extent(("a",), iv).provably_disjoint(Extent(("a",), iv))
+
+
+# -- union_covers ------------------------------------------------------------
+
+
+def test_union_covers_exact_tiling():
+    H = Affine.sym("H")
+    target = Interval(Affine.const(0), H * 3)
+    tiles = [
+        Interval(H * 2, H * 3),
+        Interval(Affine.const(0), H),
+        Interval(H, H * 2),
+    ]
+    assert union_covers(tiles, target)
+
+
+def test_union_covers_rejects_one_byte_gap():
+    H = Affine.sym("H")
+    target = Interval(Affine.const(0), H * 2)
+    assert not union_covers(
+        [Interval(Affine.const(0), H), Interval(H + 1, H * 2)], target
+    )
+    assert not union_covers(
+        [Interval(Affine.const(0), H), Interval(H, H * 2 - 1)], target
+    )
+
+
+def test_union_covers_accepts_provably_overlapping_cover():
+    H = Affine.sym("H")
+    target = Interval(Affine.const(0), H * 2)
+    assert union_covers(
+        [Interval(Affine.const(0), H), Interval(Affine.const(0), H * 2)], target
+    )
+    # conservative: [0,H+1) ∪ [H,2H) covers, but the sweep would need
+    # H−1 ≥ 0, which the nonneg-coefficients rule cannot prove — the
+    # sweep must reject rather than guess
+    assert not union_covers(
+        [Interval(Affine.const(0), H + 1), Interval(H, H * 2)], target
+    )
+
+
+def test_union_covers_empty_target_is_trivially_covered():
+    H = Affine.sym("H")
+    assert union_covers([], Interval(H, H))
+    assert not union_covers([], Interval(H, H + 1))
+
+
+def test_randomized_agreement_with_concrete_arithmetic():
+    """Any interval pair the algebra proves disjoint must be disjoint at
+    every sampled valuation (soundness spot-check)."""
+    rng = np.random.default_rng(0)
+    H, b = Affine.sym("H"), Affine.sym("b")
+    candidates = [
+        Interval(Affine.const(0), H),
+        Interval(H, H * 2),
+        Interval(H * 2 + b, H * 3 + b),
+        Interval(b, b + 1),
+        Interval(H + b, H * 2 + b),
+    ]
+    for _ in range(200):
+        env = _env(H=int(rng.integers(0, 6)), b=int(rng.integers(0, 6)))
+        for x in candidates:
+            for y in candidates:
+                if x is y or not x.provably_disjoint(y):
+                    continue
+                (xl, xh), (yl, yh) = x.evaluate(env), y.evaluate(env)
+                assert xh <= yl or yh <= xl, (x, y, env)

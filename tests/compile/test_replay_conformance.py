@@ -1,50 +1,37 @@
 """Bitwise replay-equivalence sweep over the builder's full matrix.
 
 The compiled-path counterpart of ``test_racecheck_conformance``: for every
-configuration the graph builder supports — LSTM/GRU × many-to-one/
-many-to-many × inference/training × data-parallel chunking × the fused
-input-projection block sizes — executing a freshly compiled plan must
-produce results bitwise identical to a dynamic FIFO schedule.  This is the
-proof that transitive reduction plus static list scheduling preserves
-every dependence that matters: any dropped-but-needed edge or unsound
-release order shows up as diverging bits under the 2-worker replay.
+configuration the graph builder supports, executing a freshly compiled
+plan must produce results bitwise identical to a dynamic FIFO schedule.
+This is the proof that transitive reduction plus static list scheduling
+preserves every dependence that matters: any dropped-but-needed edge or
+unsound release order shows up as diverging bits under the 2-worker
+replay.
+
+The case lists live in ``tests/conftest.py`` (``PROJECTION_SWEEP`` /
+``FUSION_SWEEP``), shared with the racecheck and executor conformance
+suites.  Configs covered by the symbolic verifier certificate (whose
+plan-closure obligation proves the same property statically) carry
+``@pytest.mark.certified``; run them with ``pytest -m certified``.
 """
 
 import pytest
 
 from repro.runtime.racecheck import plan_equivalence_check
-from tests.conftest import FUSION_CONFIGS, PROJ_CONFIGS, build_functional
+from tests.conftest import FUSION_SWEEP, PROJECTION_SWEEP, build_functional
 
 
-@pytest.mark.parametrize("cell", ["lstm", "gru"])
-@pytest.mark.parametrize("head", ["many_to_one", "many_to_many"])
-@pytest.mark.parametrize("training", [False, True])
-@pytest.mark.parametrize("mbs", [1, 4])
-@pytest.mark.parametrize("fused,proj_block", PROJ_CONFIGS)
-def test_replay_bitwise_equivalent(cell, head, training, mbs, fused, proj_block):
+@pytest.mark.parametrize("case", PROJECTION_SWEEP)
+def test_replay_bitwise_equivalent(case):
     mismatched = plan_equivalence_check(
-        lambda: build_functional(
-            cell=cell, head=head, training=training, mbs=mbs,
-            fused=fused, proj_block=proj_block,
-        ),
-        n_workers=2,
+        lambda: build_functional(**case), n_workers=2
     )
     assert not mismatched, f"replay diverged on {mismatched}"
 
 
-@pytest.mark.parametrize("cell", ["lstm", "gru"])
-@pytest.mark.parametrize("head", ["many_to_one", "many_to_many"])
-@pytest.mark.parametrize("training", [False, True])
-@pytest.mark.parametrize("fusion,wavefront_tile", FUSION_CONFIGS)
-def test_fusion_replay_bitwise_equivalent(cell, head, training, fusion, wavefront_tile):
-    """The fusion ladder's graphs replay bitwise under compiled plans,
-    composed with chunking (mbs=2) and projection hoisting (pb=2)."""
+@pytest.mark.parametrize("case", FUSION_SWEEP)
+def test_fusion_replay_bitwise_equivalent(case):
     mismatched = plan_equivalence_check(
-        lambda: build_functional(
-            cell=cell, head=head, training=training, mbs=2,
-            fused="on", proj_block=2,
-            fusion=fusion, wavefront_tile=wavefront_tile,
-        ),
-        n_workers=2,
+        lambda: build_functional(**case), n_workers=2
     )
     assert not mismatched, f"replay diverged on {mismatched}"

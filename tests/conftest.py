@@ -2,13 +2,23 @@
 
 Besides the tiny-model builders, this module is the single home of the
 cross-executor conformance machinery: the builder configuration matrices
-(``PROJ_CONFIGS``/``FUSION_CONFIGS``) that the racecheck and replay
-conformance sweeps share, and the executor matrix
-(``executor_matrix``/``make_executor``) that parametrizes conformance
-tests over every substrate — threaded, simulated (functional payload
-mode), and multiprocess.  The process leg of the *full* matrix carries
-``@pytest.mark.slow_mp`` (forking per case is expensive); a reduced
-process subset stays in tier-1 via ``EXECUTORS_TIER1``.
+(``PROJ_CONFIGS``/``FUSION_CONFIGS``) and the fully-expanded case sweeps
+(``PROJECTION_SWEEP``/``FUSION_SWEEP``) that the racecheck, compiled-
+replay and executor conformance suites all parametrize over, and the
+executor matrix (``executor_matrix``/``make_executor``) that
+parametrizes conformance tests over every substrate — threaded,
+simulated (functional payload mode), and multiprocess.
+
+Two markers thin the sweeps out of tier-1:
+
+* the process leg of the *full* executor matrix carries
+  ``@pytest.mark.slow_mp`` (forking per case is expensive); a reduced
+  process subset stays in tier-1 via ``EXECUTORS_TIER1``;
+* sweep configs whose race-freedom is already proven symbolically by the
+  ``repro.analysis.verify`` certificate (``make smoke-verify``) carry
+  ``@pytest.mark.certified`` — tier-1 keeps one representative spine per
+  axis, and ``pytest -m certified`` runs the certificate-covered rest on
+  demand (``make smoke-mp`` still executes everything).
 """
 
 import numpy as np
@@ -135,6 +145,90 @@ def build_functional(
         fusion=fusion,
         wavefront_tile=wavefront_tile,
     )
+
+
+def _conf_case_id(case):
+    """Stable, readable pytest id for one conformance build config."""
+    bits = [
+        case["cell"],
+        "m2o" if case["head"] == "many_to_one" else "m2m",
+        "train" if case["training"] else "fwd",
+        f"mbs{case['mbs']}",
+    ]
+    if case.get("fused", "off") == "on":
+        bits.append(f"pb{case['proj_block']}")
+    fusion = case.get("fusion", "gates")
+    if fusion == "wavefront":
+        bits.append(f"wt{case['wavefront_tile']}")
+    elif fusion != "gates":
+        bits.append(fusion)
+    return "-".join(bits)
+
+
+def _sweep(cases, tier1_cases):
+    """Parametrize values for ``cases``; non-tier-1 ones marked certified."""
+    return [
+        pytest.param(
+            case,
+            id=_conf_case_id(case),
+            marks=() if case in tier1_cases else (pytest.mark.certified,),
+        )
+        for case in cases
+    ]
+
+
+#: every projection-matrix configuration of the conformance sweeps
+_PROJECTION_CASES = [
+    dict(cell=cell, head=head, training=training, mbs=mbs,
+         fused=fused, proj_block=pb)
+    for cell in ("lstm", "gru")
+    for head in ("many_to_one", "many_to_many")
+    for training in (False, True)
+    for mbs in (1, 4)
+    for fused, pb in PROJ_CONFIGS
+]
+
+#: the tier-1 spine: every projection config on one representative axis
+#: point, plus one corner per remaining axis value
+_PROJECTION_TIER1 = [
+    dict(cell="lstm", head="many_to_one", training=True, mbs=1,
+         fused=fused, proj_block=pb)
+    for fused, pb in PROJ_CONFIGS
+] + [
+    dict(cell="gru", head="many_to_many", training=True, mbs=4,
+         fused="on", proj_block=2),
+    dict(cell="lstm", head="many_to_many", training=False, mbs=4,
+         fused="off", proj_block=None),
+    dict(cell="gru", head="many_to_one", training=False, mbs=1,
+         fused="on", proj_block=16),
+]
+
+PROJECTION_SWEEP = _sweep(_PROJECTION_CASES, _PROJECTION_TIER1)
+
+#: every fusion-ladder configuration, composed with chunking (mbs=2) and
+#: projection hoisting (pb=2; ``fusion="off"`` forces hoisting off in the
+#: builder, exercising that interaction too)
+_FUSION_CASES = [
+    dict(cell=cell, head=head, training=training, mbs=2,
+         fused="on", proj_block=2, fusion=fusion, wavefront_tile=wt)
+    for cell in ("lstm", "gru")
+    for head in ("many_to_one", "many_to_many")
+    for training in (False, True)
+    for fusion, wt in FUSION_CONFIGS
+]
+
+_FUSION_TIER1 = [
+    dict(cell="lstm", head="many_to_one", training=True, mbs=2,
+         fused="on", proj_block=2, fusion=fusion, wavefront_tile=wt)
+    for fusion, wt in FUSION_CONFIGS
+] + [
+    dict(cell="gru", head="many_to_many", training=False, mbs=2,
+         fused="on", proj_block=2, fusion="wavefront", wavefront_tile=2),
+    dict(cell="gru", head="many_to_many", training=True, mbs=2,
+         fused="on", proj_block=2, fusion="gates+act", wavefront_tile=None),
+]
+
+FUSION_SWEEP = _sweep(_FUSION_CASES, _FUSION_TIER1)
 
 
 #: every functional substrate; ``process`` marked slow_mp (one fork set per

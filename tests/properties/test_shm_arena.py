@@ -225,6 +225,47 @@ def test_child_process_sees_parent_writes_and_vice_versa(dtype, shape, seed):
         assert echoed.tobytes() == expected.tobytes()
 
 
+def test_view_dereference_after_close_is_fatal():
+    """Reproduce the hazard the ``shm-use-after-close`` lint rule guards.
+
+    A zero-copy view taken before ``close()`` points into the unmapped
+    segment afterwards; dereferencing it kills the process (SIGSEGV) —
+    not an exception a caller could catch.  Run the dereference in a
+    forked child and assert the child did *not* come back with a clean
+    "the read worked" verdict.
+    """
+    with ShmArena(CAPACITY) as arena:
+        desc = arena.put_array(np.arange(16, dtype=np.float32))
+        r, w = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child: take a view, close, then dereference it
+            try:
+                os.close(r)
+                import faulthandler
+
+                faulthandler.disable()  # keep the expected SIGSEGV quiet
+                view = arena.view_array(desc)
+                arena.close()
+                # undefined behaviour from here on — the crash under test
+                _ = float(view[3])  # lint: waive shm-use-after-close
+                os.write(w, b"K")  # reachable only if the unmap was deferred
+            except BaseException:  # lint: waive swallowed-exception
+                os.write(w, b"E")
+            finally:
+                os._exit(0)
+        os.close(w)
+        try:
+            verdict = os.read(r, 1)
+        finally:
+            os.close(r)
+            _, status = os.waitpid(pid, 0)
+        crashed = os.WIFSIGNALED(status)
+        assert crashed or verdict != b"K", (
+            "dereferencing a zero-copy view after close() returned normally; "
+            "the shm-use-after-close rule no longer models real behaviour"
+        )
+
+
 def test_attach_does_not_own_the_name():
     with ShmArena(CAPACITY) as arena:
         other = ShmArena.attach(arena.name)

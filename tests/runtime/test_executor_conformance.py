@@ -19,8 +19,8 @@ import pytest
 
 from repro.runtime.racecheck import _result_fingerprint, plan_equivalence_check
 from tests.conftest import (
-    FUSION_CONFIGS,
-    PROJ_CONFIGS,
+    FUSION_SWEEP,
+    PROJECTION_SWEEP,
     build_functional,
     make_executor,
 )
@@ -73,38 +73,16 @@ def test_tier1_substrates_match_threaded(executor_name, case):
 # ---------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("cell", ["lstm", "gru"])
-@pytest.mark.parametrize("head", ["many_to_one", "many_to_many"])
-@pytest.mark.parametrize("training", [False, True], ids=["forward", "backward"])
-@pytest.mark.parametrize("mbs", [1, 4])
-@pytest.mark.parametrize(
-    "fused,proj_block", PROJ_CONFIGS, ids=[f"{f}-pb{p}" for f, p in PROJ_CONFIGS]
-)
+@pytest.mark.parametrize("case", PROJECTION_SWEEP)
 @pytest.mark.slow_mp
-def test_process_matches_threaded_projection_matrix(
-    cell, head, training, mbs, fused, proj_block
-):
-    _assert_bitwise_equal(
-        "process", cell=cell, head=head, training=training, mbs=mbs,
-        fused=fused, proj_block=proj_block,
-    )
+def test_process_matches_threaded_projection_matrix(case):
+    _assert_bitwise_equal("process", **case)
 
 
-@pytest.mark.parametrize("cell", ["lstm", "gru"])
-@pytest.mark.parametrize("head", ["many_to_one", "many_to_many"])
-@pytest.mark.parametrize("training", [False, True], ids=["forward", "backward"])
-@pytest.mark.parametrize(
-    "fusion,wavefront_tile", FUSION_CONFIGS,
-    ids=[f"{f}-wt{t}" for f, t in FUSION_CONFIGS],
-)
+@pytest.mark.parametrize("case", FUSION_SWEEP)
 @pytest.mark.slow_mp
-def test_process_matches_threaded_fusion_matrix(
-    cell, head, training, fusion, wavefront_tile
-):
-    _assert_bitwise_equal(
-        "process", cell=cell, head=head, training=training, mbs=2,
-        fused="on", proj_block=2, fusion=fusion, wavefront_tile=wavefront_tile,
-    )
+def test_process_matches_threaded_fusion_matrix(case):
+    _assert_bitwise_equal("process", **case)
 
 
 def test_executor_matrix_fixture_runs_one_train_step(executor_matrix):

@@ -8,24 +8,19 @@ This is the dynamic proof that the ``in``/``out``/``inout`` annotations —
 the entire correctness basis of the barrier-free runtime — are complete
 for LSTM/GRU × many-to-one/many-to-many × inference/training ×
 data-parallel chunking × the fused input-projection path at every block
-size (1, a mid-sequence block, and ≥T which clamps to the whole
-sequence) — and, in a second sweep, × the fusion-policy ladder
-(``off``/``gates+act``/``wavefront`` at tile sizes 1, mid, and ≥T).
+size, and × the fusion-policy ladder.
+
+The case lists live in ``tests/conftest.py`` (``PROJECTION_SWEEP`` /
+``FUSION_SWEEP``), shared with the compiled-replay and executor
+conformance suites.  Configs the symbolic verifier certificate already
+proves race-free carry ``@pytest.mark.certified`` and are excluded from
+tier-1; run them with ``pytest -m certified``.
 """
 
 import pytest
 
 from repro.runtime.racecheck import check_build
-from tests.conftest import FUSION_CONFIGS, PROJ_CONFIGS, build_functional
-
-
-def _build(cell, head, training, mbs, fused, proj_block,
-           fusion="gates", wavefront_tile=None):
-    return build_functional(
-        cell=cell, head=head, training=training, mbs=mbs,
-        fused=fused, proj_block=proj_block,
-        fusion=fusion, wavefront_tile=wavefront_tile,
-    )
+from tests.conftest import FUSION_SWEEP, PROJECTION_SWEEP, build_functional
 
 
 def _assert_conformant(result):
@@ -37,32 +32,11 @@ def _assert_conformant(result):
     assert not unordered, "\n".join(f.describe() for f in unordered)
 
 
-@pytest.mark.parametrize("cell", ["lstm", "gru"])
-@pytest.mark.parametrize("head", ["many_to_one", "many_to_many"])
-@pytest.mark.parametrize("training", [False, True], ids=["forward", "backward"])
-@pytest.mark.parametrize("mbs", [1, 4])
-@pytest.mark.parametrize(
-    "fused,proj_block", PROJ_CONFIGS, ids=[f"{f}-pb{p}" for f, p in PROJ_CONFIGS]
-)
-def test_declarations_cover_observed_accesses(cell, head, training, mbs, fused, proj_block):
-    _assert_conformant(_build(cell, head, training, mbs, fused, proj_block))
+@pytest.mark.parametrize("case", PROJECTION_SWEEP)
+def test_declarations_cover_observed_accesses(case):
+    _assert_conformant(build_functional(**case))
 
 
-@pytest.mark.parametrize("cell", ["lstm", "gru"])
-@pytest.mark.parametrize("head", ["many_to_one", "many_to_many"])
-@pytest.mark.parametrize("training", [False, True], ids=["forward", "backward"])
-@pytest.mark.parametrize(
-    "fusion,wavefront_tile", FUSION_CONFIGS,
-    ids=[f"{f}-wt{t}" for f, t in FUSION_CONFIGS],
-)
-def test_fusion_declarations_cover_observed_accesses(
-    cell, head, training, fusion, wavefront_tile
-):
-    """The fusion rungs compose with chunking (mbs=2) and projection
-    hoisting (pb=2; ``fusion="off"`` forces hoisting off in the builder,
-    exercising that interaction too)."""
-    result = _build(
-        cell, head, training, mbs=2, fused="on", proj_block=2,
-        fusion=fusion, wavefront_tile=wavefront_tile,
-    )
-    _assert_conformant(result)
+@pytest.mark.parametrize("case", FUSION_SWEEP)
+def test_fusion_declarations_cover_observed_accesses(case):
+    _assert_conformant(build_functional(**case))
