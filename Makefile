@@ -1,7 +1,7 @@
 # Convenience targets; CI (.github/workflows/ci.yml) runs `test`, `lint`,
 # `smoke-serving`, `smoke-fused`, `smoke-racecheck`, `smoke-analysis`,
-# `smoke-obs`, `smoke-compile`, `smoke-fusion`, `smoke-mp` and
-# `smoke-verify` on every push.
+# `smoke-obs`, `smoke-compile`, `smoke-fusion`, `smoke-mp`,
+# `smoke-verify` and `smoke-fleet` on every push.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -14,11 +14,12 @@ SMOKE_COMPILE_REPORT ?= /tmp/repro_compile_smoke.json
 SMOKE_FUSION_REPORT ?= /tmp/repro_fusion_smoke.json
 SMOKE_MP_REPORT ?= /tmp/repro_mp_smoke.json
 SMOKE_VERIFY_CERT ?= /tmp/repro_verify_cert.json
+SMOKE_FLEET_REPORT ?= /tmp/repro_fleet_smoke.json
 # CI runners are noisy shared tenants: the committed baseline records the
 # ≤2 % claim; the freshly-measured smoke run gets slack against tenancy.
 SMOKE_OBS_BUDGET ?= 1.10
 
-.PHONY: test lint smoke-serving smoke-fused smoke-racecheck smoke-analysis smoke-obs smoke-compile smoke-fusion smoke-mp smoke-verify bench fused-bench fusion-bench multiproc-bench serve-bench clean
+.PHONY: test lint smoke-serving smoke-fused smoke-racecheck smoke-analysis smoke-obs smoke-compile smoke-fusion smoke-mp smoke-verify smoke-fleet bench fused-bench fusion-bench multiproc-bench serve-bench fleet-bench clean
 
 # tier-1: the full unit/integration/property suite (serving tests included)
 test:
@@ -147,6 +148,17 @@ smoke-verify:
 		--verify-output $(SMOKE_VERIFY_CERT)
 	$(PYTHON) tools/check_verify.py $(SMOKE_VERIFY_CERT)
 
+# fleet-serving smoke: the serve-layer unit tests (config shim, router,
+# admission, continuous batching, fleet loop), then the calibrated soak
+# end-to-end through the real CLI (the command itself exits nonzero when
+# a bar fails), then the JSON gate — on both the fresh smoke report and
+# the committed paper-scale baseline
+smoke-fleet:
+	$(PYTHON) -m pytest tests/serve -x -q
+	$(PYTHON) -m repro fleet-bench --output $(SMOKE_FLEET_REPORT) > /dev/null
+	$(PYTHON) tools/check_fleet_report.py $(SMOKE_FLEET_REPORT)
+	$(PYTHON) tools/check_fleet_report.py benchmarks/baselines/BENCH_fleet.json
+
 # regenerate every paper table/figure + the serving sweep (minutes)
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -170,7 +182,13 @@ multiproc-bench:
 serve-bench:
 	$(PYTHON) -m repro serve-bench --arrival-rate 200 --duration 5 --executor sim
 
+# the acceptance-criteria fleet soak (4 replicas, calibrated rates),
+# recording benchmarks/baselines/BENCH_fleet.json
+fleet-bench:
+	$(PYTHON) -m repro fleet-bench --output benchmarks/baselines/BENCH_fleet.json
+
 clean:
 	rm -f $(SMOKE_REPORT) $(SMOKE_FUSED_REPORT) $(SMOKE_ANALYSIS_REPORT) \
 		$(SMOKE_OBS_REPORT) $(SMOKE_COMPILE_REPORT) $(SMOKE_FUSION_REPORT) \
-		$(SMOKE_MP_REPORT) $(SMOKE_VERIFY_CERT) serving_report.json
+		$(SMOKE_MP_REPORT) $(SMOKE_VERIFY_CERT) $(SMOKE_FLEET_REPORT) \
+		serving_report.json

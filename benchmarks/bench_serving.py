@@ -23,10 +23,11 @@ import os
 from benchmarks.common import full_grids, run_once
 from repro.analysis.report import format_table
 from repro.models.spec import BRNNSpec
+from repro.config import ExecutionConfig
 from repro.serve import (
     InferenceEngine,
     Server,
-    ServerConfig,
+    ServeConfig,
     WorkloadConfig,
     poisson_workload,
 )
@@ -48,9 +49,9 @@ def run_serving(max_batch_size: int, duration_s: float, rate_hz: float = ARRIVAL
                        seq_len_range=(40, 100)),
         seed=0,
     )
-    engine = InferenceEngine(spec, executor="sim", mbs=MBS)
-    config = ServerConfig(queue_capacity=128, max_batch_size=max_batch_size,
-                          max_wait=5e-3, bucket_width=20)
+    engine = InferenceEngine(spec, config=ExecutionConfig(executor="sim", mbs=MBS))
+    config = ServeConfig(queue_capacity=128, max_batch_size=max_batch_size,
+                         max_wait=5e-3, bucket_width=20)
     return Server(engine, config).run(requests).summary()
 
 
@@ -111,9 +112,9 @@ def test_bursty_traffic_backpressure(benchmark):
     )
 
     def run():
-        engine = InferenceEngine(spec, executor="sim", mbs=MBS)
-        config = ServerConfig(queue_capacity=64, max_batch_size=32,
-                              max_wait=5e-3, bucket_width=20)
+        engine = InferenceEngine(spec, config=ExecutionConfig(executor="sim", mbs=MBS))
+        config = ServeConfig(queue_capacity=64, max_batch_size=32,
+                             max_wait=5e-3, bucket_width=20)
         return Server(engine, config).run(requests).summary()
 
     s = run_once(benchmark, run)

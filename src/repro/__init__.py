@@ -29,7 +29,8 @@ Package layout (see DESIGN.md):
 * :mod:`repro.analysis` — granularity, working-set, reporting
 * :mod:`repro.harness` — per-table/per-figure experiment drivers
 * :mod:`repro.serve` — online inference serving: bounded queue,
-  dynamic batching, SLO metrics (docs/SERVING.md)
+  dynamic/continuous batching, replica fleet with routing and
+  admission control, SLO metrics (docs/SERVING.md)
 * :mod:`repro.obs` — observability: metrics registry, scheduler
   counters, profiling hooks (docs/OBSERVABILITY.md); attached through
   :class:`~repro.config.ExecutionConfig`
@@ -46,7 +47,15 @@ from repro.core.graph_builder import build_brnn_graph
 from repro.runtime.executor import SerialExecutor, ThreadedExecutor
 from repro.runtime.simexec import SimulatedExecutor
 from repro.simarch.presets import laptop_sim, tesla_v100, xeon_8160_2s
-from repro.serve import InferenceEngine, Server, ServerConfig
+from repro.serve import (
+    FleetServer,
+    InferenceEngine,
+    ReplicaPool,
+    ServeConfig,
+    Server,
+    ServerConfig,
+    serve_fleet,
+)
 
 __version__ = "1.0.0"
 
@@ -70,6 +79,10 @@ __all__ = [
     "laptop_sim",
     "InferenceEngine",
     "Server",
+    "ServeConfig",
     "ServerConfig",
+    "ReplicaPool",
+    "FleetServer",
+    "serve_fleet",
     "__version__",
 ]

@@ -34,6 +34,7 @@ from repro.config import add_execution_args, config_from_args
 from repro.harness import figures
 from repro.harness.tables import HEADERS, TABLE_CONFIGS, TABLE_CONFIGS_SMOKE, run_table
 from repro.models.spec import BRNNSpec
+from repro.serve.config import add_serve_args
 from repro.simarch.presets import tesla_v100, xeon_8160_2s
 
 
@@ -139,15 +140,11 @@ def _cmd_granularity(args) -> None:
 def _cmd_serve_bench(args) -> None:
     """Serve a synthetic request stream and emit the JSON SLO report."""
     import json
+    from dataclasses import asdict
 
     from repro.obs import MetricsRegistry
-    from repro.serve import (
-        InferenceEngine,
-        Server,
-        ServerConfig,
-        WorkloadConfig,
-        make_workload,
-    )
+    from repro.serve import InferenceEngine, Server, make_workload
+    from repro.serve.config import serve_config_from_args, workload_config_from_args
 
     spec = BRNNSpec(
         cell=args.cell,
@@ -157,25 +154,19 @@ def _cmd_serve_bench(args) -> None:
         merge_mode="sum",
         num_classes=11,
     )
-    workload_cfg = WorkloadConfig(
-        rate_hz=args.arrival_rate,
-        duration_s=args.duration,
+    serve_cfg = serve_config_from_args(args, replicas=1)
+    workload_cfg = workload_config_from_args(
+        args,
         seq_len_range=(args.seq_min, args.seq_max),
         features=spec.input_size if args.executor in ("threaded", "process") else None,
-        slo_s=args.slo,
     )
     requests = make_workload(args.workload, workload_cfg, seed=args.seed)
     engine = InferenceEngine(
-        spec, config=config_from_args(args, metrics=MetricsRegistry())
+        spec,
+        config=config_from_args(args, metrics=MetricsRegistry()),
+        serve_config=serve_cfg,
     )
-    server_cfg = ServerConfig(
-        queue_capacity=args.queue_capacity,
-        queue_policy=args.queue_policy,
-        max_batch_size=args.max_batch_size,
-        max_wait=args.max_wait,
-        bucket_width=args.bucket_width,
-    )
-    stats = Server(engine, server_cfg).run(requests)
+    stats = Server(engine, serve_cfg).run(requests)
     report = {
         "config": {
             "model": spec.describe(),
@@ -186,16 +177,12 @@ def _cmd_serve_bench(args) -> None:
             "arrival_rate_hz": args.arrival_rate,
             "duration_s": args.duration,
             "seq_len_range": [args.seq_min, args.seq_max],
-            "slo_s": args.slo,
             "mbs": args.mbs,
-            "queue_capacity": args.queue_capacity,
-            "queue_policy": args.queue_policy,
-            "max_batch_size": args.max_batch_size,
-            "max_wait_s": args.max_wait,
-            "bucket_width": args.bucket_width,
             "seed": args.seed,
             "fused_input_projection": engine.fused_input_projection,
             "proj_block": args.proj_block,
+            "serve": asdict(serve_cfg),
+            "serve_fingerprint": serve_cfg.fingerprint(),
         },
         "results": stats.summary(),
     }
@@ -205,6 +192,63 @@ def _cmd_serve_bench(args) -> None:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
         print(f"# report written to {args.output}", file=sys.stderr)
+
+
+def _cmd_fleet_bench(args) -> int:
+    """Fleet soak benchmark; emits the ``fleet`` BENCH JSON.
+
+    Calibrated on the simulated machine: a 4-replica fleet must sustain
+    ≥3× the single-replica request rate at p99 SLO attainment ≥ 0.99,
+    shed (not serve late) excess bursty load, and keep the per-shape warm
+    plan hit rate ≥ 0.9 after warmup (docs/SERVING.md).  Exits 1 when a
+    bar fails.
+    """
+    import json
+
+    from repro.harness.bench_json import write_bench_json
+    from repro.harness.fleetbench import run_fleet_bench
+
+    point = run_fleet_bench(
+        replicas=args.replicas,
+        duration_s=args.duration,
+        tenants=max(args.tenants, 2),
+        seed=args.seed,
+    )
+    results = point["results"]
+    cal = results["calibration"]
+    fleet = results["fleet_at_fleet_rate"]
+    bursty = results["bursty_overload"]
+    routers = results["routers"]
+    print(
+        f"fleet x{args.replicas} at {cal['fleet_rate_hz']:.0f} req/s "
+        f"({cal['rate_ratio']:.1f}x single): attainment "
+        f"{fleet['attainment']:.4f}, warm hit rate {fleet['warm_hit_rate']:.3f}"
+    )
+    print(
+        f"bursty overload: shed {bursty['shed']} "
+        f"({bursty['shed_reasons']}), completed attainment "
+        f"{bursty['completed_attainment']:.4f}, "
+        f"{bursty['late_completions']} late"
+    )
+    print(
+        f"routers: hash {routers['hash']['compiles']} compiles vs "
+        f"least_loaded {routers['least_loaded']['compiles']}"
+    )
+    if args.output:
+        write_bench_json(args.output, "fleet", point["config"], results)
+        print(f"# report written to {args.output}", file=sys.stderr)
+    else:
+        print(json.dumps({"bench": "fleet", **point}, indent=2))
+    failed = (
+        fleet["attainment"] < 0.99
+        or cal["rate_ratio"] < 3.0
+        or results["single_at_fleet_rate"]["attainment"] >= 0.9
+        or bursty["shed"] == 0
+        or bursty["completed_attainment"] < 0.99
+        or fleet["warm_hit_rate"] < 0.9
+        or routers["hash"]["compiles"] >= routers["least_loaded"]["compiles"]
+    )
+    return 1 if failed else 0
 
 
 def _cmd_fused_bench(args) -> None:
@@ -704,6 +748,7 @@ COMMANDS = {
     "granularity": _cmd_granularity,
     "memory": _cmd_memory,
     "serve-bench": _cmd_serve_bench,
+    "fleet-bench": _cmd_fleet_bench,
     "fused-bench": _cmd_fused_bench,
     "racecheck": _cmd_racecheck,
     "analyze": _cmd_analyze,
@@ -715,22 +760,10 @@ COMMANDS = {
 
 
 def _add_serve_bench_args(parser: argparse.ArgumentParser) -> None:
-    g = parser.add_argument_group("serve-bench options")
-    g.add_argument("--arrival-rate", type=float, default=200.0,
-                   help="mean request arrival rate (req/s)")
-    g.add_argument("--duration", type=float, default=5.0,
-                   help="length of the arrival window (s, server clock)")
-    g.add_argument("--workload", choices=("poisson", "bursty"), default="poisson")
-    g.add_argument("--max-batch-size", type=int, default=32)
-    g.add_argument("--max-wait", type=float, default=5e-3,
-                   help="batcher timeout: max queuing delay before a partial flush (s)")
-    g.add_argument("--bucket-width", type=int, default=20,
-                   help="sequence-length bucket granularity (frames)")
-    g.add_argument("--queue-capacity", type=int, default=128)
-    g.add_argument("--queue-policy", choices=("reject", "drop_oldest"),
-                   default="reject")
-    g.add_argument("--slo", type=float, default=None,
-                   help="per-request deadline (s after arrival); expired requests drop")
+    # serving knobs (queue/batcher/router/admission) live in the shared
+    # "serving options" group (repro.serve.config.add_serve_args); this
+    # group carries the model and bench-output flags.
+    g = parser.add_argument_group("model and bench options")
     g.add_argument("--cell", choices=("lstm", "gru"), default="lstm")
     g.add_argument("--hidden", type=int, default=256)
     g.add_argument("--layers", type=int, default=6)
@@ -823,6 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--full", action="store_true",
                         help="use the paper's complete configuration grids")
     add_execution_args(parser)
+    add_serve_args(parser)
     _add_serve_bench_args(parser)
     _add_racecheck_args(parser)
     _add_analyze_args(parser)

@@ -11,6 +11,7 @@ shape)`` for the serving hot path (``ExecutionConfig(compile="on"|"auto")``).
 from repro.compile.cache import CacheEntry, PlanCache
 from repro.compile.compiler import compile_graph, estimate_duration
 from repro.compile.plan import PLAN_FORMAT, CompiledPlan
+from repro.compile.warmup import length_buckets, plan_warmup_shapes
 
 __all__ = [
     "CacheEntry",
@@ -19,4 +20,6 @@ __all__ = [
     "PlanCache",
     "compile_graph",
     "estimate_duration",
+    "length_buckets",
+    "plan_warmup_shapes",
 ]

@@ -38,6 +38,18 @@ Metric families (all prefixed ``repro_``):
 ``repro_compile_plans_compiled_total`` counter   graphs compiled into plans
 ``repro_compile_cache_size``          gauge      live cached plans
 ``repro_compile_hit_rate``            gauge      lifetime hit rate
+``repro_serve_requests_total``        counter    per terminal ``status``
+``repro_serve_shed_total``            counter    sheds, per ``reason``
+``repro_serve_latency_seconds``       histogram  request latency
+``repro_serve_batches_total``         counter    per flush ``trigger``
+``repro_serve_batch_size``            histogram  requests per batch
+``repro_serve_service_seconds_total`` counter    engine busy time
+``repro_serve_queue_depth``           gauge      pending requests
+``repro_fleet_routing_total``         counter    per ``replica`` and ``policy``
+``repro_fleet_shed_total``            counter    fleet sheds, per ``reason``
+``repro_fleet_replica_queue_depth``   gauge      per ``replica`` backlog
+``repro_fleet_replica_busy_seconds_total`` counter per ``replica`` busy time
+``repro_fleet_warm_hit_rate``         gauge      warm compiled-plan batch rate
 ====================================  =========  =================================
 
 (The cache's ``last_compile_s`` wall time stays out of the registry on

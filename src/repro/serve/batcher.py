@@ -12,16 +12,28 @@ Requests are grouped into **length buckets** (multiples of
 :func:`repro.data.batching.bucket_by_length`) and a batch is always cut
 from a single bucket, so padding waste inside a batch is bounded by
 ``bucket_width - 1`` frames per sequence.
+
+Two dispatch modes (``ServeConfig.batcher``):
+
+* ``"flush"`` — flush-and-wait: a partial bucket holds for ``max_wait``
+  hoping peers arrive, even while the engine sits idle.
+* ``"continuous"`` — continuous batching: the moment the engine is idle
+  the fullest bucket dispatches, and requests arriving while the engine
+  is busy accumulate into the waiting length buckets, joining the next
+  dispatch instead of waiting out a timer.  Work-conserving: the engine
+  never idles while requests wait, which is what keeps per-request
+  latency flat as load rises.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.data.batching import pad_sequences
+from repro.serve.config import ServeConfig, resolve_serve_config
 from repro.serve.queue import RequestQueue
 from repro.serve.request import InferenceRequest
 
@@ -29,6 +41,7 @@ from repro.serve.request import InferenceRequest
 SIZE_TRIGGER = "size"
 TIMEOUT_TRIGGER = "timeout"
 DRAIN_TRIGGER = "drain"
+CONTINUOUS_TRIGGER = "continuous"
 
 
 @dataclass
@@ -67,22 +80,36 @@ class Batch:
         return x
 
 
-@dataclass
 class DynamicBatcher:
-    """Cuts :class:`Batch` es from a :class:`RequestQueue`."""
+    """Cuts :class:`Batch` es from a :class:`RequestQueue`.
 
-    max_batch_size: int = 8
-    max_wait: float = 5e-3
-    bucket_width: int = 16
-    _next_batch_id: int = field(default=0, repr=False)
+    Accepts ``config=ServeConfig(...)``; the historical ``max_batch_size=``/
+    ``max_wait=``/``bucket_width=`` arguments keep working through the
+    deprecation shim.
+    """
 
-    def __post_init__(self) -> None:
-        if self.max_batch_size < 1:
-            raise ValueError("max_batch_size must be >= 1")
-        if self.max_wait < 0:
-            raise ValueError("max_wait must be >= 0")
-        if self.bucket_width < 1:
-            raise ValueError("bucket_width must be >= 1")
+    def __init__(
+        self,
+        max_batch_size: Optional[int] = None,
+        max_wait: Optional[float] = None,
+        bucket_width: Optional[int] = None,
+        *,
+        config: Optional[ServeConfig] = None,
+    ) -> None:
+        legacy = {}
+        if max_batch_size is not None:
+            legacy["max_batch_size"] = max_batch_size
+        if max_wait is not None:
+            legacy["max_wait"] = max_wait
+        if bucket_width is not None:
+            legacy["bucket_width"] = bucket_width
+        cfg = resolve_serve_config(config, legacy)
+        self.config = cfg
+        self.max_batch_size = cfg.max_batch_size
+        self.max_wait = cfg.max_wait
+        self.bucket_width = cfg.bucket_width
+        self.mode = cfg.batcher
+        self._next_batch_id = 0
 
     def bucket_of(self, seq_len: int) -> int:
         """Padded length for a sequence: ``seq_len`` rounded up to the bucket."""
@@ -96,9 +123,22 @@ class DynamicBatcher:
         return buckets
 
     def next_flush_time(self, queue: RequestQueue) -> Optional[float]:
-        """Time at which the timeout trigger will fire (None when empty)."""
-        oldest = queue.oldest_arrival()
-        return None if oldest is None else oldest + self.max_wait
+        """Time at which the timeout trigger will fire (None when none will).
+
+        Continuous mode has no timers — dispatch is driven by engine
+        idleness, so there is never a timeout event to wake up for.  In
+        flush mode a request that will be expired by its own flush instant
+        (``deadline < arrival + max_wait``) is skipped: its wake-up event
+        is its deadline, and surfacing it as a batcher timeout would
+        misattribute a deadline shed (docs/SERVING.md).
+        """
+        if self.mode == "continuous":
+            return None
+        for r in queue:  # FIFO: the first viable request flushes earliest
+            t = r.arrival_time + self.max_wait
+            if r.deadline is None or r.deadline >= t:
+                return t
+        return None
 
     def next_batch(
         self, queue: RequestQueue, now: float, drain: bool = False
@@ -108,12 +148,16 @@ class DynamicBatcher:
         Flush rules, in priority order:
 
         1. size — some bucket can fill a whole ``max_batch_size`` batch;
-        2. timeout — the longest-waiting request has waited ``max_wait``,
-           so its bucket flushes partially filled;
-        3. drain — ``drain=True`` (no more arrivals will ever come) flushes
+        2. (continuous mode) the engine is idle and requests wait — the
+           fullest bucket dispatches immediately, whatever its size;
+        3. timeout — the longest-waiting request has waited ``max_wait``,
+           so its bucket flushes partially filled (flush mode only);
+        4. drain — ``drain=True`` (no more arrivals will ever come) flushes
            the oldest bucket immediately.
 
-        Within a bucket requests are taken oldest-first (FIFO).
+        Within a bucket requests are taken oldest-first (FIFO).  The
+        caller only invokes this when an engine is idle, so in continuous
+        mode a non-empty queue always yields a batch (work conservation).
         """
         buckets = self._buckets(queue)
         if not buckets:
@@ -125,6 +169,9 @@ class DynamicBatcher:
         if full:
             # serve the fullest bucket first; ties broken by oldest head
             chosen = max(full, key=lambda rs: (len(rs), -rs[0].arrival_time))
+        elif self.mode == "continuous":
+            chosen = max(buckets.values(), key=lambda rs: (len(rs), -rs[0].arrival_time))
+            trigger = CONTINUOUS_TRIGGER
         else:
             oldest = queue.oldest_arrival()
             if oldest is not None and (drain or now - oldest >= self.max_wait):

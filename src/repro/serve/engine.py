@@ -57,6 +57,8 @@ class BatchExecution:
     service_time_s: float
     trace: ExecutionTrace
     logits: Optional[np.ndarray] = None
+    #: served by replaying a warm compiled plan (plan-cache hit)
+    warm: bool = False
 
 
 class InferenceEngine:
@@ -102,6 +104,11 @@ class InferenceEngine:
         on any unordered conflicting task pair.  One audit per shape
         (memoised), so steady-state serving pays nothing; intended for
         CI and staging, not hot production paths.
+    serve_config:
+        The :class:`~repro.serve.config.ServeConfig` of the deployment
+        this engine serves in, if any.  Its fingerprint joins the
+        plan-cache key, so warmed plans are scoped to the deployment
+        (replica pools set this; standalone engines may leave it unset).
 
     With ``config.compile`` set to ``"on"`` or ``"auto"`` the engine keeps
     a :class:`~repro.compile.cache.PlanCache` keyed by ``(config
@@ -123,6 +130,7 @@ class InferenceEngine:
         machine: Optional[MachineSpec] = None,
         batch_fixed_s: float = 8e-3,
         validate_dependencies: bool = False,
+        serve_config=None,
         **legacy,
     ) -> None:
         # ``executor`` as a (positional) argument is part of the legacy
@@ -169,9 +177,15 @@ class InferenceEngine:
             self._threaded = resolve_executor(cfg.replace(executor=name))
         self.validate_dependencies = validate_dependencies
         self.compile = cfg.compile
+        #: the serving deployment this engine belongs to, if any; its
+        #: fingerprint joins the plan-cache key so plans warmed under one
+        #: ServeConfig never collide with another deployment's
+        self.serve_config = serve_config
         if cfg.compile != "off":
             self.plan_cache: Optional[PlanCache] = PlanCache(metrics=cfg.metrics)
             self._config_fingerprint = cfg.fingerprint()
+            if serve_config is not None:
+                self._config_fingerprint += "+" + serve_config.fingerprint()
         else:
             self.plan_cache = None
             self._config_fingerprint = None
@@ -272,6 +286,78 @@ class InferenceEngine:
         """``"on"`` compiles at first sight; ``"auto"`` once a shape recurs."""
         return self.compile == "on" or self._shape_seen.get(key, 0) >= 1
 
+    def _compile_sim_shape(self, key: Tuple[int, int]) -> Tuple[float, ExecutionTrace]:
+        """Compile + cache the plan for one sim batch shape; returns its payload."""
+        padded_len, size = key
+        graph = self._build(
+            seq_len=padded_len, batch=size, mbs=self._effective_mbs(size)
+        ).graph
+        if self.validate_dependencies:
+            self._validate_shape(graph, padded_len, size)
+        plan = compile_graph(
+            graph,
+            n_workers=self._sim.n_cores,
+            cost_model=self._sim.cost_model,
+            key=[self._config_fingerprint, list(key)],
+        )
+        self._sim.run(graph, plan=plan)  # warm run (see dynamic path)
+        trace = self._sim.run(graph, plan=plan)
+        # replay skips per-batch graph creation, so no creation charge
+        service = trace.makespan + self.batch_fixed_s
+        self.plan_cache.put(self._plan_key(key), plan, payload=(service, trace))
+        return service, trace
+
+    def _compile_threaded_shape(self, key: Tuple[int, int], x: np.ndarray):
+        """Compile + cache the plan for one functional batch shape.
+
+        Returns the graph build (whose chunk buffers warm hits rebind) and
+        the trace of the first plan-driven run.
+        """
+        result = self._build(
+            x=x, params=self.params, mbs=self._effective_mbs(key[1])
+        )
+        if self.validate_dependencies:
+            self._validate_shape(result.graph, key[0], key[1])
+        plan = compile_graph(
+            result.graph,
+            n_workers=self._threaded.n_workers,
+            key=[self._config_fingerprint, list(key)],
+        )
+        trace = self._threaded.run(result.graph, plan=plan)
+        self.plan_cache.put(self._plan_key(key), plan, payload=result)
+        return result, trace
+
+    def warmup(self, shapes) -> int:
+        """Pre-compile plans for ``(padded_len, batch_size)`` shapes.
+
+        The fleet calls this at start so steady-state traffic opens on
+        warm plans (docs/SERVING.md); returns the number of shapes
+        actually compiled (already-cached shapes are skipped without
+        touching the hit/miss counters).  Warmed shapes count as seen, so
+        ``compile="auto"`` replays them from the first real batch.
+        Requires ``ExecutionConfig(compile="on"|"auto")``.
+        """
+        if self.plan_cache is None:
+            raise RuntimeError(
+                'warmup requires ExecutionConfig(compile="on" or "auto") '
+                "(docs/COMPILE.md)"
+            )
+        compiled = 0
+        for padded_len, size in shapes:
+            key = (int(padded_len), int(size))
+            self._shape_seen[key] = max(self._shape_seen.get(key, 0), 1)
+            if self._plan_key(key) in self.plan_cache:
+                continue
+            if self.executor == "sim":
+                self._compile_sim_shape(key)
+            else:
+                x = np.zeros(
+                    (key[0], key[1], self.spec.input_size), dtype=self.spec.dtype
+                )
+                self._compile_threaded_shape(key, x)
+            compiled += 1
+        return compiled
+
     def _execute_simulated(self, batch: Batch) -> BatchExecution:
         key = (batch.padded_len, batch.size)
         self.critical_path_reduction(batch.padded_len, batch.size)
@@ -308,7 +394,14 @@ class InferenceEngine:
         entry = self.plan_cache.get(self._plan_key(key))
         if entry is not None:
             service, trace = entry.payload
+            return BatchExecution(service_time_s=service, trace=trace, warm=True)
+        compile_now = self._should_compile(key)
+        self._shape_seen[key] = self._shape_seen.get(key, 0) + 1
+        if compile_now:
+            service, trace = self._compile_sim_shape(key)
             return BatchExecution(service_time_s=service, trace=trace)
+        # auto-mode first sighting: dynamic, uncached (one-off shapes
+        # never pay compilation — a recurrence triggers it next time)
         graph = self._build(
             seq_len=batch.padded_len,
             batch=batch.size,
@@ -316,25 +409,6 @@ class InferenceEngine:
         ).graph
         if self.validate_dependencies:
             self._validate_shape(graph, batch.padded_len, batch.size)
-        compile_now = self._should_compile(key)
-        self._shape_seen[key] = self._shape_seen.get(key, 0) + 1
-        if compile_now:
-            plan = compile_graph(
-                graph,
-                n_workers=self._sim.n_cores,
-                cost_model=self._sim.cost_model,
-                key=[self._config_fingerprint, list(key)],
-            )
-            self._sim.run(graph, plan=plan)  # warm run (see dynamic path)
-            trace = self._sim.run(graph, plan=plan)
-            # replay skips per-batch graph creation, so no creation charge
-            service = trace.makespan + self.batch_fixed_s
-            self.plan_cache.put(
-                self._plan_key(key), plan, payload=(service, trace)
-            )
-            return BatchExecution(service_time_s=service, trace=trace)
-        # auto-mode first sighting: dynamic, uncached (one-off shapes
-        # never pay compilation — a recurrence triggers it next time)
         self._sim.run(graph)
         trace = self._sim.run(graph)
         creation = len(graph) * self.machine.task_create_s
@@ -380,26 +454,21 @@ class InferenceEngine:
             trace = self._threaded.run(build.graph, plan=entry.plan)
             service = time.perf_counter() - t0
             return BatchExecution(
-                service_time_s=service, trace=trace, logits=build.logits()
+                service_time_s=service, trace=trace, logits=build.logits(),
+                warm=True,
             )
-        result = self._build(
-            x=x,
-            params=self.params,
-            mbs=self._effective_mbs(batch.size),
-        )
-        if self.validate_dependencies:
-            self._validate_shape(result.graph, batch.padded_len, batch.size)
         compile_now = self._should_compile(key)
         self._shape_seen[key] = self._shape_seen.get(key, 0) + 1
         if compile_now:
-            plan = compile_graph(
-                result.graph,
-                n_workers=self._threaded.n_workers,
-                key=[self._config_fingerprint, list(key)],
-            )
-            trace = self._threaded.run(result.graph, plan=plan)
-            self.plan_cache.put(self._plan_key(key), plan, payload=result)
+            result, trace = self._compile_threaded_shape(key, x)
         else:
+            result = self._build(
+                x=x,
+                params=self.params,
+                mbs=self._effective_mbs(batch.size),
+            )
+            if self.validate_dependencies:
+                self._validate_shape(result.graph, batch.padded_len, batch.size)
             trace = self._threaded.run(result.graph)
         service = time.perf_counter() - t0
         return BatchExecution(

@@ -28,6 +28,9 @@ class WorkloadConfig:
     features: Optional[int] = None
     #: per-request latency budget; deadline = arrival + slo_s
     slo_s: Optional[float] = None
+    #: round-robin requests over this many tenants ("t0", "t1", …) for
+    #: per-tenant admission control (docs/SERVING.md)
+    tenants: int = 1
     # bursty-process shape: alternating quiet/burst phases, mean rate kept
     # at ``rate_hz`` (burst phases run hotter, quiet phases colder)
     burst_factor: float = 4.0
@@ -46,6 +49,8 @@ class WorkloadConfig:
             raise ValueError("burst_factor must be >= 1")
         if not 0 < self.burst_fraction < 1:
             raise ValueError("burst_fraction must be in (0, 1)")
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
 
 
 def _materialise(
@@ -65,6 +70,7 @@ def _materialise(
                 arrival_time=float(t),
                 deadline=float(t) + config.slo_s if config.slo_s is not None else None,
                 x=x,
+                tenant=f"t{rid % config.tenants}",
             )
         )
     return requests

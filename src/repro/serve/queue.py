@@ -1,11 +1,15 @@
 """Bounded admission queue with backpressure and deadline expiry.
 
 The queue is the only place requests wait; its capacity bound is the
-serving layer's backpressure mechanism.  When full, ``policy="reject"``
-sheds the *arriving* request (classic load shedding: tell the client now,
-while the information is cheap) and ``policy="drop_oldest"`` sheds the
-longest-waiting request instead (freshness-first, for workloads where a
-stale answer is worthless anyway).
+serving layer's backpressure mechanism.  When full, ``queue_policy=
+"reject"`` sheds the *arriving* request (classic load shedding: tell the
+client now, while the information is cheap) and ``"drop_oldest"`` sheds
+the longest-waiting request instead (freshness-first, for workloads where
+a stale answer is worthless anyway).
+
+A queued request whose deadline passes is *shed* (reason ``"deadline"``,
+:data:`repro.serve.request.SHED_DEADLINE`) — it never reaches the batcher,
+and never surfaces as a batcher timeout.
 """
 
 from __future__ import annotations
@@ -13,21 +17,36 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Iterable, List, Optional
 
+from repro.serve.config import ServeConfig, resolve_serve_config
 from repro.serve.request import InferenceRequest
 
-POLICIES = ("reject", "drop_oldest")
+#: legacy re-export; the vocabulary now lives on :class:`ServeConfig`
+from repro.serve.config import QUEUE_POLICIES as POLICIES  # noqa: F401
 
 
 class RequestQueue:
-    """FIFO of pending requests, bounded by ``capacity``."""
+    """FIFO of pending requests, bounded by ``config.queue_capacity``.
 
-    def __init__(self, capacity: int = 256, policy: str = "reject") -> None:
-        if capacity < 1:
-            raise ValueError("capacity must be >= 1")
-        if policy not in POLICIES:
-            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
-        self.capacity = capacity
-        self.policy = policy
+    Accepts ``config=ServeConfig(...)``; the historical ``capacity=``/
+    ``policy=`` arguments keep working through the deprecation shim.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        policy: Optional[str] = None,
+        *,
+        config: Optional[ServeConfig] = None,
+    ) -> None:
+        legacy = {}
+        if capacity is not None:
+            legacy["capacity"] = capacity
+        if policy is not None:
+            legacy["policy"] = policy
+        cfg = resolve_serve_config(config, legacy)
+        self.config = cfg
+        self.capacity = cfg.queue_capacity
+        self.policy = cfg.queue_policy
         self._pending: Deque[InferenceRequest] = deque()
 
     def __len__(self) -> int:
@@ -55,13 +74,21 @@ class RequestQueue:
         self._pending.append(req)
         return []
 
-    def expire(self, now: float) -> List[InferenceRequest]:
-        """Remove and return every queued request whose deadline has passed."""
+    def expire(self, now: float, horizon: float = 0.0) -> List[InferenceRequest]:
+        """Remove and return every queued request whose deadline has passed.
+
+        ``horizon`` extends the test to *doomed* requests: with ``horizon
+        = service_estimate`` a request that could not meet its deadline
+        even if dispatched this instant is shed now instead of burning a
+        batch slot and completing late (the fleet's shed-not-timeout
+        guarantee).
+        """
         if not self._pending:
             return []
-        expired = [r for r in self._pending if r.expired(now)]
+        cut = now + horizon
+        expired = [r for r in self._pending if r.expired(cut)]
         if expired:
-            self._pending = deque(r for r in self._pending if not r.expired(now))
+            self._pending = deque(r for r in self._pending if not r.expired(cut))
         return expired
 
     def take(self, requests: Iterable[InferenceRequest]) -> None:

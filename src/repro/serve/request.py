@@ -1,12 +1,17 @@
 """Inference requests and their lifecycle records.
 
-A request enters the serving layer with an arrival time, a sequence length
-and (optionally) a payload and a deadline.  The layer resolves every
-request to exactly one terminal state:
+A request enters the serving layer with an arrival time, a sequence length,
+a tenant and (optionally) a payload and a deadline.  The layer resolves
+every request to exactly one terminal state:
 
 * ``completed`` — executed inside some batch; carries full timing.
-* ``shed`` — rejected at admission because the queue was full (backpressure).
-* ``expired`` — its deadline passed while it waited in the queue.
+* ``shed`` — dropped unexecuted, with a reason:
+
+  * ``queue_full`` — backpressure: the bounded queue was full;
+  * ``tenant`` — the tenant's token-bucket admission limit was exhausted;
+  * ``deadline`` — its deadline passed while queued, or the admission
+    budget predicted it could no longer complete in time (shed *before*
+    queueing rather than served late).
 
 All times are seconds on the server clock: virtual (simulated) time when
 serving on the :class:`~repro.runtime.simexec.SimulatedExecutor`, wall time
@@ -23,7 +28,12 @@ import numpy as np
 #: terminal states a request can reach
 COMPLETED = "completed"
 SHED = "shed"
-EXPIRED = "expired"
+
+#: why a request was shed (the ``reason`` taxonomy in :class:`ServerStats`)
+SHED_QUEUE_FULL = "queue_full"
+SHED_TENANT = "tenant"
+SHED_DEADLINE = "deadline"
+SHED_REASONS = (SHED_QUEUE_FULL, SHED_TENANT, SHED_DEADLINE)
 
 
 @dataclass
@@ -33,7 +43,8 @@ class InferenceRequest:
     ``x`` is the ``(seq_len, features)`` payload for functional (threaded)
     serving; cost-only simulated serving needs only ``seq_len``.
     ``deadline`` is an *absolute* server-clock time after which the result
-    is useless and the request may be dropped unexecuted.
+    is useless and the request may be dropped unexecuted.  ``tenant``
+    names the traffic source for per-tenant admission control.
     """
 
     rid: int
@@ -41,6 +52,7 @@ class InferenceRequest:
     arrival_time: float
     deadline: Optional[float] = None
     x: Optional[np.ndarray] = None
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.seq_len < 1:
@@ -69,6 +81,10 @@ class CompletedRequest:
     finish_time: float
     #: this request's logits (functional/threaded serving only)
     result: Optional[np.ndarray] = None
+    #: the deadline it carried (SLO-attainment accounting)
+    deadline: Optional[float] = None
+    #: which replica executed it (0 on the single-engine server)
+    replica: int = 0
 
     @property
     def latency(self) -> float:
@@ -79,3 +95,8 @@ class CompletedRequest:
     def queue_wait(self) -> float:
         """Time spent queued before its batch started executing."""
         return self.service_start - self.arrival_time
+
+    @property
+    def met_deadline(self) -> bool:
+        """Completed within its deadline (vacuously true without one)."""
+        return self.deadline is None or self.finish_time <= self.deadline

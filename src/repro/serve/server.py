@@ -4,7 +4,9 @@
 :class:`~repro.serve.request.InferenceRequest` with arrival times) against
 one :class:`~repro.serve.engine.InferenceEngine` under a
 :class:`~repro.serve.queue.RequestQueue` and
-:class:`~repro.serve.batcher.DynamicBatcher`.
+:class:`~repro.serve.batcher.DynamicBatcher`, all configured by one
+:class:`~repro.serve.config.ServeConfig`.  The multi-replica sibling is
+:class:`~repro.serve.fleet.FleetServer`.
 
 The loop is an event-driven simulation on the server clock: events are
 request arrivals, engine completions, batcher timeouts and deadline
@@ -16,36 +18,18 @@ service times are real measured wall time, replayed onto the same clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.obs.snapshot import SnapshotLog
-from repro.serve.batcher import DynamicBatcher
+from repro.serve.config import ServeConfig, ServerConfig  # noqa: F401  (re-export)
 from repro.serve.engine import InferenceEngine
-from repro.serve.queue import RequestQueue
-from repro.serve.request import CompletedRequest, InferenceRequest
+from repro.serve.request import (
+    SHED_DEADLINE,
+    SHED_QUEUE_FULL,
+    CompletedRequest,
+    InferenceRequest,
+)
 from repro.serve.stats import ServerStats
-
-
-@dataclass(frozen=True)
-class ServerConfig:
-    """Everything between the wire and the engine."""
-
-    queue_capacity: int = 256
-    queue_policy: str = "reject"
-    max_batch_size: int = 8
-    max_wait: float = 5e-3
-    bucket_width: int = 16
-
-    def make_queue(self) -> RequestQueue:
-        return RequestQueue(capacity=self.queue_capacity, policy=self.queue_policy)
-
-    def make_batcher(self) -> DynamicBatcher:
-        return DynamicBatcher(
-            max_batch_size=self.max_batch_size,
-            max_wait=self.max_wait,
-            bucket_width=self.bucket_width,
-        )
 
 
 class Server:
@@ -63,12 +47,12 @@ class Server:
     def __init__(
         self,
         engine: InferenceEngine,
-        config: Optional[ServerConfig] = None,
+        config: Optional[ServeConfig] = None,
         keep_traces: bool = False,
         snapshot_interval_s: float = 0.0,
     ) -> None:
         self.engine = engine
-        self.config = config or ServerConfig()
+        self.config = config if config is not None else ServeConfig()
         self.keep_traces = keep_traces
         self.snapshot_interval_s = snapshot_interval_s
         registry = getattr(engine, "metrics", None)
@@ -104,19 +88,19 @@ class Server:
         engine_free = 0.0
 
         while True:
-            # 1. expire queued requests whose deadline has passed
+            # 1. shed queued requests whose deadline has passed
             for victim in queue.expire(now):
-                stats.record_expired(victim)
+                stats.record_shed(victim, SHED_DEADLINE)
 
             # 2. admit every arrival up to the current clock
             while i < n and pending[i].arrival_time <= now:
                 req = pending[i]
                 i += 1
                 if req.expired(now):
-                    stats.record_expired(req)
+                    stats.record_shed(req, SHED_DEADLINE)
                     continue
                 for victim in queue.push(req):
-                    stats.record_shed(victim)
+                    stats.record_shed(victim, SHED_QUEUE_FULL)
                 stats.record_queue_depth(req.arrival_time, len(queue))
 
             # 3. engine idle → try to cut a batch at this instant
@@ -128,7 +112,8 @@ class Server:
                     execution = self.engine.execute(batch)
                     engine_free = now + execution.service_time_s
                     stats.record_batch(
-                        batch, now, execution.service_time_s, execution.trace
+                        batch, now, execution.service_time_s, execution.trace,
+                        warm=execution.warm if self.engine.plan_cache else None,
                     )
                     for idx, r in enumerate(batch.requests):
                         stats.record_completion(
@@ -142,6 +127,7 @@ class Server:
                                 service_start=now,
                                 finish_time=engine_free,
                                 result=self._slice_result(execution.logits, idx),
+                                deadline=r.deadline,
                             )
                         )
                     stats.record_queue_depth(now, len(queue))
@@ -179,7 +165,7 @@ class Server:
 def serve_workload(
     engine: InferenceEngine,
     requests: Sequence[InferenceRequest],
-    config: Optional[ServerConfig] = None,
+    config: Optional[ServeConfig] = None,
     keep_traces: bool = False,
 ) -> ServerStats:
     """One-call convenience wrapper around :class:`Server`."""

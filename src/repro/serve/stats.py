@@ -1,10 +1,11 @@
 """Serving metrics: latency SLO percentiles, throughput, batching efficacy.
 
 :class:`ServerStats` is the single sink for everything the serving loop
-observes — completions, sheds, expiries, cut batches, queue-depth samples.
-Latency percentiles reuse :func:`repro.runtime.trace.percentile` (the same
-definition the runtime's task-duration summaries use), and per-batch
-execution traces can be merged into one serving-wide
+observes — completions, sheds (with their reason taxonomy, see
+:data:`repro.serve.request.SHED_REASONS`), cut batches, queue-depth
+samples.  Latency percentiles reuse :func:`repro.runtime.trace.percentile`
+(the same definition the runtime's task-duration summaries use), and
+per-batch execution traces can be merged into one serving-wide
 :class:`~repro.runtime.trace.ExecutionTrace` laid out on the server clock
 for the existing analysis/visualisation tooling.
 """
@@ -17,7 +18,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.obs.registry import MetricsRegistry
 from repro.runtime.trace import ExecutionTrace, percentile
 from repro.serve.batcher import Batch
-from repro.serve.request import CompletedRequest, InferenceRequest
+from repro.serve.request import (
+    SHED_QUEUE_FULL,
+    CompletedRequest,
+    InferenceRequest,
+)
 
 #: latency points reported by :meth:`ServerStats.summary`
 LATENCY_PERCENTILES = (50, 95, 99)
@@ -39,6 +44,14 @@ class BatchRecord:
     trigger: str
     service_start: float
     service_time: float
+    #: served from a warm compiled plan (None when the engine has no cache)
+    warm: Optional[bool] = None
+    #: which replica executed it (0 on the single-engine server)
+    replica: int = 0
+
+    @property
+    def shape(self) -> str:
+        return f"{self.padded_len}x{self.size}"
 
 
 class ServerStats:
@@ -63,8 +76,8 @@ class ServerStats:
         self.keep_traces = keep_traces
         self.registry = registry
         self.completed: List[CompletedRequest] = []
-        self.shed: List[InferenceRequest] = []
-        self.expired: List[InferenceRequest] = []
+        #: every shed request with its reason, in shed order
+        self.shed_records: List[Tuple[InferenceRequest, str]] = []
         self.batches: List[BatchRecord] = []
         self._batch_traces: List[Tuple[float, ExecutionTrace]] = []
         #: (time, depth) samples taken by the serving loop
@@ -78,6 +91,8 @@ class ServerStats:
     def record_batch(
         self, batch: Batch, service_start: float, service_time: float,
         trace: Optional[ExecutionTrace] = None,
+        warm: Optional[bool] = None,
+        replica: int = 0,
     ) -> None:
         self.batches.append(
             BatchRecord(
@@ -87,6 +102,8 @@ class ServerStats:
                 trigger=batch.trigger,
                 service_start=service_start,
                 service_time=service_time,
+                warm=warm,
+                replica=replica,
             )
         )
         if self.keep_traces and trace is not None:
@@ -120,20 +137,18 @@ class ServerStats:
                 help="arrival-to-completion latency",
             ).observe(rec.latency)
 
-    def record_shed(self, req: InferenceRequest) -> None:
-        self.shed.append(req)
+    def record_shed(
+        self, req: InferenceRequest, reason: str = SHED_QUEUE_FULL
+    ) -> None:
+        self.shed_records.append((req, reason))
         if self.registry is not None:
             self.registry.counter(
                 "repro_serve_requests_total", help="finished requests",
                 status="shed",
             ).inc()
-
-    def record_expired(self, req: InferenceRequest) -> None:
-        self.expired.append(req)
-        if self.registry is not None:
             self.registry.counter(
-                "repro_serve_requests_total", help="finished requests",
-                status="expired",
+                "repro_serve_shed_total", help="shed requests by reason",
+                reason=reason,
             ).inc()
 
     def record_queue_depth(self, now: float, depth: int) -> None:
@@ -146,8 +161,22 @@ class ServerStats:
     # -- derived metrics -------------------------------------------------------
 
     @property
+    def shed(self) -> List[InferenceRequest]:
+        """Every shed request, whatever the reason."""
+        return [r for r, _ in self.shed_records]
+
+    def shed_by_reason(self, reason: str) -> List[InferenceRequest]:
+        return [r for r, why in self.shed_records if why == reason]
+
+    def shed_reason_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for _, why in self.shed_records:
+            counts[why] = counts.get(why, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
     def num_requests(self) -> int:
-        return len(self.completed) + len(self.shed) + len(self.expired)
+        return len(self.completed) + len(self.shed_records)
 
     def latencies(self) -> List[float]:
         return [r.latency for r in self.completed]
@@ -193,6 +222,55 @@ class ServerStats:
             counts[b.trigger] = counts.get(b.trigger, 0) + 1
         return counts
 
+    def warm_hit_rate(self) -> Optional[float]:
+        """Fraction of batches served from a warm compiled plan.
+
+        ``None`` when the engine ran without a plan cache (no batch
+        carried warm/cold information).
+        """
+        known = [b for b in self.batches if b.warm is not None]
+        if not known:
+            return None
+        return sum(1 for b in known if b.warm) / len(known)
+
+    def warm_by_shape(self) -> Dict[str, Dict[str, int]]:
+        """Per-shape ``{"batches": n, "warm": k}`` plan-cache breakdown."""
+        shapes: Dict[str, Dict[str, int]] = {}
+        for b in self.batches:
+            if b.warm is None:
+                continue
+            row = shapes.setdefault(b.shape, {"batches": 0, "warm": 0})
+            row["batches"] += 1
+            row["warm"] += int(b.warm)
+        return dict(sorted(shapes.items()))
+
+    def slo_summary(self) -> Optional[Dict[str, float]]:
+        """Deadline attainment over every terminal request.
+
+        ``attainment`` counts a request as attained only when it completed
+        within its deadline (no-deadline completions are vacuous passes;
+        sheds always miss); ``completed_attainment`` restricts the
+        denominator to completed requests — the shed-not-timeout metric.
+        ``None`` when no request carried a deadline.
+        """
+        deadlined = sum(1 for r in self.completed if r.deadline is not None)
+        deadlined += sum(
+            1 for r, _ in self.shed_records if r.deadline is not None
+        )
+        if deadlined == 0:
+            return None
+        late = sum(1 for r in self.completed if not r.met_deadline)
+        attained = len(self.completed) - late
+        total = self.num_requests
+        return {
+            "attainment": attained / total if total else 0.0,
+            "completed_attainment": (
+                attained / len(self.completed) if self.completed else 0.0
+            ),
+            "late_completions": late,
+            "deadlined_requests": deadlined,
+        }
+
     def engine_busy_fraction(self) -> float:
         """Fraction of the serving span the engine spent executing batches."""
         span = self.elapsed()
@@ -224,12 +302,14 @@ class ServerStats:
     def summary(self) -> Dict:
         """The JSON-ready report: SLO latencies, throughput, batching stats."""
         xs = self.latencies()
+        warm_rate = self.warm_hit_rate()
+        slo = self.slo_summary()
         return {
             "requests": {
                 "total": self.num_requests,
                 "completed": len(self.completed),
-                "shed": len(self.shed),
-                "expired": len(self.expired),
+                "shed": len(self.shed_records),
+                "shed_reasons": self.shed_reason_counts(),
             },
             "throughput_rps": self.throughput_rps(),
             "elapsed_s": self.elapsed(),
@@ -244,9 +324,15 @@ class ServerStats:
                 "size_histogram": {str(k): v for k, v in self.batch_size_histogram().items()},
                 "padding_overhead": self.padding_overhead(),
                 "triggers": self.trigger_counts(),
+                **(
+                    {"warm_hit_rate": warm_rate, "warm_by_shape": self.warm_by_shape()}
+                    if warm_rate is not None
+                    else {}
+                ),
             },
             "queue_depth": self.queue_depth_stats(),
             "engine_busy_fraction": self.engine_busy_fraction(),
+            **({"slo": slo} if slo is not None else {}),
             **(
                 {"critical_path": self.critical_path}
                 if self.critical_path is not None

@@ -1,0 +1,80 @@
+"""Router determinism: least-loaded ordering, hash-ring stability."""
+
+import pytest
+
+from repro.serve import ConsistentHashRouter, InferenceRequest, LeastLoadedRouter
+from repro.serve.config import ServeConfig
+from repro.serve.router import make_router
+
+
+def req(seq_len, rid=0):
+    return InferenceRequest(rid=rid, seq_len=seq_len, arrival_time=0.0)
+
+
+def test_least_loaded_prefers_short_queue_then_busy_then_index():
+    r = LeastLoadedRouter(3)
+    assert r.route(req(10), [(2, 0.0), (1, 0.0), (1, 0.5)]) == 1
+    assert r.route(req(10), [(1, 0.4), (1, 0.1), (2, 0.0)]) == 1
+    # full tie: lowest index wins (deterministic)
+    assert r.route(req(10), [(0, 0.0), (0, 0.0), (0, 0.0)]) == 0
+
+
+def test_hash_router_is_deterministic_across_instances():
+    """sha256 ring points: the same assignment in every process, always."""
+    a = ConsistentHashRouter(4, bucket_width=16, vnodes=32)
+    b = ConsistentHashRouter(4, bucket_width=16, vnodes=32)
+    keys = [f"shape:{w}" for w in range(16, 512, 16)]
+    assert a.assignment(keys) == b.assignment(keys)
+
+
+def test_hash_router_keys_on_the_length_bucket():
+    r = ConsistentHashRouter(4, bucket_width=16)
+    # all lengths in one bucket share a key -> share a home replica
+    assert r.key_of(req(1)) == r.key_of(req(16)) == "shape:16"
+    assert r.key_of(req(17)) == "shape:32"
+    homes = {r.route(req(s, rid=i)) for i, s in enumerate((3, 9, 12, 16))}
+    assert len(homes) == 1
+
+
+def test_hash_ring_spreads_buckets_across_replicas():
+    r = ConsistentHashRouter(4, bucket_width=16, vnodes=64)
+    keys = [f"shape:{w}" for w in range(16, 2048, 16)]
+    owners = set(r.assignment(keys).values())
+    assert owners == {0, 1, 2, 3}  # nobody starves with enough keys
+
+
+def test_remove_replica_only_remaps_its_own_keys():
+    r = ConsistentHashRouter(4, bucket_width=16, vnodes=64)
+    keys = [f"shape:{w}" for w in range(16, 1024, 16)]
+    before = r.assignment(keys)
+    r.remove_replica(2)
+    after = r.assignment(keys)
+    for k in keys:
+        if before[k] != 2:
+            assert after[k] == before[k]  # unrelated keys keep their home
+        else:
+            assert after[k] != 2
+    # re-adding restores the original assignment exactly
+    r.add_replica(2)
+    assert r.assignment(keys) == before
+
+
+def test_ring_membership_errors():
+    r = ConsistentHashRouter(2)
+    with pytest.raises(ValueError):
+        r.add_replica(0)
+    with pytest.raises(ValueError):
+        r.remove_replica(7)
+    r.remove_replica(0)
+    r.remove_replica(1)
+    with pytest.raises(RuntimeError):
+        r.route_key("shape:16")
+
+
+def test_make_router_dispatches_on_config():
+    ll = make_router(ServeConfig(replicas=2))
+    assert isinstance(ll, LeastLoadedRouter) and ll.policy == "least_loaded"
+    h = make_router(ServeConfig(replicas=2, router="hash", bucket_width=8,
+                                hash_vnodes=16))
+    assert isinstance(h, ConsistentHashRouter) and h.policy == "hash"
+    assert h.bucket_width == 8 and h.vnodes == 16

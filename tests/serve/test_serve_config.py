@@ -1,0 +1,135 @@
+"""ServeConfig: validation, fingerprint, and the legacy-kwargs shim."""
+
+import dataclasses
+
+import pytest
+
+from repro.serve import (
+    DynamicBatcher,
+    RequestQueue,
+    ServeConfig,
+    ServerConfig,
+    resolve_serve_config,
+)
+
+
+def test_frozen_and_validated():
+    cfg = ServeConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.replicas = 2
+    with pytest.raises(ValueError):
+        ServeConfig(replicas=0)
+    with pytest.raises(ValueError):
+        ServeConfig(router="random")
+    with pytest.raises(ValueError):
+        ServeConfig(batcher="eager")
+    with pytest.raises(ValueError):
+        ServeConfig(queue_capacity=0)
+    with pytest.raises(ValueError):
+        ServeConfig(queue_policy="panic")
+    with pytest.raises(ValueError):
+        ServeConfig(tenant_rate_hz=0.0)
+    with pytest.raises(ValueError):
+        ServeConfig(deadline_slo_s=-1.0)
+    with pytest.raises(ValueError):
+        ServeConfig(admission_slack=-0.1)
+
+
+def test_replace_returns_modified_copy():
+    base = ServeConfig()
+    wide = base.replace(replicas=4, router="hash")
+    assert wide.replicas == 4 and wide.router == "hash"
+    assert base.replicas == 1  # untouched
+
+
+def test_fingerprint_depends_on_every_field():
+    base = ServeConfig()
+    assert base.fingerprint() == ServeConfig().fingerprint()  # stable
+    for field in dataclasses.fields(ServeConfig):
+        changed = {
+            "replicas": 2, "router": "hash", "hash_vnodes": 32,
+            "batcher": "continuous", "tenant_rate_hz": 10.0,
+            "tenant_burst": 4.0, "deadline_slo_s": 0.1,
+            "admission_slack": 2.0, "queue_capacity": 7,
+            "queue_policy": "drop_oldest", "max_batch_size": 3,
+            "max_wait": 1.0, "bucket_width": 5, "warmup": False,
+        }[field.name]
+        assert base.replace(**{field.name: changed}).fingerprint() != \
+            base.fingerprint(), field.name
+
+
+def test_from_kwargs_warns_once_with_callers_spelling():
+    with pytest.warns(DeprecationWarning, match="capacity, policy") as record:
+        cfg = ServeConfig.from_kwargs(capacity=4, policy="drop_oldest")
+    assert len(record) == 1
+    assert cfg.queue_capacity == 4 and cfg.queue_policy == "drop_oldest"
+
+
+def test_from_kwargs_rejects_alias_conflicts_and_unknowns():
+    with pytest.raises(TypeError, match="not both"):
+        ServeConfig.from_kwargs(capacity=4, queue_capacity=8)
+    with pytest.raises(TypeError, match="unexpected"):
+        ServeConfig.from_kwargs(batch_size=4)
+
+
+def test_resolve_rejects_config_plus_legacy():
+    with pytest.raises(TypeError, match="not both"):
+        resolve_serve_config(ServeConfig(), {"max_batch_size": 4})
+    with pytest.raises(TypeError):
+        RequestQueue(capacity=4, config=ServeConfig())
+
+
+def test_every_entry_point_accepts_config():
+    cfg = ServeConfig(queue_capacity=4, queue_policy="drop_oldest",
+                      max_batch_size=2, max_wait=1e-3, bucket_width=8)
+    q = RequestQueue(config=cfg)
+    assert q.capacity == 4 and q.policy == "drop_oldest"
+    b = DynamicBatcher(config=cfg)
+    assert b.max_batch_size == 2 and b.bucket_width == 8
+
+
+def test_legacy_kwargs_produce_identical_config():
+    """The shimmed spelling and the config spelling build equal objects."""
+    with pytest.warns(DeprecationWarning) as record:
+        shimmed = RequestQueue(capacity=5, policy="drop_oldest")
+    assert len(record) == 1  # exactly one warning for the whole call
+    direct = RequestQueue(
+        config=ServeConfig(queue_capacity=5, queue_policy="drop_oldest")
+    )
+    assert shimmed.config == direct.config
+    with pytest.warns(DeprecationWarning) as record:
+        shimmed_b = DynamicBatcher(max_batch_size=3, max_wait=2e-3)
+    assert len(record) == 1
+    assert shimmed_b.config == ServeConfig(max_batch_size=3, max_wait=2e-3)
+
+
+def test_server_config_is_a_deprecated_factory():
+    # legacy knobs: one warning, identical config
+    with pytest.warns(DeprecationWarning) as record:
+        cfg = ServerConfig(queue_capacity=32, max_batch_size=4)
+    assert len(record) == 1
+    assert cfg == ServeConfig(queue_capacity=32, max_batch_size=4)
+    # no legacy knobs: still exactly one warning (for the old name itself)
+    with pytest.warns(DeprecationWarning, match="ServerConfig is deprecated") \
+            as record:
+        cfg = ServerConfig(replicas=2)
+    assert len(record) == 1
+    assert cfg == ServeConfig(replicas=2)
+
+
+def test_fingerprint_distinguishes_deployments_for_plan_keys():
+    """Two serving deployments of one model must not share plan keys."""
+    from repro.config import ExecutionConfig
+    from repro.models.spec import BRNNSpec
+    from repro.serve import InferenceEngine
+
+    spec = BRNNSpec(input_size=4, hidden_size=4, num_layers=1, num_classes=3)
+    a = InferenceEngine(
+        spec, config=ExecutionConfig(executor="sim", compile="on"),
+        serve_config=ServeConfig(max_batch_size=4),
+    )
+    b = InferenceEngine(
+        spec, config=ExecutionConfig(executor="sim", compile="on"),
+        serve_config=ServeConfig(max_batch_size=8),
+    )
+    assert a._config_fingerprint != b._config_fingerprint

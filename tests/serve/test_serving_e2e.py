@@ -7,6 +7,7 @@ from repro.models.params import BRNNParams
 from repro.models.reference import reference_forward
 from repro.models.spec import BRNNSpec
 from repro.serve import (
+    SHED_DEADLINE,
     InferenceEngine,
     InferenceRequest,
     Server,
@@ -55,7 +56,8 @@ def test_every_request_reaches_exactly_one_terminal_state():
     )
     r = stats.summary()["requests"]
     assert r["total"] == len(requests)
-    assert r["completed"] + r["shed"] + r["expired"] == r["total"]
+    assert r["completed"] + r["shed"] == r["total"]
+    assert sum(r["shed_reasons"].values()) == r["shed"]
     completed_rids = {c.rid for c in stats.completed}
     shed_rids = {s.rid for s in stats.shed}
     assert not completed_rids & shed_rids  # no request in two states
@@ -86,9 +88,11 @@ def test_deadline_expiry_drops_overdue_requests():
         ServerConfig(queue_capacity=4, max_batch_size=1, max_wait=0.0,
                      bucket_width=4),
     )
-    # rid 0 is served first (batch of 1); rid 1 expires while it runs
+    # rid 0 is served first (batch of 1); rid 1's deadline passes while it
+    # runs — a deadline shed, not a batcher timeout (docs/SERVING.md)
     assert [c.rid for c in stats.completed] == [0]
-    assert [e.rid for e in stats.expired] == [1]
+    assert [e.rid for e in stats.shed_by_reason(SHED_DEADLINE)] == [1]
+    assert stats.shed_reason_counts() == {SHED_DEADLINE: 1}
 
 
 def test_backpressure_sheds_when_queue_full():

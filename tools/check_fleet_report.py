@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Gate a ``BENCH_fleet.json`` fleet-serving soak report.
+
+Used by the CI smoke target (``make smoke-fleet``).  Beyond schema shape,
+this gate enforces the fleet *outcomes* (docs/SERVING.md):
+
+* the calibrated fleet rate is at least ``--min-rate-ratio`` × the
+  single-replica rate (default 3.0) and the fleet sustains it at p99 SLO
+  attainment ≥ ``--min-attainment`` (default 0.99);
+* the same rate demonstrably overwhelms a single replica
+  (``single_at_fleet_rate.attainment < 0.9``), so the fleet section
+  measures scaling, not slack;
+* bursty overload is *shed at admission*, not served late: sheds > 0
+  and the completed requests' attainment stays ≥ ``--min-attainment``;
+* the per-shape warm compiled-plan hit rate after warmup is
+  ≥ ``--min-warm-rate`` (default 0.9);
+* the consistent-hash router compiles strictly fewer plans than
+  least-loaded on the same workload (shape affinity keeps plans warm);
+* request accounting adds up in every section
+  (completed + shed == total, shed_reasons sums to shed).
+
+    python tools/check_fleet_report.py BENCH_fleet.json
+    python tools/check_fleet_report.py --min-warm-rate 0.95 BENCH_fleet.json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _reportlib import check_envelope, check_schema, finish, load_report, lookup
+
+DEFAULT_MIN_RATE_RATIO = 3.0
+DEFAULT_MIN_ATTAINMENT = 0.99
+DEFAULT_MIN_WARM_RATE = 0.9
+
+#: serving sections of the results block, in report order
+SECTIONS = (
+    "single_at_single_rate",
+    "single_at_fleet_rate",
+    "fleet_at_fleet_rate",
+    "bursty_overload",
+)
+
+CALIBRATION_SCHEMA = [
+    ("service_full_s", (int, float)),
+    ("capacity_rps", (int, float)),
+    ("single_rate_hz", (int, float)),
+    ("fleet_rate_hz", (int, float)),
+    ("slo_s", (int, float)),
+    ("rate_ratio", (int, float)),
+]
+
+SECTION_SCHEMA = [
+    ("requests", int),
+    ("completed", int),
+    ("shed", int),
+    ("shed_reasons", dict),
+    ("throughput_rps", (int, float)),
+    ("attainment", (int, float)),
+    ("completed_attainment", (int, float)),
+    ("late_completions", int),
+    ("routing", dict),
+    ("warmup_compiled", int),
+]
+
+ROUTER_SCHEMA = [
+    ("compiles", int),
+    ("warm_hit_rate", (int, float)),
+    ("warmup_compiled", int),
+]
+
+
+def check_section(results, name, errors):
+    section = results.get(name)
+    if not isinstance(section, dict):
+        errors.append(f"results.{name}: missing or not an object")
+        return
+    check_schema(section, SECTION_SCHEMA, f"results.{name}", errors)
+    try:
+        total = lookup(section, "requests")
+        if lookup(section, "completed") + lookup(section, "shed") != total:
+            errors.append(f"results.{name}: request accounting does not add up")
+        if sum(lookup(section, "shed_reasons").values()) != lookup(section, "shed"):
+            errors.append(f"results.{name}: shed_reasons does not sum to shed")
+    except KeyError:
+        pass  # already reported
+
+
+def main(argv) -> int:
+    min_rate_ratio = DEFAULT_MIN_RATE_RATIO
+    min_attainment = DEFAULT_MIN_ATTAINMENT
+    min_warm_rate = DEFAULT_MIN_WARM_RATE
+    args = list(argv[1:])
+    paths = []
+    while args:
+        arg = args.pop(0)
+        if arg == "--min-rate-ratio":
+            min_rate_ratio = float(args.pop(0))
+        elif arg == "--min-attainment":
+            min_attainment = float(args.pop(0))
+        elif arg == "--min-warm-rate":
+            min_warm_rate = float(args.pop(0))
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print(__doc__)
+        return 2
+    report = load_report(paths[0])
+
+    errors: list = []
+    check_envelope(report, paths[0], errors, bench="fleet")
+    results = report.get("results", {})
+    calibration = results.get("calibration", {})
+    check_schema(calibration, CALIBRATION_SCHEMA, "results.calibration", errors)
+    for name in SECTIONS:
+        check_section(results, name, errors)
+    for router in ("hash", "least_loaded"):
+        check_schema(
+            results.get("routers", {}).get(router, {}),
+            ROUTER_SCHEMA, f"results.routers.{router}", errors,
+        )
+    if errors:
+        return finish(errors, [])
+
+    # outcome gates (schema is known-good from here on)
+    if calibration["rate_ratio"] < min_rate_ratio:
+        errors.append(
+            f"rate_ratio {calibration['rate_ratio']:.2f} below {min_rate_ratio}"
+        )
+    fleet = results["fleet_at_fleet_rate"]
+    if fleet["attainment"] < min_attainment:
+        errors.append(
+            f"fleet attainment {fleet['attainment']:.4f} below {min_attainment}"
+        )
+    if fleet.get("warm_hit_rate") is None or fleet["warm_hit_rate"] < min_warm_rate:
+        errors.append(
+            f"fleet warm_hit_rate {fleet.get('warm_hit_rate')} below {min_warm_rate}"
+        )
+    single_hot = results["single_at_fleet_rate"]
+    if single_hot["attainment"] >= 0.9:
+        errors.append(
+            "single replica sustains the fleet rate "
+            f"(attainment {single_hot['attainment']:.4f}) — no scaling measured"
+        )
+    bursty = results["bursty_overload"]
+    if bursty["shed"] == 0:
+        errors.append("bursty overload shed nothing — admission control inert")
+    if bursty["completed_attainment"] < min_attainment:
+        errors.append(
+            f"bursty completed_attainment {bursty['completed_attainment']:.4f} "
+            f"below {min_attainment} — overload served late instead of shed"
+        )
+    routers = results["routers"]
+    if routers["hash"]["compiles"] >= routers["least_loaded"]["compiles"]:
+        errors.append(
+            f"hash router compiled {routers['hash']['compiles']} plans, "
+            f"least_loaded {routers['least_loaded']['compiles']} — "
+            "shape affinity is not reducing compilation"
+        )
+
+    return finish(
+        errors,
+        [
+            f"{paths[0]}: fleet report OK — "
+            f"x{calibration['rate_ratio']:.1f} rate at attainment "
+            f"{fleet['attainment']:.4f}, warm hit rate "
+            f"{fleet['warm_hit_rate']:.3f}, bursty sheds {bursty['shed']}",
+        ],
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

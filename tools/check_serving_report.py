@@ -21,7 +21,7 @@ RESULTS_SCHEMA = [
     ("requests.total", int),
     ("requests.completed", int),
     ("requests.shed", int),
-    ("requests.expired", int),
+    ("requests.shed_reasons", dict),
     ("throughput_rps", (int, float)),
     ("elapsed_s", (int, float)),
     ("latency_s.p50", (int, float)),
@@ -46,9 +46,12 @@ def check_results(results, label, errors):
         if not ordered[0] <= ordered[1] <= ordered[2]:
             errors.append(f"{label}: latency percentiles out of order {ordered}")
         counted = sum(lookup(results, f"requests.{k}")
-                      for k in ("completed", "shed", "expired"))
+                      for k in ("completed", "shed"))
         if counted != lookup(results, "requests.total"):
             errors.append(f"{label}: request accounting does not add up")
+        by_reason = sum(lookup(results, "requests.shed_reasons").values())
+        if by_reason != lookup(results, "requests.shed"):
+            errors.append(f"{label}: shed_reasons does not sum to shed")
     except KeyError:
         pass  # already reported above
 
